@@ -1,0 +1,104 @@
+package qpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qpi/internal/progress"
+)
+
+// Running is a query executing on a background goroutine. The execution
+// goroutine publishes progress snapshots at work-based intervals; Progress
+// and Report read the latest snapshot without racing the executor —
+// exactly how an interactive progress indicator consumes the gnm model.
+type Running struct {
+	mu     sync.Mutex
+	report progress.Report
+	start  time.Time
+	done   chan struct{}
+	rows   int64
+	err    error
+}
+
+// Start launches the query on a new goroutine, publishing a progress
+// snapshot approximately every `every` units of work (tuples moved
+// anywhere in the plan; every < 1 defaults to 4096). A Query can be
+// started (or run) only once.
+func (q *Query) Start(every int64) (*Running, error) {
+	if q.started {
+		return nil, fmt.Errorf("qpi: query already started")
+	}
+	q.started = true
+	if every < 1 {
+		every = 4096
+	}
+	r := &Running{done: make(chan struct{}), start: time.Now()}
+	// The snapshot is taken on the execution goroutine (the monitor reads
+	// operator counters that only that goroutine writes) and published
+	// under the mutex.
+	publish := func() {
+		rep := q.monitor.Report()
+		r.mu.Lock()
+		r.report = rep
+		r.mu.Unlock()
+	}
+	progress.InstallTicker(q.root, every, publish)
+	go func() {
+		defer close(r.done)
+		rows, err := execRun(q)
+		publish()
+		r.mu.Lock()
+		r.rows, r.err = rows, err
+		r.mu.Unlock()
+	}()
+	return r, nil
+}
+
+// Progress returns the latest published progress estimate in [0,1].
+func (r *Running) Progress() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.report.Progress
+}
+
+// Report returns the latest published snapshot.
+func (r *Running) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return toReport(r.report)
+}
+
+// ETA estimates the remaining execution time by combining the gnm work
+// fractions with the observed work rate: remaining = elapsed·(T−C)/C.
+// It returns (0, false) until enough work has been observed to
+// extrapolate (C > 0), and (0, true) once done.
+func (r *Running) ETA() (time.Duration, bool) {
+	select {
+	case <-r.done:
+		return 0, true
+	default:
+	}
+	r.mu.Lock()
+	c, t := r.report.C, r.report.T
+	r.mu.Unlock()
+	if c <= 0 || t <= c {
+		if c > 0 && t <= c {
+			return 0, true
+		}
+		return 0, false
+	}
+	elapsed := time.Since(r.start)
+	return time.Duration(float64(elapsed) * (t - c) / c), true
+}
+
+// Done returns a channel closed when execution finishes.
+func (r *Running) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the query completes and returns its row count.
+func (r *Running) Wait() (int64, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rows, r.err
+}

@@ -1,0 +1,99 @@
+// Command qpi-datagen generates TPC-H-style or Zipf-skewed tables and
+// writes them as CSV, standing in for the paper's modified dbgen + skew
+// tool.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"qpi/internal/catalog"
+	"qpi/internal/disk"
+	"qpi/internal/storage"
+	"qpi/internal/tpch"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "customer", "tpch table name, or 'skewed' for a synthetic C_{z,n} table")
+		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		skew   = flag.Float64("skew", 0, "Zipf skew of key columns")
+		rows   = flag.Int("rows", 150000, "rows (skewed table only)")
+		domain = flag.Int("domain", 25, "key domain (skewed table only)")
+		perm   = flag.Int64("perm", 0, "rank permutation seed (skewed table only)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("out", "-", "output file ('-' = stdout)")
+		format = flag.String("format", "csv", "output format: csv, or qpit (binary table file loadable with Engine.LoadTableFile)")
+	)
+	flag.Parse()
+
+	var t *storage.Table
+	if *table == "skewed" {
+		var err error
+		t, err = tpch.SkewedCustomer("customer", *rows, *domain, *skew, *seed, *perm)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		cat, err := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed, Skew: *skew, Tables: []string{*table}})
+		if err != nil {
+			fail(err)
+		}
+		var entry *catalog.Entry
+		if entry, err = cat.Lookup(*table); err != nil {
+			fail(err)
+		}
+		t = entry.Table
+	}
+
+	if *format == "qpit" {
+		if *out == "-" {
+			fail(fmt.Errorf("qpit format needs -out <file>"))
+		}
+		if err := disk.WriteTable(*out, t); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d rows of %s to %s\n", t.NumRows(), t.Name(), *out)
+		return
+	}
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	// Header.
+	for i, c := range t.Schema().Cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c.Name)
+	}
+	w.WriteByte('\n')
+	it := t.SequentialOrder()
+	for tu := it.Next(); tu != nil; tu = it.Next() {
+		for i, v := range tu {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(v.String())
+		}
+		w.WriteByte('\n')
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d rows of %s\n", t.NumRows(), t.Name())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qpi-datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,175 @@
+// Command qpi-sql is an interactive SQL shell over a generated TPC-H
+// database, with a live query progress indicator driven by the paper's
+// online estimation framework.
+//
+//	qpi-sql -sf 0.05 -skew 2
+//	qpi> SELECT custkey, COUNT(*) c FROM orders GROUP BY custkey LIMIT 5;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qpi"
+)
+
+func main() {
+	var (
+		sf     = flag.Float64("sf", 0.02, "TPC-H scale factor")
+		skew   = flag.Float64("skew", 0, "Zipf skew of foreign keys")
+		seed   = flag.Int64("seed", 42, "random seed")
+		sample = flag.Float64("sample", 0.1, "block-sample fraction for scans")
+		mode   = flag.String("mode", "once", "progress estimator: once, dne, byte")
+		db     = flag.String("db", "", "load a saved database directory instead of generating TPC-H")
+		saveDB = flag.String("save", "", "persist the loaded/generated tables to this directory on startup")
+	)
+	flag.Parse()
+
+	eng := qpi.New()
+	if *db != "" {
+		loaded, err := eng.LoadDatabase(*db)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpi-sql:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d tables from %s\n", len(loaded), *db)
+	} else {
+		fmt.Printf("generating TPC-H data (SF %g, skew %g)...\n", *sf, *skew)
+		eng.MustLoadTPCH(qpi.TPCHConfig{SF: *sf, Seed: *seed, Skew: *skew})
+	}
+	if *saveDB != "" {
+		if err := eng.SaveDatabase(*saveDB); err != nil {
+			fmt.Fprintln(os.Stderr, "qpi-sql:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved database to %s\n", *saveDB)
+	}
+	fmt.Printf("tables: %s\n", strings.Join(eng.Tables(), ", "))
+	fmt.Println(`type a SELECT statement ending with ';', \e <query> for EXPLAIN, \a <query> for EXPLAIN ANALYZE, \q to quit`)
+
+	var m qpi.EstimatorMode
+	switch *mode {
+	case "dne":
+		m = qpi.DNE
+	case "byte":
+		m = qpi.Byte
+	default:
+		m = qpi.Once
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("qpi> ")
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == `\q` || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		if strings.HasPrefix(trimmed, `\e `) {
+			explain(eng, strings.TrimSuffix(strings.TrimPrefix(trimmed, `\e `), ";"), m, *sample)
+			fmt.Print("qpi> ")
+			continue
+		}
+		if strings.HasPrefix(trimmed, `\a `) {
+			analyze(eng, strings.TrimSuffix(strings.TrimPrefix(trimmed, `\a `), ";"), m, *sample)
+			fmt.Print("qpi> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("  -> ")
+			continue
+		}
+		run(eng, buf.String(), m, *sample)
+		buf.Reset()
+		fmt.Print("qpi> ")
+	}
+}
+
+func explain(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64) {
+	q, err := eng.Query(query, qpi.WithMode(m), qpi.WithSampling(sample, 7))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(q.Explain())
+}
+
+// analyze executes the query and prints per-operator actual vs estimated
+// cardinalities with estimate provenance.
+func analyze(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64) {
+	q, err := eng.Query(query, qpi.WithMode(m), qpi.WithSampling(sample, 7))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	start := time.Now()
+	n, err := q.Run(nil, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("-- %d rows in %v\n", n, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("%-60s %12s %12s  %s\n", "operator", "actual", "estimate", "source")
+	for _, e := range q.Estimates() {
+		fmt.Printf("%-60s %12d %12.0f  %s\n",
+			strings.Repeat("  ", e.Depth)+e.Operator, e.Emitted, e.Estimate, e.Source)
+	}
+}
+
+func run(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64) {
+	q, err := eng.Query(query, qpi.WithMode(m), qpi.WithSampling(sample, 7))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Progress bar on stderr; results buffered.
+	done := false
+	n, err := q.Run(func(r qpi.Report) {
+		if done {
+			return
+		}
+		bar := int(40 * r.Progress)
+		fmt.Fprintf(os.Stderr, "\r[%-40s] %5.1f%% ", strings.Repeat("#", bar), 100*r.Progress)
+	}, 50000)
+	done = true
+	fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", 60)+"\r")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_ = n
+	// Re-run materialized for display (plans are single-use); cap rows.
+	q2, err := eng.Query(query, qpi.WithMode(m))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rows, err := q2.Rows()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cols := q2.Columns()
+	fmt.Println(strings.Join(cols, " | "))
+	const maxShow = 20
+	for i, r := range rows {
+		if i >= maxShow {
+			fmt.Printf("... (%d more rows)\n", len(rows)-maxShow)
+			break
+		}
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(rows))
+}

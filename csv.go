@@ -1,0 +1,97 @@
+package qpi
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+)
+
+// LoadCSV reads comma-separated rows into a new table and analyzes it.
+// cols declares the column names and types in file order; when hasHeader
+// is true the first record is skipped (the declared names win). Empty
+// cells load as NULL for numeric columns and as empty strings for string
+// columns.
+func (e *Engine) LoadCSV(name string, r io.Reader, hasHeader bool, cols ...ColumnDef) (int, error) {
+	if len(cols) == 0 {
+		return 0, fmt.Errorf("qpi: LoadCSV %q: column definitions required", name)
+	}
+	dcols := make([]data.Column, len(cols))
+	kinds := make([]data.Kind, len(cols))
+	for i, c := range cols {
+		var k data.Kind
+		switch c.Type {
+		case "int", "bigint", "":
+			k = data.KindInt
+		case "float", "double":
+			k = data.KindFloat
+		case "string", "varchar", "text":
+			k = data.KindString
+		default:
+			return 0, fmt.Errorf("qpi: LoadCSV %q: unknown type %q for column %s", name, c.Type, c.Name)
+		}
+		kinds[i] = k
+		dcols[i] = data.Column{Table: name, Name: c.Name, Kind: k}
+	}
+	t := storage.NewTable(name, data.NewSchema(dcols...))
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(cols)
+	first := true
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("qpi: LoadCSV %q: %w", name, err)
+		}
+		if first && hasHeader {
+			first = false
+			continue
+		}
+		first = false
+		tu := make(data.Tuple, len(cols))
+		for i, cell := range rec {
+			v, err := parseCell(cell, kinds[i])
+			if err != nil {
+				return n, fmt.Errorf("qpi: LoadCSV %q row %d column %s: %w", name, n+1, cols[i].Name, err)
+			}
+			tu[i] = v
+		}
+		if err := t.Append(tu); err != nil {
+			return n, err
+		}
+		n++
+	}
+	e.cat.Register(t)
+	return n, nil
+}
+
+func parseCell(cell string, kind data.Kind) (data.Value, error) {
+	switch kind {
+	case data.KindInt:
+		if cell == "" {
+			return data.Null(), nil
+		}
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return data.Value{}, fmt.Errorf("invalid integer %q", cell)
+		}
+		return data.Int(i), nil
+	case data.KindFloat:
+		if cell == "" {
+			return data.Null(), nil
+		}
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return data.Value{}, fmt.Errorf("invalid float %q", cell)
+		}
+		return data.Float(f), nil
+	default:
+		return data.Str(cell), nil
+	}
+}

@@ -1,0 +1,135 @@
+package qpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVBasics(t *testing.T) {
+	e := New()
+	in := "id,amount,name\n1,2.5,alice\n2,,bob\n3,9.25,\n"
+	n, err := e.LoadCSV("t", strings.NewReader(in), true,
+		ColumnDef{Name: "id", Type: "int"},
+		ColumnDef{Name: "amount", Type: "float"},
+		ColumnDef{Name: "name", Type: "string"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	q := e.MustQuery("SELECT id, amount, name FROM t ORDER BY id")
+	rows, err := q.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][1].(float64) != 2.5 || rows[0][2].(string) != "alice" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][1] != nil { // empty numeric cell → NULL
+		t.Errorf("row 1 amount = %v, want nil", rows[1][1])
+	}
+	if rows[2][2].(string) != "" {
+		t.Errorf("row 2 name = %v, want empty string", rows[2][2])
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	e := New()
+	n, err := e.LoadCSV("t", strings.NewReader("5\n6\n"), false,
+		ColumnDef{Name: "k", Type: "int"})
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	e := New()
+	if _, err := e.LoadCSV("t", strings.NewReader("1\n"), false); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("abc\n"), false,
+		ColumnDef{Name: "k", Type: "int"}); err == nil {
+		t.Error("bad integer accepted")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("x\n"), false,
+		ColumnDef{Name: "k", Type: "float"}); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("1,2\n"), false,
+		ColumnDef{Name: "k", Type: "int"}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("1\n"), false,
+		ColumnDef{Name: "k", Type: "blob"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestLoadCSVJoinsWithGeneratedData(t *testing.T) {
+	e := New()
+	e.MustCreateSkewedTable("s", 100, 1, SkewedColumn{Name: "k", Domain: 10, Zipf: 0})
+	if _, err := e.LoadCSV("c", strings.NewReader("1\n2\n3\n"), false,
+		ColumnDef{Name: "k", Type: "int"}); err != nil {
+		t.Fatal(err)
+	}
+	q := e.MustQuery("SELECT s.k FROM s JOIN c ON s.k = c.k")
+	n, err := q.Run(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("join of CSV and generated data empty")
+	}
+}
+
+func TestSaveAndLoadTableFile(t *testing.T) {
+	e := New()
+	e.MustCreateSkewedTable("t", 500, 1, SkewedColumn{Name: "k", Domain: 40, Zipf: 1})
+	path := t.TempDir() + "/t.qpit"
+	if err := e.SaveTable("t", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveTable("missing", path); err == nil {
+		t.Error("saving missing table should fail")
+	}
+
+	e2 := New()
+	n, err := e2.LoadTableFile(path, "u")
+	if err != nil || n != 500 {
+		t.Fatalf("LoadTableFile = %d, %v", n, err)
+	}
+	rows, err := e2.MustQuery("SELECT COUNT(*) c FROM u").Rows()
+	if err != nil || rows[0][0].(int64) != 500 {
+		t.Fatalf("count = %v, %v", rows, err)
+	}
+	if _, err := e2.LoadTableFile(t.TempDir()+"/nope", ""); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestSaveAndLoadDatabase(t *testing.T) {
+	e := New()
+	e.MustCreateSkewedTable("aa", 100, 1, SkewedColumn{Name: "k", Domain: 10, Zipf: 0})
+	e.MustCreateSkewedTable("bb", 200, 2, SkewedColumn{Name: "k", Domain: 10, Zipf: 0})
+	dir := t.TempDir()
+	if err := e.SaveDatabase(dir); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New()
+	loaded, err := e2.LoadDatabase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || loaded[0] != "aa" || loaded[1] != "bb" {
+		t.Fatalf("loaded = %v", loaded)
+	}
+	n, err := e2.MustQuery("SELECT aa.k FROM aa JOIN bb ON aa.k = bb.k").Run(nil, 0)
+	if err != nil || n == 0 {
+		t.Fatalf("join over reloaded db: %d, %v", n, err)
+	}
+	if _, err := e2.LoadDatabase(dir + "/missing"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package qpi
+
+import (
+	"qpi/internal/progress"
+)
+
+// Dashboard tracks the progress of several queries at once (the
+// multi-query extension of Luo et al. [19] the paper cites): register
+// each compiled query under a label and poll Snapshot/Overall while they
+// execute.
+type Dashboard struct {
+	reg *progress.Registry
+}
+
+// NewDashboard creates an empty dashboard.
+func NewDashboard() *Dashboard {
+	return &Dashboard{reg: progress.NewRegistry()}
+}
+
+// Register adds a query under a unique label.
+func (d *Dashboard) Register(label string, q *Query) error {
+	return d.reg.Register(label, q.monitor)
+}
+
+// Unregister removes a query.
+func (d *Dashboard) Unregister(label string) { d.reg.Unregister(label) }
+
+// QueryStatus is one query's row in a dashboard snapshot.
+type QueryStatus struct {
+	Label    string
+	Progress float64
+	C, T     float64
+	Done     bool
+}
+
+// Snapshot reports every registered query's progress, in registration
+// order.
+func (d *Dashboard) Snapshot() []QueryStatus {
+	snap := d.reg.Snapshot()
+	out := make([]QueryStatus, len(snap))
+	for i, s := range snap {
+		out[i] = QueryStatus{Label: s.Label, Progress: s.Progress, C: s.C, T: s.T, Done: s.Done}
+	}
+	return out
+}
+
+// Overall aggregates all queries under the gnm model: total work done
+// over total expected, across the workload.
+func (d *Dashboard) Overall() float64 { return d.reg.OverallProgress() }
+
+// String renders a dashboard-style table, sorted by progress.
+func (d *Dashboard) String() string { return d.reg.String() }

@@ -1,0 +1,80 @@
+package qpi_test
+
+import (
+	"fmt"
+	"strings"
+
+	"qpi"
+)
+
+// ExampleEngine_Query runs SQL over generated data.
+func ExampleEngine_Query() {
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("t", 1000, 7,
+		qpi.SkewedColumn{Name: "k", Domain: 5, Zipf: 0, PermSeed: 1})
+	q := eng.MustQuery("SELECT k, COUNT(*) c FROM t GROUP BY k ORDER BY k LIMIT 3")
+	rows, err := q.Rows()
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r[0], r[1].(int64) > 0)
+	}
+	// Output:
+	// 1 true
+	// 2 true
+	// 3 true
+}
+
+// ExampleQuery_Run shows the converged online estimate of a join.
+func ExampleQuery_Run() {
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("r", 5000, 1,
+		qpi.SkewedColumn{Name: "k", Domain: 100, Zipf: 1, PermSeed: 11})
+	eng.MustCreateSkewedTable("s", 5000, 2,
+		qpi.SkewedColumn{Name: "k", Domain: 100, Zipf: 1, PermSeed: 22})
+	q := eng.MustQuery("SELECT * FROM r JOIN s ON r.k = s.k")
+	n, err := q.Run(nil, 0)
+	if err != nil {
+		panic(err)
+	}
+	est, src := q.EstimateOf()
+	fmt.Println(int64(est) == n, src)
+	// Output:
+	// true once-exact
+}
+
+// ExampleEngine_LoadCSV ingests CSV and queries it.
+func ExampleEngine_LoadCSV() {
+	eng := qpi.New()
+	csv := "1,alice\n2,bob\n3,carol\n"
+	n, err := eng.LoadCSV("people", strings.NewReader(csv), false,
+		qpi.ColumnDef{Name: "id", Type: "int"},
+		qpi.ColumnDef{Name: "name", Type: "string"},
+	)
+	if err != nil {
+		panic(err)
+	}
+	rows, err := eng.MustQuery("SELECT id, name FROM people WHERE id >= 2 ORDER BY id").Rows()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n, rows[0][1], rows[1][1])
+	// Output:
+	// 3 bob carol
+}
+
+// ExampleQuery_ProgressInterval shows confidence bounds on progress.
+func ExampleQuery_ProgressInterval() {
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("r", 2000, 1,
+		qpi.SkewedColumn{Name: "k", Domain: 50, Zipf: 0, PermSeed: 1})
+	q := eng.MustQuery("SELECT k, COUNT(*) c FROM r GROUP BY k")
+	if _, err := q.Run(nil, 0); err != nil {
+		panic(err)
+	}
+	lo, hi := q.ProgressInterval(0.95)
+	fmt.Printf("%.0f%% - %.0f%%\n", 100*lo, 100*hi)
+	// Output:
+	// 100% - 100%
+}

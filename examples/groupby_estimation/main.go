@@ -1,0 +1,53 @@
+// GROUP BY cardinality estimation: how the framework estimates the number
+// of groups online, and how the γ² chooser switches between the GEE and
+// MLE estimators with the skew of the data (the paper's §4.2 / Table 1).
+package main
+
+import (
+	"fmt"
+
+	"qpi"
+)
+
+func runGroupBy(z float64) {
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("t", 200000, int64(z*10+1),
+		qpi.SkewedColumn{Name: "g", Domain: 20000, Zipf: z, PermSeed: 5})
+
+	agg := qpi.MustGroupBy(eng.MustScan("t"), []qpi.Ref{qpi.Col("t", "g")},
+		qpi.Agg{Func: qpi.CountStar, As: "cnt"})
+	q := eng.MustCompile(agg)
+
+	fmt.Printf("Zipf z=%g over 20000 possible groups:\n", z)
+	var lastSource string
+	_, err := q.Run(func(rep qpi.Report) {
+		for _, e := range q.Estimates() {
+			if e.Depth == 0 { // the aggregation
+				if e.Source != lastSource && e.Source != "optimizer" {
+					fmt.Printf("  chooser selected %q\n", e.Source)
+					lastSource = e.Source
+				}
+			}
+		}
+	}, 20000)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range q.Estimates() {
+		if e.Depth == 0 {
+			fmt.Printf("  true groups %d, final estimate %.0f (source %q)\n\n",
+				e.Emitted, e.Estimate, e.Source)
+		}
+	}
+}
+
+func main() {
+	fmt.Println("Low-skew data has many similar-frequency groups: the γ² measure")
+	fmt.Println("stays below τ=10 and the chooser runs the MLE estimator. High skew")
+	fmt.Println("drives γ² up and selects GEE. Either way the estimate converges to")
+	fmt.Println("the exact group count when the input has been read.")
+	fmt.Println()
+	for _, z := range []float64{0, 1, 2} {
+		runGroupBy(z)
+	}
+}

@@ -1,0 +1,47 @@
+// Multi-query progress: a workload dashboard over several queries (the
+// multi-query direction of the paper's citation [19]). Queries run one
+// after another here (the engine is single-threaded per query), but the
+// dashboard semantics are exactly what a DBA console would poll.
+package main
+
+import (
+	"fmt"
+
+	"qpi"
+)
+
+func main() {
+	eng := qpi.New()
+	eng.MustLoadTPCH(qpi.TPCHConfig{SF: 0.02, Seed: 1, Skew: 1})
+
+	queries := map[string]string{
+		"orders-per-customer": "SELECT custkey, COUNT(*) c FROM orders GROUP BY custkey",
+		"big-join":            "SELECT o.orderkey FROM orders o JOIN lineitem l ON l.orderkey = o.orderkey",
+		"suppliers-by-nation": "SELECT nationkey, COUNT(*) c FROM supplier GROUP BY nationkey HAVING COUNT(*) > 1",
+	}
+
+	dash := qpi.NewDashboard()
+	compiled := map[string]*qpi.Query{}
+	for label, sqlText := range queries {
+		q := eng.MustQuery(sqlText)
+		compiled[label] = q
+		if err := dash.Register(label, q); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Println("initial dashboard:")
+	fmt.Println(dash.String())
+
+	for label, q := range compiled {
+		n, err := q.Run(nil, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("finished %q (%d rows); workload overall %.0f%%\n",
+			label, n, 100*dash.Overall())
+	}
+
+	fmt.Println("\nfinal dashboard:")
+	fmt.Println(dash.String())
+}

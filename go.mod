@@ -1,0 +1,3 @@
+module qpi
+
+go 1.22

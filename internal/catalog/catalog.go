@@ -1,0 +1,174 @@
+// Package catalog maintains the registered tables and the base-table
+// statistics the naive optimizer uses for its initial cardinality
+// estimates (paper §3: "Our framework does not require, but can make use
+// of base table statistics ... We also assume knowledge of the size of
+// base tables, which is usually available in the system catalogs").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+)
+
+// ColumnStats summarizes one column for optimizer estimation.
+type ColumnStats struct {
+	Distinct int64      // number of distinct non-null values
+	Min, Max data.Value // value range (meaningful for int/float columns)
+	NullFrac float64    // fraction of NULLs
+	// MCVs are the most common values with their frequencies (fraction of
+	// rows), like PostgreSQL's pg_stats, truncated to a small budget.
+	MCVs []MCV
+}
+
+// MCV is one most-common-value entry.
+type MCV struct {
+	Value data.Value
+	Frac  float64
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Rows    int64
+	Columns map[string]*ColumnStats // keyed by column name
+}
+
+// Entry is one catalog entry: the stored table plus its statistics.
+type Entry struct {
+	Table *storage.Table
+	Stats *TableStats
+}
+
+// Catalog maps table names to entries.
+type Catalog struct {
+	entries map[string]*Entry
+}
+
+// New creates an empty catalog.
+func New() *Catalog { return &Catalog{entries: map[string]*Entry{}} }
+
+// Register adds a table and computes its statistics (a full ANALYZE; data
+// generation is the only writer so statistics never go stale).
+func (c *Catalog) Register(t *storage.Table) *Entry {
+	e := &Entry{Table: t, Stats: Analyze(t)}
+	c.entries[t.Name()] = e
+	return e
+}
+
+// RegisterWithoutStats adds a table with row count only (distinct counts
+// unknown), modelling a table that was never ANALYZEd.
+func (c *Catalog) RegisterWithoutStats(t *storage.Table) *Entry {
+	e := &Entry{Table: t, Stats: &TableStats{
+		Rows:    int64(t.NumRows()),
+		Columns: map[string]*ColumnStats{},
+	}}
+	c.entries[t.Name()] = e
+	return e
+}
+
+// Lookup returns the entry for name.
+func (c *Catalog) Lookup(name string) (*Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q not found", name)
+	}
+	return e, nil
+}
+
+// MustLookup is Lookup, panicking when the table is missing.
+func (c *Catalog) MustLookup(name string) *Entry {
+	e, err := c.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mcvBudget bounds the most-common-value list per column.
+const mcvBudget = 16
+
+// Analyze scans a table and computes per-column statistics.
+func Analyze(t *storage.Table) *TableStats {
+	st := &TableStats{
+		Rows:    int64(t.NumRows()),
+		Columns: map[string]*ColumnStats{},
+	}
+	n := t.Schema().Len()
+	counts := make([]map[data.Value]int64, n)
+	nulls := make([]int64, n)
+	mins := make([]data.Value, n)
+	maxs := make([]data.Value, n)
+	for i := range counts {
+		counts[i] = map[data.Value]int64{}
+	}
+	it := t.SequentialOrder()
+	for tu := it.Next(); tu != nil; tu = it.Next() {
+		for i, v := range tu {
+			if v.IsNull() {
+				nulls[i]++
+				continue
+			}
+			counts[i][v]++
+			if mins[i].IsNull() || data.Compare(v, mins[i]) < 0 {
+				mins[i] = v
+			}
+			if maxs[i].IsNull() || data.Compare(v, maxs[i]) > 0 {
+				maxs[i] = v
+			}
+		}
+	}
+	for i, col := range t.Schema().Cols {
+		cs := &ColumnStats{
+			Distinct: int64(len(counts[i])),
+			Min:      mins[i],
+			Max:      maxs[i],
+		}
+		if st.Rows > 0 {
+			cs.NullFrac = float64(nulls[i]) / float64(st.Rows)
+		}
+		cs.MCVs = topMCVs(counts[i], st.Rows)
+		st.Columns[col.Name] = cs
+	}
+	return st
+}
+
+func topMCVs(counts map[data.Value]int64, rows int64) []MCV {
+	if rows == 0 || len(counts) == 0 {
+		return nil
+	}
+	all := make([]MCV, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, MCV{Value: v, Frac: float64(c) / float64(rows)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Frac != all[j].Frac {
+			return all[i].Frac > all[j].Frac
+		}
+		return data.Compare(all[i].Value, all[j].Value) < 0
+	})
+	if len(all) > mcvBudget {
+		all = all[:mcvBudget]
+	}
+	return all
+}
+
+// DistinctOrDefault returns the distinct count for a column, or def when
+// statistics are missing.
+func (s *TableStats) DistinctOrDefault(col string, def int64) int64 {
+	if cs, ok := s.Columns[col]; ok && cs.Distinct > 0 {
+		return cs.Distinct
+	}
+	return def
+}

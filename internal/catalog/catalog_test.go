@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+)
+
+func makeTable(name string, vals []int64) *storage.Table {
+	s := data.NewSchema(data.Column{Table: name, Name: "k", Kind: data.KindInt})
+	t := storage.NewTable(name, s)
+	for _, v := range vals {
+		t.MustAppend(data.Tuple{data.Int(v)})
+	}
+	return t
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	c.Register(makeTable("a", []int64{1, 2, 3}))
+	c.Register(makeTable("b", []int64{1}))
+	e, err := c.Lookup("a")
+	if err != nil || e.Stats.Rows != 3 {
+		t.Fatalf("Lookup(a) = %v, %v", e, err)
+	}
+	if _, err := c.Lookup("zzz"); err == nil {
+		t.Error("Lookup of missing table should fail")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup did not panic")
+		}
+	}()
+	New().MustLookup("nope")
+}
+
+func TestAnalyzeDistinctMinMax(t *testing.T) {
+	tb := makeTable("t", []int64{5, 1, 5, 9, 1, 5})
+	st := Analyze(tb)
+	cs := st.Columns["k"]
+	if cs.Distinct != 3 {
+		t.Errorf("Distinct = %d, want 3", cs.Distinct)
+	}
+	if cs.Min.I != 1 || cs.Max.I != 9 {
+		t.Errorf("Min/Max = %v/%v", cs.Min, cs.Max)
+	}
+	if cs.NullFrac != 0 {
+		t.Errorf("NullFrac = %g", cs.NullFrac)
+	}
+}
+
+func TestAnalyzeNulls(t *testing.T) {
+	s := data.NewSchema(data.Column{Table: "t", Name: "k", Kind: data.KindInt})
+	tb := storage.NewTable("t", s)
+	tb.MustAppend(data.Tuple{data.Null()})
+	tb.MustAppend(data.Tuple{data.Int(4)})
+	tb.MustAppend(data.Tuple{data.Null()})
+	tb.MustAppend(data.Tuple{data.Int(4)})
+	st := Analyze(tb)
+	cs := st.Columns["k"]
+	if cs.NullFrac != 0.5 {
+		t.Errorf("NullFrac = %g, want 0.5", cs.NullFrac)
+	}
+	if cs.Distinct != 1 {
+		t.Errorf("Distinct = %d, want 1", cs.Distinct)
+	}
+}
+
+func TestMCVsOrderedAndBounded(t *testing.T) {
+	var vals []int64
+	for v := int64(1); v <= 30; v++ { // value v appears v times
+		for i := int64(0); i < v; i++ {
+			vals = append(vals, v)
+		}
+	}
+	st := Analyze(makeTable("t", vals))
+	mcvs := st.Columns["k"].MCVs
+	if len(mcvs) != 16 {
+		t.Fatalf("len(MCVs) = %d, want 16", len(mcvs))
+	}
+	if mcvs[0].Value.I != 30 {
+		t.Errorf("top MCV = %v, want 30", mcvs[0].Value)
+	}
+	for i := 1; i < len(mcvs); i++ {
+		if mcvs[i].Frac > mcvs[i-1].Frac {
+			t.Fatalf("MCVs not sorted at %d", i)
+		}
+	}
+}
+
+func TestRegisterWithoutStats(t *testing.T) {
+	c := New()
+	e := c.RegisterWithoutStats(makeTable("t", []int64{1, 2}))
+	if e.Stats.Rows != 2 {
+		t.Errorf("Rows = %d", e.Stats.Rows)
+	}
+	if got := e.Stats.DistinctOrDefault("k", 99); got != 99 {
+		t.Errorf("DistinctOrDefault = %d, want default 99", got)
+	}
+}
+
+func TestDistinctOrDefaultWithStats(t *testing.T) {
+	st := Analyze(makeTable("t", []int64{1, 2, 2}))
+	if got := st.DistinctOrDefault("k", 99); got != 2 {
+		t.Errorf("DistinctOrDefault = %d, want 2", got)
+	}
+	if got := st.DistinctOrDefault("missing", 7); got != 7 {
+		t.Errorf("DistinctOrDefault(missing) = %d, want 7", got)
+	}
+}
+
+func TestAnalyzeEmptyTable(t *testing.T) {
+	st := Analyze(makeTable("t", nil))
+	if st.Rows != 0 {
+		t.Errorf("Rows = %d", st.Rows)
+	}
+	cs := st.Columns["k"]
+	if cs.Distinct != 0 || len(cs.MCVs) != 0 {
+		t.Errorf("empty table stats = %+v", cs)
+	}
+}

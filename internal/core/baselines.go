@@ -1,0 +1,113 @@
+package core
+
+import (
+	"qpi/internal/exec"
+)
+
+// This file implements the two baseline estimators the paper compares
+// against (§2, §5.1.2):
+//
+//   - dne, the driver-node estimator of Chaudhuri et al. [9]: as soon as
+//     the pipeline starts it discards the optimizer estimate and
+//     extrapolates the operator's observed output linearly in the driver
+//     node's progress: E = K / f.
+//   - byte, the estimator of Luo et al. [18]: a weighted average of the
+//     optimizer estimate and the same extrapolation, with the weight
+//     shifting toward the observation as the driver progresses:
+//     E = (1-f)·E_opt + f·(K/f) = (1-f)·E_opt + K.
+//
+// Both observe the operator's *output*, which for hash joins and
+// sort-merge joins is produced only after partitioning/sorting has
+// clustered the input — the reordering that makes them fluctuate on
+// skewed data while the once estimator (which observes the pre-partition
+// probe pass) has already converged.
+
+// DriverFraction returns the progress fraction f of the driver feeding
+// op's output-producing phase:
+//
+//   - hash join: fraction of the probe input consumed by the join pass;
+//   - merge join: fraction of the sorted inputs consumed by the merge;
+//   - nested loops: outer input progress;
+//   - scans: fraction of the table read;
+//   - filters/projections/limits/sorts/aggregations: their input's
+//     driver fraction (fully blocking inputs report 1 once ready).
+func DriverFraction(op exec.Operator) float64 {
+	switch o := op.(type) {
+	case *exec.Scan:
+		return o.Fraction()
+	case *exec.HashJoin:
+		return o.JoinedProbeFraction()
+	case *exec.MergeJoin:
+		return o.Progress()
+	case *exec.NestedLoopsJoin:
+		return DriverFraction(o.Outer())
+	case *exec.Filter, *exec.Project, *exec.Limit:
+		return DriverFraction(op.Children()[0])
+	case *exec.Sort:
+		// During the input pass the sort has emitted nothing; once
+		// sorted, progress is its own emission fraction.
+		st := op.Stats()
+		if st.Done {
+			return 1
+		}
+		if st.EstTotal > 0 {
+			return float64(st.Emitted) / st.EstTotal
+		}
+		return 0
+	case *exec.HashAgg, *exec.SortAgg:
+		st := op.Stats()
+		if st.Done {
+			return 1
+		}
+		if st.EstTotal > 0 {
+			return float64(st.Emitted) / st.EstTotal
+		}
+		return 0
+	default:
+		if cs := op.Children(); len(cs) > 0 {
+			return DriverFraction(cs[0])
+		}
+		// Generic leaf (e.g. a disk scan): progress is emission over the
+		// known input size.
+		if st := op.Stats(); st.InputTotal > 0 {
+			return float64(st.Emitted) / float64(st.InputTotal)
+		}
+		return 0
+	}
+}
+
+// DNEEstimate returns the driver-node estimate of op's total output
+// cardinality at this instant: K/f once the pipeline has started, the
+// optimizer estimate before, the exact count when done.
+func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
+	st := op.Stats()
+	if st.Done {
+		return float64(st.Emitted)
+	}
+	f := DriverFraction(op)
+	if f <= 0 {
+		return optimizerEst
+	}
+	if f > 1 {
+		f = 1
+	}
+	return float64(st.Emitted) / f
+}
+
+// ByteEstimate returns Luo et al.'s weighted-average estimate of op's
+// total output cardinality: (1-f)·E_opt + K (per-byte work collapses to
+// per-tuple counts under our fixed-width tuples).
+func ByteEstimate(op exec.Operator, optimizerEst float64) float64 {
+	st := op.Stats()
+	if st.Done {
+		return float64(st.Emitted)
+	}
+	f := DriverFraction(op)
+	if f <= 0 {
+		return optimizerEst
+	}
+	if f > 1 {
+		f = 1
+	}
+	return (1-f)*optimizerEst + float64(st.Emitted)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+
+	"qpi/internal/data"
+)
+
+// Histogram is the frequency-count contract the estimators need. The
+// exact FreqHistogram is the paper's default; BucketHistogram is the
+// approximate variant §6 proposes as future work ("deploy approximations
+// of the histograms we construct ... the classic accuracy performance
+// trade-off can be explored via approximation").
+type Histogram interface {
+	// Add counts one observation of v (NULLs ignored).
+	Add(v data.Value)
+	// AddN counts w observations of v.
+	AddN(v data.Value, w int64)
+	// Count returns the (possibly approximate) frequency of v.
+	Count(v data.Value) int64
+	// Total returns the sum of all counts.
+	Total() int64
+	// MemoryUsed returns the live payload bytes (Table 2 accounting).
+	MemoryUsed() int64
+}
+
+var (
+	_ Histogram = (*FreqHistogram)(nil)
+	_ Histogram = (*BucketHistogram)(nil)
+)
+
+// BucketHistogram approximates a frequency histogram with a fixed number
+// of hash buckets: values colliding into a bucket share one counter, so
+// Count can only overestimate (never underestimate) the true frequency.
+// Memory is O(buckets) regardless of the number of distinct values —
+// trading the once estimator's exactness-at-convergence for a bounded
+// footprint.
+type BucketHistogram struct {
+	buckets []int64
+	total   int64
+}
+
+// NewBucketHistogram creates an approximate histogram with n buckets
+// (minimum 1).
+func NewBucketHistogram(n int) *BucketHistogram {
+	if n < 1 {
+		n = 1
+	}
+	return &BucketHistogram{buckets: make([]int64, n)}
+}
+
+// Add implements Histogram.
+func (h *BucketHistogram) Add(v data.Value) { h.AddN(v, 1) }
+
+// AddN implements Histogram.
+func (h *BucketHistogram) AddN(v data.Value, w int64) {
+	if v.IsNull() || w == 0 {
+		return
+	}
+	h.buckets[h.slot(v)] += w
+	h.total += w
+}
+
+// Count implements Histogram. The result upper-bounds the true frequency.
+func (h *BucketHistogram) Count(v data.Value) int64 {
+	if v.IsNull() {
+		return 0
+	}
+	return h.buckets[h.slot(v)]
+}
+
+// Total implements Histogram.
+func (h *BucketHistogram) Total() int64 { return h.total }
+
+// Buckets returns the bucket count.
+func (h *BucketHistogram) Buckets() int { return len(h.buckets) }
+
+// MemoryUsed implements Histogram: 8 bytes per bucket.
+func (h *BucketHistogram) MemoryUsed() int64 { return int64(len(h.buckets)) * 8 }
+
+func (h *BucketHistogram) slot(v data.Value) int {
+	return int(hashHistValue(v) % uint64(len(h.buckets)))
+}
+
+// hashHistValue hashes a value for bucket placement (independent of the
+// join partitioning hash so bucket collisions do not correlate with
+// partitions).
+func hashHistValue(v data.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.Kind {
+	case data.KindInt:
+		mix(1)
+		x := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(x >> (8 * i)))
+		}
+	case data.KindFloat:
+		mix(2)
+		x := math.Float64bits(v.F)
+		for i := 0; i < 8; i++ {
+			mix(byte(x >> (8 * i)))
+		}
+	case data.KindString:
+		mix(3)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}
+
+// HistogramFactory creates the histograms the pipeline estimators use.
+type HistogramFactory func() Histogram
+
+// ExactHistograms is the default factory (the paper's exact counts).
+func ExactHistograms() Histogram { return NewFreqHistogram() }
+
+// ApproximateHistograms returns a factory of n-bucket approximate
+// histograms.
+func ApproximateHistograms(n int) HistogramFactory {
+	return func() Histogram { return NewBucketHistogram(n) }
+}

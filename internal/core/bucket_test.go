@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpi/internal/data"
+	"qpi/internal/exec"
+)
+
+func TestBucketHistogramOverestimatesOnly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		exact := NewFreqHistogram()
+		approx := NewBucketHistogram(16)
+		for i := 0; i < 500; i++ {
+			v := data.Int(int64(rng.Intn(200)))
+			exact.Add(v)
+			approx.Add(v)
+		}
+		for v := int64(0); v < 200; v++ {
+			if approx.Count(data.Int(v)) < exact.Count(data.Int(v)) {
+				return false
+			}
+		}
+		return approx.Total() == exact.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketHistogramExactWhenBucketsExceedDomain(t *testing.T) {
+	// With many buckets and few distinct values, collisions are unlikely
+	// but not impossible; check total and the no-collision case via a
+	// single value.
+	h := NewBucketHistogram(1024)
+	for i := 0; i < 100; i++ {
+		h.Add(data.Int(7))
+	}
+	if h.Count(data.Int(7)) != 100 {
+		t.Errorf("count = %d", h.Count(data.Int(7)))
+	}
+}
+
+func TestBucketHistogramMemoryBounded(t *testing.T) {
+	h := NewBucketHistogram(64)
+	for i := int64(0); i < 100000; i++ {
+		h.Add(data.Int(i))
+	}
+	if h.MemoryUsed() != 64*8 {
+		t.Errorf("memory = %d, want %d", h.MemoryUsed(), 64*8)
+	}
+	if h.Buckets() != 64 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+	exact := NewFreqHistogram()
+	for i := int64(0); i < 100000; i++ {
+		exact.Add(data.Int(i))
+	}
+	if h.MemoryUsed() >= exact.MemoryUsed() {
+		t.Error("approximate histogram should be much smaller")
+	}
+}
+
+func TestBucketHistogramIgnoresNulls(t *testing.T) {
+	h := NewBucketHistogram(8)
+	h.Add(data.Null())
+	h.AddN(data.Int(1), 0)
+	if h.Total() != 0 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(data.Null()) != 0 {
+		t.Error("null count should be 0")
+	}
+	if NewBucketHistogram(0).Buckets() != 1 {
+		t.Error("bucket floor not applied")
+	}
+}
+
+func TestApproximatePipelineUpperBounds(t *testing.T) {
+	// With approximate histograms the converged estimate upper-bounds the
+	// true join size and approaches it as buckets increase.
+	rng := rand.New(rand.NewSource(60))
+	bVals := randCol(rng, 2000, 500)
+	pVals := randCol(rng, 3000, 500)
+	truth := func() int64 {
+		counts := map[int64]int64{}
+		for _, v := range bVals {
+			counts[v]++
+		}
+		var n int64
+		for _, v := range pVals {
+			n += counts[v]
+		}
+		return n
+	}()
+
+	est := func(buckets int) float64 {
+		b := table("b", []string{"k"}, bVals)
+		p := table("p", []string{"k"}, pVals)
+		j := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(p, ""), "b", "k", "p", "k")
+		att := AttachWith(j, AttachOptions{Histograms: ApproximateHistograms(buckets)})
+		if _, err := exec.Run(j); err != nil {
+			t.Fatal(err)
+		}
+		return att.ChainOf[j].Estimate(0)
+	}
+	small := est(16)
+	large := est(4096)
+	if small < float64(truth) {
+		t.Errorf("16-bucket estimate %g below truth %d", small, truth)
+	}
+	if large < float64(truth) {
+		t.Errorf("4096-bucket estimate %g below truth %d", large, truth)
+	}
+	if math.Abs(large-float64(truth)) > math.Abs(small-float64(truth)) {
+		t.Errorf("more buckets should be at least as accurate: 16→%g, 4096→%g, truth %d",
+			small, large, truth)
+	}
+	// 4096 buckets over 500 distinct values: tiny collision error.
+	if large > 1.2*float64(truth) {
+		t.Errorf("4096-bucket estimate %g too far above truth %d", large, truth)
+	}
+}
+
+func TestSortedOuterNLJoinEstimator(t *testing.T) {
+	// Indexed NL join with a sorted outer input: the estimator converges
+	// to the exact join size during the sort's input pass (§4.1.3 note).
+	rng := rand.New(rand.NewSource(61))
+	outer := table("o", []string{"k"}, randCol(rng, 400, 25))
+	inner := table("i", []string{"k"}, randCol(rng, 300, 25))
+	sorted := exec.NewSort(exec.NewScan(outer, ""), 0)
+	j := exec.NewIndexedNLJoin(sorted, exec.NewScan(inner, ""), 0, 0)
+	att := Attach(j)
+	pe := att.ChainOf[j]
+	if pe == nil {
+		t.Fatal("sorted-outer NL join got no estimator")
+	}
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.Converged() {
+		t.Fatal("estimator did not converge")
+	}
+	if got := pe.Estimate(0); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("estimate %g != true size %d", got, n)
+	}
+}
+
+func TestPlainNLJoinStaysFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	outer := table("o", []string{"k"}, randCol(rng, 50, 5))
+	inner := table("i", []string{"k"}, randCol(rng, 50, 5))
+	j := exec.NewIndexedNLJoin(exec.NewScan(outer, ""), exec.NewScan(inner, ""), 0, 0)
+	att := Attach(j)
+	if att.ChainOf[j] != nil {
+		t.Error("unsorted-outer NL join should not get an estimator")
+	}
+	if len(att.Fallbacks) == 0 {
+		t.Error("NL join should be recorded as fallback")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+)
+
+// DisjunctiveEstimator estimates joins whose condition is a disjunction
+// of column equalities (§4.1: the basic formula "can be easily adjusted
+// for the case of join conditions involving disjunctions ... using
+// standard probabilistic techniques"). For a predicate
+//
+//	outer.a1 = inner.b1 OR ... OR outer.ak = inner.bk
+//
+// inclusion–exclusion over the 2^k−1 non-empty term subsets gives the
+// exact per-outer-tuple match count from composite-key histograms built
+// on the inner input:
+//
+//	count(o) = Σ_{∅≠S⊆[k]} (−1)^{|S|+1} · N_S[key_S(o)]
+//
+// where N_S counts inner tuples by the composite of columns in S. As with
+// the equi-join estimators, the counts are collected during the inner
+// materialization pass and probed during the outer sort's input pass, so
+// the estimate converges before the join emits.
+type DisjunctiveEstimator struct {
+	join exec.Operator
+	k    int
+
+	// subsets[i] is a bitmask over the k terms; hists[i] counts inner
+	// tuples by the composite key of that subset's inner columns.
+	subsets []uint
+	signs   []float64
+	hists   []*FreqHistogram
+	// innerCols/outerCols are the per-term column indexes.
+	innerCols []int
+	outerCols []int
+
+	outerTotal func() float64
+	t          int64
+	sum        float64
+	frozen     bool
+}
+
+// maxDisjuncts bounds the inclusion–exclusion blowup.
+const maxDisjuncts = 4
+
+// NewDisjunctiveEstimator creates an estimator for a k-way disjunction of
+// equalities (k ≤ 4). outerCols/innerCols index the outer and inner
+// schemas respectively, term by term.
+func NewDisjunctiveEstimator(join exec.Operator, outerCols, innerCols []int, outerTotal func() float64) *DisjunctiveEstimator {
+	k := len(outerCols)
+	e := &DisjunctiveEstimator{
+		join:       join,
+		k:          k,
+		innerCols:  innerCols,
+		outerCols:  outerCols,
+		outerTotal: outerTotal,
+	}
+	for s := uint(1); s < (1 << k); s++ {
+		e.subsets = append(e.subsets, s)
+		sign := -1.0
+		if popcount(s)%2 == 1 {
+			sign = 1.0
+		}
+		e.signs = append(e.signs, sign)
+		e.hists = append(e.hists, NewFreqHistogram())
+	}
+	return e
+}
+
+func popcount(x uint) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// subsetKey builds the composite key of the subset's columns from a tuple
+// (cols selects inner or outer column indexes).
+func (e *DisjunctiveEstimator) subsetKey(t data.Tuple, s uint, cols []int) data.Value {
+	var sel []int
+	for i := 0; i < e.k; i++ {
+		if s&(1<<uint(i)) != 0 {
+			sel = append(sel, cols[i])
+		}
+	}
+	return exec.JoinKeyOf(t, sel)
+}
+
+// ObserveInner records one inner tuple across all subset histograms.
+func (e *DisjunctiveEstimator) ObserveInner(t data.Tuple) {
+	for i, s := range e.subsets {
+		e.hists[i].Add(e.subsetKey(t, s, e.innerCols))
+	}
+}
+
+// ObserveOuter processes one outer tuple during the sort input pass.
+func (e *DisjunctiveEstimator) ObserveOuter(t data.Tuple) {
+	count := 0.0
+	for i, s := range e.subsets {
+		count += e.signs[i] * float64(e.hists[i].Count(e.subsetKey(t, s, e.outerCols)))
+	}
+	e.t++
+	e.sum += count
+	if e.t%64 == 0 {
+		e.publish()
+	}
+}
+
+// MarkConverged freezes the estimator at the end of the outer input.
+func (e *DisjunctiveEstimator) MarkConverged() {
+	e.frozen = true
+	e.publish()
+}
+
+// Converged reports whether the outer input has been fully observed.
+func (e *DisjunctiveEstimator) Converged() bool { return e.frozen }
+
+// Estimate returns the current disjunctive-join size estimate.
+func (e *DisjunctiveEstimator) Estimate() float64 {
+	if e.t == 0 {
+		return e.join.Stats().EstTotal
+	}
+	total := e.outerTotal()
+	if e.frozen {
+		total = float64(e.t)
+	}
+	return total * e.sum / float64(e.t)
+}
+
+func (e *DisjunctiveEstimator) publish() {
+	src := "once"
+	if e.frozen {
+		src = "once-exact"
+	}
+	e.join.Stats().SetEstimate(e.Estimate(), src)
+}
+
+// attachSortedOuterDisjunctNL wires disjunctive estimation for a theta
+// nested-loops join whose predicate is an OR of column equalities between
+// the outer and inner inputs and whose outer input is a Sort.
+func (a *Attachment) attachSortedOuterDisjunctNL(j *exec.NestedLoopsJoin) bool {
+	if j.Indexed || j.Pred == nil {
+		return false
+	}
+	or, ok := j.Pred.(expr.Or)
+	if !ok || len(or.Terms) < 2 || len(or.Terms) > maxDisjuncts {
+		return false
+	}
+	outerSort, ok := j.Outer().(*exec.Sort)
+	if !ok {
+		return false
+	}
+	outerWidth := j.Outer().Schema().Len()
+	var outerCols, innerCols []int
+	for _, term := range or.Terms {
+		cmp, ok := term.(expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			return false
+		}
+		lc, lok := cmp.L.(expr.Col)
+		rc, rok := cmp.R.(expr.Col)
+		if !lok || !rok {
+			return false
+		}
+		switch {
+		case lc.Index < outerWidth && rc.Index >= outerWidth:
+			outerCols = append(outerCols, lc.Index)
+			innerCols = append(innerCols, rc.Index-outerWidth)
+		case rc.Index < outerWidth && lc.Index >= outerWidth:
+			outerCols = append(outerCols, rc.Index)
+			innerCols = append(innerCols, lc.Index-outerWidth)
+		default:
+			return false
+		}
+	}
+	est := NewDisjunctiveEstimator(j, outerCols, innerCols, func() float64 {
+		return StreamSizeEstimate(outerSort.Children()[0])
+	})
+	j.OnInnerTuple = compose(j.OnInnerTuple, est.ObserveInner)
+	outerSort.OnInput = compose(outerSort.OnInput, est.ObserveOuter)
+	outerSort.OnInputEnd = compose0(outerSort.OnInputEnd, est.MarkConverged)
+	a.Disjunct = append(a.Disjunct, est)
+	return true
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+)
+
+// thetaJoinSetup builds Sort(outer) NLJoin inner with predicate
+// outer.k OP inner.k and attaches the framework.
+func thetaJoinSetup(t *testing.T, op expr.CmpOp, flip bool, seed int64) (*exec.NestedLoopsJoin, *Attachment) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	outer := table("o", []string{"k"}, randCol(rng, 150, 30))
+	inner := table("i", []string{"k"}, randCol(rng, 120, 30))
+	sorted := exec.NewSort(exec.NewScan(outer, ""), 0)
+	// Concatenated schema: outer col 0, inner col 1.
+	l, r := expr.Expr(expr.Col{Index: 0}), expr.Expr(expr.Col{Index: 1})
+	if flip {
+		l, r = r, l
+	}
+	j := exec.NewNestedLoopsJoin(sorted, exec.NewScan(inner, ""), expr.Compare(op, l, r))
+	return j, Attach(j)
+}
+
+func TestInequalityEstimatorExactAllOps(t *testing.T) {
+	for i, op := range []expr.CmpOp{expr.LT, expr.LE, expr.GT, expr.GE, expr.EQ, expr.NE} {
+		j, att := thetaJoinSetup(t, op, false, int64(100+i))
+		if len(att.Ineq) != 1 {
+			t.Fatalf("op %v: no inequality estimator attached", op)
+		}
+		n, err := exec.Run(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := att.Ineq[0]
+		if !est.Converged() {
+			t.Fatalf("op %v: not converged", op)
+		}
+		if got := est.Estimate(); math.Abs(got-float64(n)) > 1e-6 {
+			t.Errorf("op %v: estimate %g != true size %d", op, got, n)
+		}
+		if j.Stats().EstSource != "once-exact" {
+			t.Errorf("op %v: source %q", op, j.Stats().EstSource)
+		}
+	}
+}
+
+func TestInequalityEstimatorFlippedOperands(t *testing.T) {
+	// Predicate written as inner.k < outer.k: the attacher must flip the
+	// comparison.
+	j, att := thetaJoinSetup(t, expr.LT, true, 200)
+	if len(att.Ineq) != 1 {
+		t.Fatal("no estimator for flipped predicate")
+	}
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := att.Ineq[0].Estimate(); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("flipped estimate %g != %d", got, n)
+	}
+}
+
+func TestInequalityEstimatorUnbiasedMidway(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	inner := randCol(rng, 500, 100)
+	outer := randCol(rng, 2000, 100)
+	truth := 0.0
+	for _, o := range outer {
+		for _, i := range inner {
+			if o > i {
+				truth++
+			}
+		}
+	}
+	sum := 0.0
+	const reps = 20
+	for r := 0; r < reps; r++ {
+		e := NewInequalityEstimator(dummyJoin(), expr.GT, func() float64 { return 2000 })
+		for _, v := range inner {
+			e.ObserveInner(data.Int(v))
+		}
+		perm := rng.Perm(len(outer))
+		for i := 0; i < 200; i++ {
+			e.ObserveOuter(data.Int(outer[perm[i]]))
+		}
+		sum += e.Estimate()
+	}
+	avg := sum / reps
+	if math.Abs(avg-truth)/truth > 0.05 {
+		t.Errorf("mean early estimate %g vs truth %g", avg, truth)
+	}
+}
+
+func TestThetaJoinWithoutSortStaysFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	outer := table("o", []string{"k"}, randCol(rng, 50, 10))
+	inner := table("i", []string{"k"}, randCol(rng, 50, 10))
+	j := exec.NewNestedLoopsJoin(exec.NewScan(outer, ""), exec.NewScan(inner, ""),
+		expr.Compare(expr.LT, expr.Col{Index: 0}, expr.Col{Index: 1}))
+	att := Attach(j)
+	if len(att.Ineq) != 0 {
+		t.Error("unsorted theta join should not get an inequality estimator")
+	}
+	if len(att.Fallbacks) == 0 {
+		t.Error("should be recorded as dne fallback")
+	}
+}
+
+func TestDisjunctiveEstimatorExact(t *testing.T) {
+	// outer.x = inner.x OR outer.y = inner.y: exact via
+	// inclusion–exclusion (N_x + N_y − N_xy).
+	rng := rand.New(rand.NewSource(500))
+	outer := table("o", []string{"x", "y"}, randCol(rng, 140, 10), randCol(rng, 140, 8))
+	inner := table("i", []string{"x", "y"}, randCol(rng, 120, 10), randCol(rng, 120, 8))
+	sorted := exec.NewSort(exec.NewScan(outer, ""), 0)
+	// Concatenated schema: outer x,y = 0,1; inner x,y = 2,3.
+	pred := expr.OrOf(
+		expr.Compare(expr.EQ, expr.Col{Index: 0}, expr.Col{Index: 2}),
+		expr.Compare(expr.EQ, expr.Col{Index: 1}, expr.Col{Index: 3}),
+	)
+	j := exec.NewNestedLoopsJoin(sorted, exec.NewScan(inner, ""), pred)
+	att := Attach(j)
+	if len(att.Disjunct) != 1 {
+		t.Fatal("no disjunctive estimator attached")
+	}
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := att.Disjunct[0]
+	if !est.Converged() {
+		t.Fatal("not converged")
+	}
+	if got := est.Estimate(); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("disjunctive estimate %g != true size %d", got, n)
+	}
+	if j.Stats().EstSource != "once-exact" {
+		t.Errorf("source = %q", j.Stats().EstSource)
+	}
+}
+
+func TestDisjunctiveThreeTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	outer := table("o", []string{"a", "b", "c"},
+		randCol(rng, 90, 6), randCol(rng, 90, 7), randCol(rng, 90, 5))
+	inner := table("i", []string{"a", "b", "c"},
+		randCol(rng, 80, 6), randCol(rng, 80, 7), randCol(rng, 80, 5))
+	sorted := exec.NewSort(exec.NewScan(outer, ""), 0)
+	pred := expr.OrOf(
+		expr.Compare(expr.EQ, expr.Col{Index: 0}, expr.Col{Index: 3}),
+		expr.Compare(expr.EQ, expr.Col{Index: 1}, expr.Col{Index: 4}),
+		expr.Compare(expr.EQ, expr.Col{Index: 2}, expr.Col{Index: 5}),
+	)
+	j := exec.NewNestedLoopsJoin(sorted, exec.NewScan(inner, ""), pred)
+	att := Attach(j)
+	if len(att.Disjunct) != 1 {
+		t.Fatal("no estimator for 3-term disjunction")
+	}
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := att.Disjunct[0].Estimate(); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("3-term estimate %g != %d", got, n)
+	}
+}
+
+func TestDisjunctiveUnsupportedShapesFallBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	outer := table("o", []string{"x"}, randCol(rng, 30, 5))
+	inner := table("i", []string{"x"}, randCol(rng, 30, 5))
+	sorted := exec.NewSort(exec.NewScan(outer, ""), 0)
+	// OR with a non-equality term: no estimator.
+	pred := expr.OrOf(
+		expr.Compare(expr.LT, expr.Col{Index: 0}, expr.Col{Index: 1}),
+		expr.Compare(expr.EQ, expr.Col{Index: 0}, expr.Col{Index: 1}),
+	)
+	j := exec.NewNestedLoopsJoin(sorted, exec.NewScan(inner, ""), pred)
+	att := Attach(j)
+	if len(att.Disjunct) != 0 {
+		t.Error("unsupported OR shape got an estimator")
+	}
+}

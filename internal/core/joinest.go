@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+
+	"qpi/internal/data"
+)
+
+// JoinEstimator is the paper's online join cardinality estimator ("once",
+// §4.1.1) for a binary equijoin R ⋈ S with R the build input:
+//
+//   - during R's preprocessing pass (hash partitioning, or the sort pass
+//     of a sort-merge join) ObserveBuild records exact frequency counts
+//     N^R_i of the build join key;
+//   - during S's first pass, each probe tuple with key i refines the
+//     estimate incrementally: D_{t+1} = (D_t·t + N^R_i·|S|) / (t+1),
+//     equivalently D_t = |S|/t · Σ N^R over observed keys.
+//
+// The estimate is unbiased under random probe order, converges to the
+// exact join cardinality by the end of the first probe pass, and carries
+// a shrinking confidence interval maintained from running moments.
+type JoinEstimator struct {
+	buildHist *FreqHistogram
+
+	probeSize float64 // |S|, known or estimated
+	t         int64   // probe tuples observed
+	sum       float64 // Σ N^R_i over observed probe keys
+	sumSq     float64 // Σ (N^R_i)² over observed probe keys
+	converged bool
+}
+
+// NewJoinEstimator creates an estimator. probeSize is the (estimated or
+// exact) size of the probe input |S|; it can be revised later with
+// SetProbeSize as the estimate of |S| itself is refined.
+func NewJoinEstimator(probeSize float64) *JoinEstimator {
+	return &JoinEstimator{buildHist: NewFreqHistogram(), probeSize: probeSize}
+}
+
+// BuildHistogram exposes the build-side frequency histogram (used by
+// pipeline push-down and by the aggregation push-down of §4.2).
+func (e *JoinEstimator) BuildHistogram() *FreqHistogram { return e.buildHist }
+
+// ObserveBuild records one build-input tuple's join key.
+func (e *JoinEstimator) ObserveBuild(key data.Value) { e.buildHist.Add(key) }
+
+// ObserveProbe records one probe-input tuple's join key during the probe
+// partitioning pass and returns the refreshed estimate.
+func (e *JoinEstimator) ObserveProbe(key data.Value) float64 {
+	n := float64(e.buildHist.Count(key))
+	e.t++
+	e.sum += n
+	e.sumSq += n * n
+	return e.Estimate()
+}
+
+// SetProbeSize revises |S|.
+func (e *JoinEstimator) SetProbeSize(size float64) { e.probeSize = size }
+
+// ProbeSize returns the current |S|.
+func (e *JoinEstimator) ProbeSize() float64 { return e.probeSize }
+
+// ProbeTuplesSeen returns t.
+func (e *JoinEstimator) ProbeTuplesSeen() int64 { return e.t }
+
+// MarkConverged freezes the estimator once the probe input has been fully
+// observed: the estimate is now exact and the confidence interval
+// degenerates.
+func (e *JoinEstimator) MarkConverged() {
+	e.converged = true
+	e.probeSize = float64(e.t)
+}
+
+// Converged reports whether the whole probe input has been observed.
+func (e *JoinEstimator) Converged() bool { return e.converged }
+
+// Estimate returns D_t, the current join cardinality estimate. Before any
+// probe tuple is seen it returns 0 (callers should fall back to the
+// optimizer estimate until the pipeline starts).
+func (e *JoinEstimator) Estimate() float64 {
+	if e.t == 0 {
+		return 0
+	}
+	return e.probeSize * e.sum / float64(e.t)
+}
+
+// ConfidenceInterval returns the two-sided α confidence interval for the
+// join cardinality using the sample variance of the per-probe-tuple
+// contributions X_j = N^R(key_j): D_t ± z_α·s_X·|S|/√t. When converged
+// it returns the exact value twice.
+func (e *JoinEstimator) ConfidenceInterval(alpha float64) (lo, hi float64) {
+	d := e.Estimate()
+	if e.converged || e.t < 2 {
+		return d, d
+	}
+	t := float64(e.t)
+	variance := (e.sumSq - e.sum*e.sum/t) / (t - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	// Finite population correction: the probe "sample" is drawn without
+	// replacement from the |S| tuples.
+	fpc := 1.0
+	if e.probeSize > 1 && t < e.probeSize {
+		fpc = (e.probeSize - t) / (e.probeSize - 1)
+	}
+	half := ZForConfidence(alpha) * math.Sqrt(variance*fpc/t) * e.probeSize
+	lo, hi = d-half, d+half
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// WorstCaseBound returns the distribution-free half-width from the
+// paper's p(1-p) ≤ 1/4 bound: with probability α each key-fraction
+// estimate is within β/2 = z_α/(2√t), giving a cardinality half-width of
+// |R|·|S|·z_α/(2√t). It is looser than ConfidenceInterval but needs no
+// observed moments.
+func (e *JoinEstimator) WorstCaseBound(alpha float64) float64 {
+	if e.t == 0 {
+		return math.Inf(1)
+	}
+	r := float64(e.buildHist.Total())
+	return r * e.probeSize * ZForConfidence(alpha) / (2 * math.Sqrt(float64(e.t)))
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpi/internal/exec"
+)
+
+// runTypedJoin runs a typed binary join with the framework attached and
+// checks the converged estimate equals the true output size.
+func runTypedJoin(t *testing.T, jt exec.JoinType, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := table("b", []string{"k"}, randCol(rng, 150, 30))
+	p := table("p", []string{"k"}, randCol(rng, 220, 30))
+	j := exec.NewHashJoinTyped(exec.NewScan(b, ""), exec.NewScan(p, ""), 0, 0, jt)
+	att := Attach(j)
+	pe := att.ChainOf[j]
+	if pe == nil {
+		t.Fatal("no estimator attached")
+	}
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pe.Converged() {
+		t.Fatal("did not converge")
+	}
+	if got := pe.Estimate(0); math.Abs(got-float64(n)) > 1e-6 {
+		t.Errorf("%v join: estimate %g != true size %d", jt, got, n)
+	}
+}
+
+func TestTypedJoinEstimatesExact(t *testing.T) {
+	for i, jt := range []exec.JoinType{
+		exec.InnerJoin, exec.SemiJoin, exec.AntiJoin, exec.ProbeOuterJoin,
+	} {
+		runTypedJoin(t, jt, int64(40+i))
+	}
+}
+
+func TestSemiTopOfChainEstimatesExact(t *testing.T) {
+	// semi(A) over inner(B ⋈ C): the top link uses the semi multiplicity
+	// while the inner level below estimates normally.
+	rng := rand.New(rand.NewSource(50))
+	a := table("a", []string{"x"}, randCol(rng, 80, 12))
+	b := table("b", []string{"x"}, randCol(rng, 90, 12))
+	c := table("c", []string{"x"}, randCol(rng, 100, 12))
+	lower := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(c, ""), "b", "x", "c", "x")
+	top := exec.NewHashJoinTyped(exec.NewScan(a, ""), lower,
+		0, lower.Schema().MustResolve("c", "x"), exec.SemiJoin)
+	att := Attach(top)
+	pe := att.ChainOf[top]
+	if pe == nil || pe.Levels() != 2 {
+		t.Fatalf("chain levels = %v", pe)
+	}
+	if _, err := exec.Run(top); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pe.Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+		t.Errorf("semi top estimate %g != %g", got, want)
+	}
+	if got, want := pe.Estimate(1), float64(lower.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+		t.Errorf("inner lower estimate %g != %g", got, want)
+	}
+}
+
+func TestOuterTopCase2EstimatesExact(t *testing.T) {
+	// outer join keyed off the lower build relation: exercises the Mult
+	// transform inside the derived-histogram fold weights.
+	rng := rand.New(rand.NewSource(51))
+	a := table("a", []string{"y"}, randCol(rng, 70, 9))
+	b := table("b", []string{"x", "y"}, randCol(rng, 80, 11), randCol(rng, 80, 9))
+	c := table("c", []string{"x"}, randCol(rng, 90, 11))
+	lower := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(c, ""), "b", "x", "c", "x")
+	top := exec.NewHashJoinTyped(exec.NewScan(a, ""), lower,
+		0, lower.Schema().MustResolve("b", "y"), exec.ProbeOuterJoin)
+	att := Attach(top)
+	pe := att.ChainOf[top]
+	if _, err := exec.Run(top); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pe.Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+		t.Errorf("outer Case 2 estimate %g != %g", got, want)
+	}
+}
+
+func TestNonInnerChildTerminatesChain(t *testing.T) {
+	// inner(A, semi(B, C)): the semi join must root its own chain.
+	rng := rand.New(rand.NewSource(52))
+	a := table("a", []string{"x"}, randCol(rng, 60, 8))
+	b := table("b", []string{"x"}, randCol(rng, 70, 8))
+	c := table("c", []string{"x"}, randCol(rng, 80, 8))
+	lower := exec.NewHashJoinTyped(exec.NewScan(b, ""), exec.NewScan(c, ""), 0, 0, exec.SemiJoin)
+	top := exec.NewHashJoin(exec.NewScan(a, ""), lower, 0, 0)
+	att := Attach(top)
+	if att.ChainOf[top] == att.ChainOf[lower] {
+		t.Fatal("semi join should root its own chain")
+	}
+	if att.ChainOf[top].Levels() != 1 || att.ChainOf[lower].Levels() != 1 {
+		t.Errorf("chain levels = %d, %d", att.ChainOf[top].Levels(), att.ChainOf[lower].Levels())
+	}
+	if _, err := exec.Run(top); err != nil {
+		t.Fatal(err)
+	}
+	// Both converge to their exact sizes regardless.
+	if got, want := att.ChainOf[lower].Estimate(0), float64(lower.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+		t.Errorf("semi estimate %g != %g", got, want)
+	}
+	if got, want := att.ChainOf[top].Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+		t.Errorf("upper estimate %g != %g", got, want)
+	}
+}

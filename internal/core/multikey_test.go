@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpi/internal/exec"
+)
+
+// TestMultiKeyJoinCorrectAndEstimated: conjunctive two-column equijoin
+// (§4.1's "conjunctions of multiple attributes") — correctness against
+// brute force and exact converged estimates.
+func TestMultiKeyJoinCorrectAndEstimated(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	n := 300
+	bx, by := randCol(rng, n, 8), randCol(rng, n, 6)
+	px, py := randCol(rng, n, 8), randCol(rng, n, 6)
+	b := table("b", []string{"x", "y"}, bx, by)
+	p := table("p", []string{"x", "y"}, px, py)
+
+	var truth int64
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if bx[i] == px[k] && by[i] == py[k] {
+				truth++
+			}
+		}
+	}
+
+	j := exec.NewHashJoinMulti(exec.NewScan(b, ""), exec.NewScan(p, ""),
+		[]int{0, 1}, []int{0, 1}, exec.InnerJoin)
+	att := Attach(j)
+	pe := att.ChainOf[j]
+	if pe == nil {
+		t.Fatal("no estimator for multi-key join")
+	}
+	got, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != truth {
+		t.Fatalf("join size %d, want brute-force %d", got, truth)
+	}
+	if est := pe.Estimate(0); math.Abs(est-float64(truth)) > 1e-6 {
+		t.Errorf("converged estimate %g != %d", est, truth)
+	}
+}
+
+// TestMultiKeyChainSameSource: a chain whose upper multi-column key comes
+// entirely from the bottom stream resolves and converges exactly.
+func TestMultiKeyChainSameSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	a := table("a", []string{"x", "y"}, randCol(rng, 80, 6), randCol(rng, 80, 5))
+	b := table("b", []string{"k"}, randCol(rng, 90, 7))
+	c := table("c", []string{"k", "x", "y"},
+		randCol(rng, 100, 7), randCol(rng, 100, 6), randCol(rng, 100, 5))
+	lower := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(c, ""), "b", "k", "c", "k")
+	top := exec.NewHashJoinMulti(exec.NewScan(a, ""), lower,
+		[]int{0, 1},
+		[]int{lower.Schema().MustResolve("c", "x"), lower.Schema().MustResolve("c", "y")},
+		exec.InnerJoin)
+	att := Attach(top)
+	pe := att.ChainOf[top]
+	if pe == nil || pe.Levels() != 2 {
+		t.Fatalf("expected 2-level chain, got %v", pe)
+	}
+	n, err := exec.Run(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := pe.Estimate(0); math.Abs(est-float64(n)) > 1e-6 {
+		t.Errorf("top estimate %g != %d", est, n)
+	}
+	if est := pe.Estimate(1); math.Abs(est-float64(lower.Stats().Emitted)) > 1e-6 {
+		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted)
+	}
+}
+
+// TestMultiKeyMixedProvenanceFallsBack: an upper key drawing one column
+// from the bottom stream and one from the lower build relation cannot be
+// chained; each join gets its own single-link estimator, and both still
+// converge exactly.
+func TestMultiKeyMixedProvenanceFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	a := table("a", []string{"x", "y"}, randCol(rng, 70, 6), randCol(rng, 70, 5))
+	b := table("b", []string{"k", "y"}, randCol(rng, 80, 7), randCol(rng, 80, 5))
+	c := table("c", []string{"k", "x"}, randCol(rng, 90, 7), randCol(rng, 90, 6))
+	lower := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(c, ""), "b", "k", "c", "k")
+	top := exec.NewHashJoinMulti(exec.NewScan(a, ""), lower,
+		[]int{0, 1},
+		[]int{lower.Schema().MustResolve("c", "x"), lower.Schema().MustResolve("b", "y")},
+		exec.InnerJoin)
+	att := Attach(top)
+	peTop, peLower := att.ChainOf[top], att.ChainOf[lower]
+	if peTop == nil || peLower == nil {
+		t.Fatal("fallback should attach single-link estimators to both joins")
+	}
+	if peTop == peLower {
+		t.Fatal("mixed provenance must not be chained")
+	}
+	n, err := exec.Run(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := peTop.Estimate(0); math.Abs(est-float64(n)) > 1e-6 {
+		t.Errorf("top estimate %g != %d", est, n)
+	}
+	if est := peLower.Estimate(0); math.Abs(est-float64(lower.Stats().Emitted)) > 1e-6 {
+		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted)
+	}
+}
+
+// TestMultiKeyNullComponents: a NULL in any key component prevents the
+// match (and the estimator agrees).
+func TestMultiKeyNullComponents(t *testing.T) {
+	b := table("b", []string{"x", "y"}, []int64{1, 1}, []int64{2, 2})
+	p := table("p", []string{"x", "y"}, []int64{1}, []int64{2})
+	// Inject a NULL into the build side.
+	bScan := exec.NewScan(b, "")
+	j := exec.NewHashJoinMulti(bScan, exec.NewScan(p, ""),
+		[]int{0, 1}, []int{0, 1}, exec.InnerJoin)
+	att := Attach(j)
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("join size %d, want 2", n)
+	}
+	if est := att.ChainOf[j].Estimate(0); est != 2 {
+		t.Errorf("estimate %g", est)
+	}
+}

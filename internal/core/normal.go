@@ -1,0 +1,66 @@
+package core
+
+import "math"
+
+// zQuantile returns the standard normal quantile z_p with Φ(z_p) = p,
+// computed with the Beasley-Springer-Moro rational approximation
+// (absolute error below 3e-9 over (0,1)). The confidence intervals of
+// §4.1 need z_α for arbitrary confidence levels; the paper reads them
+// from standardized normal tables.
+func zQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [...]float64{
+		-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00,
+	}
+	b := [...]float64{
+		-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01,
+	}
+	c := [...]float64{
+		-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00,
+	}
+	d := [...]float64{
+		7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00,
+	}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	var z float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		z = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		z = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		z = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	return z
+}
+
+// ZForConfidence returns z_α for a two-sided confidence level α in (0,1):
+// the half-width multiplier such that P(|Z| ≤ z) = α.
+func ZForConfidence(alpha float64) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= 1 {
+		return math.Inf(1)
+	}
+	return zQuantile(0.5 + alpha/2)
+}

@@ -1,0 +1,91 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Tuple wire format, shared by the table-file format (internal/disk) and
+// the operator spill files (internal/exec): per value a kind byte
+// followed by the payload — int64/float64 little-endian, strings with a
+// u32 length prefix, NULL with no payload.
+
+// EncodeTuple appends the wire encoding of t to w.
+func EncodeTuple(w *bufio.Writer, t Tuple) error {
+	var b [8]byte
+	for _, v := range t {
+		if err := w.WriteByte(byte(v.Kind)); err != nil {
+			return err
+		}
+		switch v.Kind {
+		case KindNull:
+		case KindInt:
+			binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+			if _, err := w.Write(b[:]); err != nil {
+				return err
+			}
+		case KindFloat:
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+			if _, err := w.Write(b[:]); err != nil {
+				return err
+			}
+		case KindString:
+			binary.LittleEndian.PutUint32(b[:4], uint32(len(v.S)))
+			if _, err := w.Write(b[:4]); err != nil {
+				return err
+			}
+			if _, err := w.WriteString(v.S); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("data: encode: unknown kind %d", v.Kind)
+		}
+	}
+	return nil
+}
+
+// DecodeTuple reads one ncols-wide tuple from r. It returns io.EOF
+// cleanly when the stream ends exactly at a tuple boundary.
+func DecodeTuple(r *bufio.Reader, ncols int) (Tuple, error) {
+	t := make(Tuple, ncols)
+	var b [8]byte
+	for c := 0; c < ncols; c++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && c == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("data: decode: truncated tuple: %w", err)
+		}
+		switch Kind(kind) {
+		case KindNull:
+			t[c] = Null()
+		case KindInt:
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, fmt.Errorf("data: decode int: %w", err)
+			}
+			t[c] = Int(int64(binary.LittleEndian.Uint64(b[:])))
+		case KindFloat:
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return nil, fmt.Errorf("data: decode float: %w", err)
+			}
+			t[c] = Float(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+		case KindString:
+			if _, err := io.ReadFull(r, b[:4]); err != nil {
+				return nil, fmt.Errorf("data: decode string length: %w", err)
+			}
+			n := binary.LittleEndian.Uint32(b[:4])
+			s := make([]byte, n)
+			if _, err := io.ReadFull(r, s); err != nil {
+				return nil, fmt.Errorf("data: decode string: %w", err)
+			}
+			t[c] = Str(string(s))
+		default:
+			return nil, fmt.Errorf("data: decode: unknown kind %d", kind)
+		}
+	}
+	return t, nil
+}

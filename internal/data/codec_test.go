@@ -1,0 +1,114 @@
+package data
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ncols := int(n%6) + 1
+		tuples := make([]Tuple, 20)
+		for i := range tuples {
+			tu := make(Tuple, ncols)
+			for c := range tu {
+				switch rng.Intn(4) {
+				case 0:
+					tu[c] = Null()
+				case 1:
+					tu[c] = Int(rng.Int63() - rng.Int63())
+				case 2:
+					tu[c] = Float(rng.NormFloat64())
+				default:
+					b := make([]byte, rng.Intn(20))
+					rng.Read(b)
+					tu[c] = Str(string(b))
+				}
+			}
+			tuples[i] = tu
+		}
+		var buf bytes.Buffer
+		w := bufio.NewWriter(&buf)
+		for _, tu := range tuples {
+			if err := EncodeTuple(w, tu); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r := bufio.NewReader(&buf)
+		for _, want := range tuples {
+			got, err := DecodeTuple(r, ncols)
+			if err != nil {
+				return false
+			}
+			for c := range want {
+				if got[c] != want[c] {
+					return false
+				}
+			}
+		}
+		_, err := DecodeTuple(r, ncols)
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := EncodeTuple(w, Tuple{Int(1), Str("abc")}); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	full := buf.Bytes()
+	// Every strict prefix must fail (not silently succeed), except the
+	// empty prefix which is clean EOF.
+	for cut := 1; cut < len(full); cut++ {
+		r := bufio.NewReader(bytes.NewReader(full[:cut]))
+		if _, err := DecodeTuple(r, 2); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", cut)
+		}
+	}
+	r := bufio.NewReader(bytes.NewReader(nil))
+	if _, err := DecodeTuple(r, 2); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeBadKind(t *testing.T) {
+	r := bufio.NewReader(bytes.NewReader([]byte{0xEE}))
+	if _, err := DecodeTuple(r, 1); err == nil {
+		t.Fatal("bad kind byte accepted")
+	}
+}
+
+func TestEncodeBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := EncodeTuple(w, Tuple{{Kind: Kind(99)}}); err == nil {
+		t.Fatal("bad kind encoded")
+	}
+}
+
+func TestKindStringAndValueSize(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE", KindString: "VARCHAR",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+	if Str("abcd").Size() <= Str("").Size() {
+		t.Error("string size should grow with content")
+	}
+}

@@ -1,0 +1,252 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(7), KindInt},
+		{Float(1.5), KindFloat},
+		{Str("x"), KindString},
+		{Bool(true), KindInt},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("value %v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+}
+
+func TestValueIsTrue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{Int(0), false},
+		{Int(1), true},
+		{Int(-3), true},
+		{Float(0), false},
+		{Float(0.1), true},
+		{Str(""), false},
+		{Str("a"), true},
+		{Bool(true), true},
+		{Bool(false), false},
+	}
+	for _, c := range cases {
+		if got := c.v.IsTrue(); got != c.want {
+			t.Errorf("%v.IsTrue() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if got := Int(3).AsFloat(); got != 3 {
+		t.Errorf("Int(3).AsFloat() = %v", got)
+	}
+	if got := Float(3.9).AsInt(); got != 3 {
+		t.Errorf("Float(3.9).AsInt() = %v", got)
+	}
+	if got := Str("x").AsFloat(); got != 0 {
+		t.Errorf("Str.AsFloat() = %v", got)
+	}
+	if got := Null().AsInt(); got != 0 {
+		t.Errorf("Null().AsInt() = %v", got)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.0), 0},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+		{Int(1), Str("1"), -1}, // numerics order before strings
+		{Str("1"), Int(1), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIntFloatConsistency(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		// int/int and int/float comparisons must agree for exactly
+		// representable values.
+		return Compare(Int(int64(a)), Int(int64(b))) ==
+			Compare(Int(int64(a)), Float(float64(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL should be false for join keys")
+	}
+	if Equal(Null(), Int(0)) || Equal(Int(0), Null()) {
+		t.Error("NULL = 0 should be false")
+	}
+	if !Equal(Int(5), Int(5)) {
+		t.Error("5 = 5 should be true")
+	}
+	if !Equal(Int(5), Float(5)) {
+		t.Error("5 = 5.0 should be true")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-4), "-4"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueIsMapKeyCompatible(t *testing.T) {
+	m := map[Value]int{}
+	m[Int(1)]++
+	m[Int(1)]++
+	m[Float(1)]++ // distinct key from Int(1): kinds differ
+	m[Str("1")]++
+	if m[Int(1)] != 2 {
+		t.Errorf("map[Int(1)] = %d, want 2", m[Int(1)])
+	}
+	if len(m) != 3 {
+		t.Errorf("len(m) = %d, want 3", len(m))
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := NewSchema(
+		Column{"c", "custkey", KindInt},
+		Column{"c", "nationkey", KindInt},
+		Column{"n", "nationkey", KindInt},
+	)
+	if i := s.Resolve("c", "custkey"); i != 0 {
+		t.Errorf("Resolve(c.custkey) = %d, want 0", i)
+	}
+	if i := s.Resolve("n", "nationkey"); i != 2 {
+		t.Errorf("Resolve(n.nationkey) = %d, want 2", i)
+	}
+	if i := s.Resolve("", "custkey"); i != 0 {
+		t.Errorf("Resolve(custkey) = %d, want 0", i)
+	}
+	if i := s.Resolve("", "nationkey"); i != -1 {
+		t.Errorf("Resolve(nationkey) = %d, want -1 (ambiguous)", i)
+	}
+	if i := s.Resolve("x", "missing"); i != -1 {
+		t.Errorf("Resolve(x.missing) = %d, want -1", i)
+	}
+}
+
+func TestSchemaMustResolvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustResolve on missing column did not panic")
+		}
+	}()
+	NewSchema().MustResolve("t", "nope")
+}
+
+func TestSchemaConcatProjectRename(t *testing.T) {
+	a := NewSchema(Column{"a", "x", KindInt}, Column{"a", "y", KindInt})
+	b := NewSchema(Column{"b", "z", KindString})
+	j := a.Concat(b)
+	if j.Len() != 3 {
+		t.Fatalf("Concat len = %d, want 3", j.Len())
+	}
+	if j.Resolve("b", "z") != 2 {
+		t.Error("Concat lost b.z")
+	}
+	p := j.Project([]int{2, 0})
+	if p.Len() != 2 || p.Cols[0].Name != "z" || p.Cols[1].Name != "x" {
+		t.Errorf("Project = %v", p)
+	}
+	r := a.Rename("q")
+	if r.Resolve("q", "x") != 0 || r.Resolve("a", "x") != -1 {
+		t.Errorf("Rename = %v", r)
+	}
+	// Original schema must be unchanged.
+	if a.Cols[0].Table != "a" {
+		t.Error("Rename mutated receiver")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := NewSchema(Column{"t", "a", KindInt}, Column{"", "b", KindString})
+	want := "(t.a BIGINT, b VARCHAR)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Tuple{Int(1), Str("x")}
+	b := Tuple{Float(2)}
+	j := a.Concat(b)
+	if len(j) != 3 || j[2].F != 2 {
+		t.Errorf("Concat = %v", j)
+	}
+	p := j.Project([]int{2, 0})
+	if len(p) != 2 || p[0].F != 2 || p[1].I != 1 {
+		t.Errorf("Project = %v", p)
+	}
+	c := a.Clone()
+	c[0] = Int(99)
+	if a[0].I != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if a.Size() <= 0 {
+		t.Error("Size() <= 0")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{Int(1), Str("x"), Null()}
+	if got := tu.String(); got != "[1, x, NULL]" {
+		t.Errorf("String() = %q", got)
+	}
+}

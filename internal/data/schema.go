@@ -1,0 +1,110 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a schema. Table is the relation alias
+// the column belongs to ("" for computed columns).
+type Column struct {
+	Table string
+	Name  string
+	Kind  Kind
+}
+
+// Qualified returns "table.name" (or just "name" when unqualified).
+func (c Column) Qualified() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Schema is an ordered list of columns describing a tuple stream.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// Resolve finds the index of a column. table may be "" to match any table;
+// in that case the name must be unambiguous. It returns -1 if not found.
+func (s *Schema) Resolve(table, name string) int {
+	found := -1
+	for i, c := range s.Cols {
+		if c.Name != name {
+			continue
+		}
+		if table != "" {
+			if c.Table == table {
+				return i
+			}
+			continue
+		}
+		if found >= 0 {
+			return -1 // ambiguous
+		}
+		found = i
+	}
+	return found
+}
+
+// MustResolve is Resolve, panicking on failure. It is used by plan
+// construction where a missing column is a programming error.
+func (s *Schema) MustResolve(table, name string) int {
+	i := s.Resolve(table, name)
+	if i < 0 {
+		panic(fmt.Sprintf("data: column %q not found (or ambiguous) in schema %s", table+"."+name, s))
+	}
+	return i
+}
+
+// Concat returns a new schema with the columns of s followed by those of o,
+// as produced by a join.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Cols)+len(o.Cols))
+	cols = append(cols, s.Cols...)
+	cols = append(cols, o.Cols...)
+	return &Schema{Cols: cols}
+}
+
+// Project returns a new schema with the selected column indexes.
+func (s *Schema) Project(idxs []int) *Schema {
+	cols := make([]Column, len(idxs))
+	for i, idx := range idxs {
+		cols[i] = s.Cols[idx]
+	}
+	return &Schema{Cols: cols}
+}
+
+// Rename returns a copy of the schema with every column's table alias
+// replaced, as produced by `FROM t AS alias`.
+func (s *Schema) Rename(alias string) *Schema {
+	cols := make([]Column, len(s.Cols))
+	for i, c := range s.Cols {
+		c.Table = alias
+		cols[i] = c
+	}
+	return &Schema{Cols: cols}
+}
+
+// String renders the schema as "(t.a BIGINT, t.b VARCHAR)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Qualified())
+		b.WriteByte(' ')
+		b.WriteString(c.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,54 @@
+package data
+
+import "strings"
+
+// Tuple is one row of values, positionally aligned with a Schema.
+type Tuple []Value
+
+// Concat returns a new tuple with the values of t followed by those of o,
+// as produced by a join.
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	out = append(out, o...)
+	return out
+}
+
+// Project returns a new tuple with the selected column indexes.
+func (t Tuple) Project(idxs []int) Tuple {
+	out := make(Tuple, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t[idx]
+	}
+	return out
+}
+
+// Clone returns a copy of the tuple that does not share backing storage.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Size returns the approximate in-memory footprint of the tuple in bytes.
+func (t Tuple) Size() int {
+	n := 24 // slice header
+	for _, v := range t {
+		n += v.Size()
+	}
+	return n
+}
+
+// String renders the tuple as "[a, b, c]".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

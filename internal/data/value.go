@@ -1,0 +1,199 @@
+// Package data defines the value, tuple and schema model shared by the
+// storage layer, the executor and the estimation framework.
+//
+// Values are small comparable structs so that they can be used directly as
+// map keys by the frequency histograms at the heart of the online
+// estimation framework (see internal/core).
+package data
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the supported value types.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single column value. The zero Value is SQL NULL.
+//
+// Value is comparable (usable as a map key); exactly one of I, F, S is
+// meaningful depending on Kind.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a floating point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// Bool returns an integer-encoded boolean (1/0), matching the engine's
+// convention that predicates evaluate to BIGINT 0 or 1.
+func Bool(b bool) Value {
+	if b {
+		return Int(1)
+	}
+	return Int(0)
+}
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// IsTrue reports whether v is a non-null, non-zero value, i.e. whether a
+// predicate that produced v passed.
+func (v Value) IsTrue() bool {
+	switch v.Kind {
+	case KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsFloat converts numeric values to float64. Strings and NULL yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts numeric values to int64 (floats truncate).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and CSV output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return fmt.Sprintf("<bad kind %d>", v.Kind)
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; numeric kinds
+// compare by numeric value (so Int(2) == Float(2.0)); strings compare
+// lexicographically. Comparing a numeric with a string orders by kind.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == KindNull && b.Kind == KindNull:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	an, bn := a.Kind != KindString, b.Kind != KindString
+	switch {
+	case an && bn:
+		af, bf := a.AsFloat(), b.AsFloat()
+		// Fast path for the common int/int case avoids float rounding.
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case !an && !bn:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	case an:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports whether two values compare equal under Compare semantics.
+// NULL is not equal to anything, including NULL (SQL three-valued logic is
+// collapsed to false here, which is what join and group-by keys need).
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Size returns the approximate in-memory footprint of the value in bytes,
+// used by the histogram memory accounting (paper §5.2.1).
+func (v Value) Size() int {
+	const base = 8 + 8 + 16 + 8 // I + F + string header + kind/padding
+	return base + len(v.S)
+}

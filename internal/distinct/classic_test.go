@@ -1,0 +1,78 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/zipf"
+)
+
+func TestClassicEstimatorsConvergeAtFullStream(t *testing.T) {
+	const total = 20000
+	vals := drawAll(zipf.MustNew(800, 1, 31, 0), total)
+	truth := float64(distinctOf(vals))
+	for _, e := range []*ClassicEstimator{
+		NewChao84(total), NewJackknife1(total), NewShlosser(total),
+	} {
+		for _, v := range vals {
+			e.Observe(data.Int(v))
+		}
+		if got := e.Estimate(); got != truth {
+			t.Errorf("%s at full stream = %g, want %g", e.Name(), got, truth)
+		}
+		if e.Seen() != total || e.DistinctSeen() != int64(truth) {
+			t.Errorf("%s counters wrong", e.Name())
+		}
+	}
+}
+
+func TestClassicEstimatorsReasonableMidway(t *testing.T) {
+	const total = 40000
+	vals := drawAll(zipf.MustNew(2000, 0, 37, 0), total)
+	truth := float64(distinctOf(vals))
+	for _, e := range []*ClassicEstimator{
+		NewChao84(total), NewJackknife1(total), NewShlosser(total),
+	} {
+		for _, v := range vals[:8000] { // 20% sample
+			e.Observe(data.Int(v))
+		}
+		got := e.Estimate()
+		// These are literature estimators with known biases; accept a
+		// broad envelope but catch gross breakage.
+		if got < float64(e.DistinctSeen()) || got > 5*truth {
+			t.Errorf("%s midway = %g (truth %g, seen %d)", e.Name(), got, truth, e.DistinctSeen())
+		}
+	}
+}
+
+func TestChaoBiasCorrectedWhenNoDoubletons(t *testing.T) {
+	// All singletons: f2=0 must not divide by zero.
+	freqs := map[int64]int64{1: 10}
+	got := Chao84FromProfile(freqs, 10, 1000)
+	want := 10 + float64(10*9)/2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Chao bias-corrected = %g, want %g", got, want)
+	}
+}
+
+func TestShlosserDegeneracies(t *testing.T) {
+	if got := ShlosserFromProfile(map[int64]int64{}, 0, 100); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	// Full sample: exact.
+	if got := ShlosserFromProfile(map[int64]int64{1: 5}, 100, 100); got != 5 {
+		t.Errorf("full sample = %g", got)
+	}
+}
+
+func TestSetTotalClassic(t *testing.T) {
+	e := NewShlosser(100)
+	e.Observe(data.Int(1))
+	e.Observe(data.Int(2))
+	before := e.Estimate()
+	e.SetTotal(100000)
+	if after := e.Estimate(); after <= before {
+		t.Errorf("larger |T| should raise Shlosser: %g -> %g", before, after)
+	}
+}

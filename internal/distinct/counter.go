@@ -1,0 +1,37 @@
+package distinct
+
+import "qpi/internal/data"
+
+// counter tracks per-value observation counts with a fast path for
+// integer grouping keys (the common case), keeping the per-tuple overhead
+// of the aggregation estimators low — overhead is the paper's whole
+// motivation for preferring these estimators over heavier ones (§4.2).
+type counter struct {
+	ints  map[int64]int64
+	other map[data.Value]int64
+}
+
+func newCounter() counter {
+	return counter{ints: make(map[int64]int64)}
+}
+
+// incr counts one observation and returns the value's new count.
+func (c *counter) incr(v data.Value) int64 {
+	if v.Kind == data.KindInt {
+		n := c.ints[v.I] + 1
+		c.ints[v.I] = n
+		return n
+	}
+	if v.IsNull() {
+		v = data.Null() // all NULLs form one group
+	}
+	if c.other == nil {
+		c.other = make(map[data.Value]int64)
+	}
+	n := c.other[v] + 1
+	c.other[v] = n
+	return n
+}
+
+// distinct returns the number of distinct values observed.
+func (c *counter) distinct() int64 { return int64(len(c.ints) + len(c.other)) }

@@ -1,0 +1,100 @@
+// Package distinct implements the paper's online distinct-value (number
+// of groups) estimators for aggregation operators (§4.2):
+//
+//   - GEE, the Guaranteed Error Estimator of Charikar et al. [5],
+//     maintained fully incrementally (Algorithm 2);
+//   - MLE, the paper's new estimator for low-skew data, recomputed on an
+//     adaptive interval (Algorithm 3);
+//   - a chooser that tracks the squared coefficient of variation γ² of
+//     the observed group frequencies and picks GEE on high-skew data and
+//     MLE otherwise (threshold τ = 10, §5.1.4).
+//
+// All estimators consume a random stream of grouping values of known (or
+// estimated) total length |T| and estimate the number of distinct values
+// in the full stream.
+package distinct
+
+import (
+	"math"
+
+	"qpi/internal/data"
+)
+
+// Estimator is the common contract of the online distinct estimators.
+type Estimator interface {
+	// Observe consumes the next grouping value of the stream.
+	Observe(v data.Value)
+	// Estimate returns the current estimate of the number of distinct
+	// values in the full stream.
+	Estimate() float64
+	// Seen returns the number of values observed so far.
+	Seen() int64
+	// DistinctSeen returns the number of distinct values observed so far
+	// (a lower bound on the truth).
+	DistinctSeen() int64
+}
+
+// GEE is the Guaranteed Error Estimator, maintained incrementally
+// (Algorithm 2):
+//
+//	D_t = sqrt(|T|/t)·f₁ + Σ_{j≥2} f_j
+//
+// where f₁ is the number of singleton values in the sample and the second
+// term counts values seen at least twice. GEE works best on high-skew
+// data; on low-skew data with many rare groups it can overestimate
+// severely for small samples (§4.2), which is why the chooser exists.
+type GEE struct {
+	counts    counter
+	singles   int64 // S₁: values seen exactly once
+	multis    int64 // Sₙ: values seen more than once
+	t         int64
+	total     float64 // |T|
+	exhausted bool
+}
+
+// NewGEE creates a GEE estimator for a stream of (estimated) total length
+// total.
+func NewGEE(total float64) *GEE {
+	return &GEE{counts: newCounter(), total: total}
+}
+
+// Observe implements Estimator (the paper's Algorithm 2 update).
+func (g *GEE) Observe(v data.Value) {
+	switch g.counts.incr(v) {
+	case 1:
+		g.singles++
+	case 2:
+		g.singles--
+		g.multis++
+	}
+	g.t++
+}
+
+// SetTotal revises |T| (when the stream length itself is being
+// estimated).
+func (g *GEE) SetTotal(total float64) { g.total = total }
+
+// MarkExhausted freezes the estimator once the full stream has been seen:
+// the distinct count is now exact.
+func (g *GEE) MarkExhausted() { g.exhausted = true }
+
+// Estimate implements Estimator.
+func (g *GEE) Estimate() float64 {
+	if g.t == 0 {
+		return 0
+	}
+	if g.exhausted || float64(g.t) >= g.total {
+		return float64(g.counts.distinct())
+	}
+	scale := math.Sqrt(g.total / float64(g.t))
+	return scale*float64(g.singles) + float64(g.multis)
+}
+
+// Seen implements Estimator.
+func (g *GEE) Seen() int64 { return g.t }
+
+// DistinctSeen implements Estimator.
+func (g *GEE) DistinctSeen() int64 { return g.counts.distinct() }
+
+// Singletons returns S₁ (exposed for white-box tests).
+func (g *GEE) Singletons() int64 { return g.singles }

@@ -1,0 +1,336 @@
+package distinct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qpi/internal/data"
+	"qpi/internal/zipf"
+)
+
+// feed streams n draws from g into est.
+func feed(est Estimator, g *zipf.Generator, n int) {
+	for i := 0; i < n; i++ {
+		est.Observe(data.Int(g.Next()))
+	}
+}
+
+// trueDistinct counts the actual distinct values of a fixed draw.
+func drawAll(g *zipf.Generator, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func distinctOf(vals []int64) int {
+	set := map[int64]bool{}
+	for _, v := range vals {
+		set[v] = true
+	}
+	return len(set)
+}
+
+func TestGEEExactWhenAllSeen(t *testing.T) {
+	vals := drawAll(zipf.MustNew(100, 1, 1, 0), 5000)
+	g := NewGEE(float64(len(vals)))
+	for _, v := range vals {
+		g.Observe(data.Int(v))
+	}
+	if got := g.Estimate(); got != float64(distinctOf(vals)) {
+		t.Errorf("GEE at full stream = %g, want %d", got, distinctOf(vals))
+	}
+	if g.Seen() != 5000 {
+		t.Errorf("Seen = %d", g.Seen())
+	}
+}
+
+func TestGEESingletonAccounting(t *testing.T) {
+	g := NewGEE(100)
+	g.Observe(data.Int(1))
+	g.Observe(data.Int(2))
+	g.Observe(data.Int(1))
+	// values: 1 seen twice, 2 once → S1=1, Sn=1.
+	// D = sqrt(100/3)*1 + 1.
+	want := math.Sqrt(100.0/3) + 1
+	if got := g.Estimate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Estimate = %g, want %g", got, want)
+	}
+}
+
+func TestGEEFormulaMatchesDefinition(t *testing.T) {
+	// Property: incremental S1/Sn always match recomputing from counts.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGEE(1000)
+		counts := map[int64]int64{}
+		for i := 0; i < 300; i++ {
+			v := int64(rng.Intn(50))
+			g.Observe(data.Int(v))
+			counts[v]++
+		}
+		var s1, sn int64
+		for _, n := range counts {
+			if n == 1 {
+				s1++
+			} else {
+				sn++
+			}
+		}
+		if g.Singletons() != s1 {
+			return false
+		}
+		want := math.Sqrt(1000.0/300)*float64(s1) + float64(sn)
+		return math.Abs(g.Estimate()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGEENullsFormOneGroup(t *testing.T) {
+	g := NewGEE(10)
+	g.Observe(data.Null())
+	g.Observe(data.Null())
+	g.MarkExhausted()
+	if got := g.Estimate(); got != 1 {
+		t.Errorf("NULL group estimate = %g, want 1", got)
+	}
+}
+
+func TestMLEConvergesToTruth(t *testing.T) {
+	const total = 20000
+	vals := drawAll(zipf.MustNew(500, 0, 7, 0), total)
+	m := NewMLE(total)
+	for _, v := range vals {
+		m.Observe(data.Int(v))
+	}
+	want := float64(distinctOf(vals))
+	if got := m.Estimate(); got != want {
+		t.Errorf("MLE at full stream = %g, want %g", got, want)
+	}
+}
+
+func TestMLERarelyOverestimatesLowSkew(t *testing.T) {
+	// Paper: MLE "rarely overestimates ... prone to underestimation",
+	// and works best on low-skew data. Check at a 10% sample.
+	const total = 30000
+	g := zipf.MustNew(2000, 0, 11, 0)
+	vals := drawAll(g, total)
+	m := NewMLE(total)
+	for _, v := range vals[:3000] {
+		m.Observe(data.Int(v))
+	}
+	truth := float64(distinctOf(vals))
+	est := m.EstimateFresh()
+	if est > truth*1.10 {
+		t.Errorf("MLE overestimates: est %g vs truth %g", est, truth)
+	}
+	if est < float64(m.DistinctSeen()) {
+		t.Errorf("MLE below distinct-seen lower bound: %g < %d", est, m.DistinctSeen())
+	}
+}
+
+func TestMLEBeatsGEEOnLowSkew(t *testing.T) {
+	// The design rationale (Table 1): on uniform data with many groups,
+	// MLE should be closer to the truth than GEE at small sample sizes.
+	const total = 50000
+	g := zipf.MustNew(5000, 0, 13, 0)
+	vals := drawAll(g, total)
+	truth := float64(distinctOf(vals))
+	gee, mle := NewGEE(total), NewMLE(total)
+	for _, v := range vals[:5000] { // 10% sample
+		gee.Observe(data.Int(v))
+		mle.Observe(data.Int(v))
+	}
+	geeErr := math.Abs(gee.Estimate()-truth) / truth
+	mleErr := math.Abs(mle.EstimateFresh()-truth) / truth
+	if mleErr >= geeErr {
+		t.Errorf("MLE err %.3f should beat GEE err %.3f on low skew", mleErr, geeErr)
+	}
+}
+
+func TestGEEGoodOnHighSkew(t *testing.T) {
+	// On high-skew data GEE should be within a modest factor early.
+	const total = 50000
+	g := zipf.MustNew(1000, 2, 17, 0)
+	vals := drawAll(g, total)
+	truth := float64(distinctOf(vals))
+	gee := NewGEE(total)
+	for _, v := range vals[:10000] {
+		gee.Observe(data.Int(v))
+	}
+	ratio := gee.Estimate() / truth
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("GEE ratio error %.2f on high skew (truth %g)", ratio, truth)
+	}
+}
+
+func TestMLEAdaptiveIntervalDoubles(t *testing.T) {
+	m := NewMLEWithInterval(100000, 10, 1000, 0.5)
+	g := zipf.MustNew(10, 0, 1, 0) // tiny domain: estimate stabilizes fast
+	feed(m, g, 2000)
+	if m.Interval() <= 10 {
+		t.Errorf("interval = %d, should have doubled beyond the lower bound", m.Interval())
+	}
+	if m.Interval() > 1000 {
+		t.Errorf("interval = %d exceeds upper bound", m.Interval())
+	}
+	// A fixed interval of 10 would have recomputed 200 times.
+	if m.Recomputes() >= 200 {
+		t.Errorf("recomputes = %d, adaptive interval should save work", m.Recomputes())
+	}
+}
+
+func TestMLEIntervalResetsOnChange(t *testing.T) {
+	m := NewMLEWithInterval(1e9, 5, 10000, 0.0001)
+	// With an extremely tight k, the estimate virtually always moves more
+	// than k while new groups keep arriving, so the interval stays low.
+	g := zipf.MustNew(1000000, 0, 3, 0)
+	feed(m, g, 5000)
+	if m.Interval() > 20 {
+		t.Errorf("interval = %d, expected resets near lower bound", m.Interval())
+	}
+}
+
+func TestMLEHorizonConvergesAndExceedsPlain(t *testing.T) {
+	const total = 40000
+	g := zipf.MustNew(3000, 0, 19, 0)
+	vals := drawAll(g, total)
+	plain, horizon := NewMLE(total), NewMLEHorizon(total)
+	for _, v := range vals[:4000] {
+		plain.Observe(data.Int(v))
+		horizon.Observe(data.Int(v))
+	}
+	if horizon.EstimateFresh() < plain.EstimateFresh() {
+		t.Errorf("horizon %g < plain %g; horizon should extrapolate further",
+			horizon.EstimateFresh(), plain.EstimateFresh())
+	}
+	for _, v := range vals[4000:] {
+		horizon.Observe(data.Int(v))
+	}
+	if got, want := horizon.Estimate(), float64(distinctOf(vals)); got != want {
+		t.Errorf("horizon at full stream = %g, want %g", got, want)
+	}
+}
+
+func TestChooserGamma2(t *testing.T) {
+	c := NewChooser(1000, DefaultTau)
+	// Perfectly uniform frequencies → γ² = 0.
+	for v := int64(1); v <= 10; v++ {
+		for i := 0; i < 5; i++ {
+			c.Observe(data.Int(v))
+		}
+	}
+	if g2 := c.Gamma2(); g2 != 0 {
+		t.Errorf("uniform γ² = %g, want 0", g2)
+	}
+	if !c.UsingMLE() {
+		t.Error("uniform data should select MLE")
+	}
+}
+
+func TestChooserHighSkewSelectsGEE(t *testing.T) {
+	c := NewChooser(200000, DefaultTau)
+	g := zipf.MustNew(5000, 2, 23, 0)
+	feed(c, g, 20000)
+	if c.Gamma2() < DefaultTau {
+		t.Fatalf("γ² = %g, expected high skew above τ=%g", c.Gamma2(), DefaultTau)
+	}
+	if c.UsingMLE() {
+		t.Error("high skew should select GEE")
+	}
+	if c.Estimate() != c.GEEEstimate() {
+		t.Error("chooser estimate should come from GEE")
+	}
+}
+
+func TestChooserLowSkewSelectsMLE(t *testing.T) {
+	c := NewChooser(200000, DefaultTau)
+	g := zipf.MustNew(5000, 0, 29, 0)
+	feed(c, g, 20000)
+	if c.Gamma2() >= DefaultTau {
+		t.Fatalf("γ² = %g, expected below τ", c.Gamma2())
+	}
+	if !c.UsingMLE() {
+		t.Error("low skew should select MLE")
+	}
+	if c.Estimate() != c.MLEEstimate() {
+		t.Error("chooser estimate should come from MLE")
+	}
+}
+
+func TestChooserGamma2MatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewChooser(10000, DefaultTau)
+		counts := map[int64]float64{}
+		for i := 0; i < 500; i++ {
+			v := int64(rng.Intn(40))
+			c.Observe(data.Int(v))
+			counts[v]++
+		}
+		// Direct γ².
+		g := float64(len(counts))
+		mu := 500.0 / g
+		varSum := 0.0
+		for _, n := range counts {
+			varSum += n * n
+		}
+		variance := varSum/g - mu*mu
+		want := variance / (mu * mu)
+		return math.Abs(c.Gamma2()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatorsNeverBelowDistinctSeenAtExhaustion(t *testing.T) {
+	f := func(seed int64, domRaw uint8, zRaw uint8) bool {
+		dom := int(domRaw)%200 + 1
+		z := float64(zRaw%25) / 10
+		g := zipf.MustNew(dom, z, seed, seed*3+1)
+		const n = 1000
+		ests := []Estimator{NewGEE(n), NewMLE(n), NewChooser(n, DefaultTau)}
+		vals := drawAll(g, n)
+		for _, v := range vals {
+			for _, e := range ests {
+				e.Observe(data.Int(v))
+			}
+		}
+		truth := float64(distinctOf(vals))
+		for _, e := range ests {
+			if e.Estimate() != truth {
+				return false
+			}
+			if e.DistinctSeen() != int64(truth) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetTotalRevisesEstimates(t *testing.T) {
+	g := NewGEE(100)
+	g.Observe(data.Int(1))
+	e1 := g.Estimate()
+	g.SetTotal(10000)
+	e2 := g.Estimate()
+	if e2 <= e1 {
+		t.Errorf("larger |T| should scale singleton estimate up: %g -> %g", e1, e2)
+	}
+	m := NewMLE(100)
+	m.Observe(data.Int(1))
+	m.SetTotal(10000)
+	if m.Estimate() <= 0 {
+		t.Error("MLE estimate should be positive after SetTotal")
+	}
+}

@@ -1,0 +1,89 @@
+package distinct
+
+import "math"
+
+// This file computes the estimators directly from a frequency-of-
+// frequencies profile (f_j = number of groups observed exactly j times in
+// t observations). The aggregation push-down of §4.2 needs this form: when
+// an aggregation sits on top of a join on the same attribute, the
+// estimators run over the *estimated output distribution histogram* built
+// during the join's probe pass rather than over a tuple stream.
+
+// GEEFromProfile evaluates the GEE formula sqrt(total/t)·f₁ + Σ_{j≥2} f_j.
+func GEEFromProfile(freqs map[int64]int64, t int64, total float64) float64 {
+	if t == 0 {
+		return 0
+	}
+	if float64(t) >= total {
+		var g int64
+		for _, fj := range freqs {
+			g += fj
+		}
+		return float64(g)
+	}
+	var f1, rest int64
+	for j, fj := range freqs {
+		if j == 1 {
+			f1 = fj
+		} else if j >= 2 {
+			rest += fj
+		}
+	}
+	return math.Sqrt(total/float64(t))*float64(f1) + float64(rest)
+}
+
+// MLEFromProfile evaluates the MLE formula
+// ĝ + Σ_j f_j·[(1−j/t)^t − (1−j/t)^{2t}].
+func MLEFromProfile(freqs map[int64]int64, t int64, total float64) float64 {
+	if t == 0 {
+		return 0
+	}
+	var g int64
+	for _, fj := range freqs {
+		g += fj
+	}
+	if float64(t) >= total {
+		return float64(g)
+	}
+	tf := float64(t)
+	newGroups := 0.0
+	for j, fj := range freqs {
+		q := 1 - float64(j)/tf
+		if q <= 0 {
+			continue
+		}
+		pt := math.Pow(q, tf)
+		newGroups += float64(fj) * (pt - pt*pt)
+	}
+	return float64(g) + newGroups
+}
+
+// Gamma2FromProfile computes the squared coefficient of variation of the
+// group frequencies described by the profile.
+func Gamma2FromProfile(freqs map[int64]int64, t int64) float64 {
+	var g int64
+	sumSq := 0.0
+	for j, fj := range freqs {
+		g += fj
+		sumSq += float64(fj) * float64(j) * float64(j)
+	}
+	if g == 0 || t == 0 {
+		return 0
+	}
+	mu := float64(t) / float64(g)
+	variance := sumSq/float64(g) - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return variance / (mu * mu)
+}
+
+// ChooseFromProfile applies the paper's τ rule to a profile: it returns
+// the MLE estimate when γ² < tau and the GEE estimate otherwise, along
+// with which was used.
+func ChooseFromProfile(freqs map[int64]int64, t int64, total, tau float64) (est float64, usedMLE bool) {
+	if Gamma2FromProfile(freqs, t) < tau {
+		return MLEFromProfile(freqs, t, total), true
+	}
+	return GEEFromProfile(freqs, t, total), false
+}

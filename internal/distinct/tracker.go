@@ -1,0 +1,164 @@
+package distinct
+
+import "math"
+
+// ProfileTracker is the zero-hashing variant of the chooser: instead of
+// maintaining its own value→count map, it consumes the per-tuple group
+// count transitions that a hash aggregation already computes for free
+// (exec.HashAgg's OnInputGroupCount hook). This is the paper's actual
+// integration — estimation interleaved with the operator's own
+// partitioning work — and makes the per-tuple overhead a few arithmetic
+// updates.
+type ProfileTracker struct {
+	freqs map[int64]int64 // f_i profile
+	g     int64           // distinct groups seen
+	t     int64
+	total float64
+	tau   float64
+
+	singles int64
+	multis  int64
+	sumSq   float64
+
+	// Algorithm 3 state for MLE recomputation.
+	lower, upper int64
+	interval     int64
+	sinceRecomp  int64
+	mleCached    float64
+	haveCache    bool
+
+	exhausted bool
+}
+
+// NewProfileTracker creates a tracker for a stream of (estimated) length
+// total with chooser threshold tau.
+func NewProfileTracker(total, tau float64) *ProfileTracker {
+	lower := int64(total * DefaultLowerFrac)
+	if lower < 1 {
+		lower = 1
+	}
+	upper := int64(total * DefaultUpperFrac)
+	if upper < lower {
+		upper = lower
+	}
+	return &ProfileTracker{
+		freqs:    map[int64]int64{},
+		total:    total,
+		tau:      tau,
+		lower:    lower,
+		upper:    upper,
+		interval: lower,
+	}
+}
+
+// ObserveCount consumes one tuple's group count transition: n is the
+// tuple's group's new observation count (1 = new group).
+func (p *ProfileTracker) ObserveCount(n int64) {
+	switch n {
+	case 1:
+		p.g++
+		p.singles++
+	case 2:
+		p.singles--
+		p.multis++
+	}
+	if n > 1 {
+		p.freqs[n-1]--
+		if p.freqs[n-1] == 0 {
+			delete(p.freqs, n-1)
+		}
+	}
+	p.freqs[n]++
+	p.sumSq += float64(2*n - 1)
+	p.t++
+	p.sinceRecomp++
+	if p.sinceRecomp >= p.interval {
+		p.recomputeMLE()
+	}
+}
+
+func (p *ProfileTracker) recomputeMLE() {
+	old := p.mleCached
+	p.mleCached = MLEFromProfile(p.freqs, p.t, p.total)
+	p.haveCache = true
+	p.sinceRecomp = 0
+	if old > 0 && p.mleCached > 0 {
+		ratio := old / p.mleCached
+		if ratio > 1-DefaultK && ratio < 1+DefaultK {
+			p.interval *= 2
+			if p.interval > p.upper {
+				p.interval = p.upper
+			}
+			return
+		}
+	}
+	p.interval = p.lower
+}
+
+// SetTotal revises |T|.
+func (p *ProfileTracker) SetTotal(total float64) { p.total = total }
+
+// DisableMLERecompute turns off the Algorithm 3 MLE recomputation —
+// used when the caller only wants the O(1)-per-tuple GEE path (ablation
+// and overhead measurements).
+func (p *ProfileTracker) DisableMLERecompute() {
+	p.interval = math.MaxInt64
+}
+
+// MarkExhausted freezes the tracker; the distinct count is now exact.
+func (p *ProfileTracker) MarkExhausted() { p.exhausted = true }
+
+// Gamma2 returns the skew measure γ².
+func (p *ProfileTracker) Gamma2() float64 {
+	if p.g == 0 || p.t == 0 {
+		return 0
+	}
+	mu := float64(p.t) / float64(p.g)
+	variance := p.sumSq/float64(p.g) - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return variance / (mu * mu)
+}
+
+// UsingMLE reports the current selection.
+func (p *ProfileTracker) UsingMLE() bool { return p.Gamma2() < p.tau }
+
+// Estimate returns the chooser-selected estimate.
+func (p *ProfileTracker) Estimate() float64 {
+	if p.exhausted || float64(p.t) >= p.total {
+		return float64(p.g)
+	}
+	if p.UsingMLE() {
+		return p.MLEEstimate()
+	}
+	return p.GEEEstimate()
+}
+
+// GEEEstimate returns the GEE value.
+func (p *ProfileTracker) GEEEstimate() float64 {
+	if p.t == 0 {
+		return 0
+	}
+	if p.exhausted || float64(p.t) >= p.total {
+		return float64(p.g)
+	}
+	return math.Sqrt(p.total/float64(p.t))*float64(p.singles) + float64(p.multis)
+}
+
+// MLEEstimate returns the (interval-cached) MLE value.
+func (p *ProfileTracker) MLEEstimate() float64 {
+	if p.exhausted || float64(p.t) >= p.total {
+		return float64(p.g)
+	}
+	if !p.haveCache {
+		return MLEFromProfile(p.freqs, p.t, p.total)
+	}
+	return p.mleCached
+}
+
+// Seen returns the number of transitions observed.
+func (p *ProfileTracker) Seen() int64 { return p.t }
+
+// DistinctSeen returns the number of groups observed.
+func (p *ProfileTracker) DistinctSeen() int64 { return p.g }

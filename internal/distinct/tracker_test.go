@@ -1,0 +1,135 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/zipf"
+)
+
+// feedBoth streams values into a chooser and mirrors the group-count
+// transitions into a tracker, as a hash aggregation would.
+func feedBoth(c *Chooser, p *ProfileTracker, vals []int64) {
+	counts := map[int64]int64{}
+	for _, v := range vals {
+		c.Observe(data.Int(v))
+		counts[v]++
+		p.ObserveCount(counts[v])
+	}
+}
+
+func TestTrackerMatchesChooser(t *testing.T) {
+	const total = 30000
+	vals := drawAll(zipf.MustNew(1500, 1, 41, 0), total)
+	c := NewChooser(total, DefaultTau)
+	p := NewProfileTracker(total, DefaultTau)
+	feedBoth(c, p, vals[:6000])
+	if math.Abs(c.Gamma2()-p.Gamma2()) > 1e-9 {
+		t.Errorf("γ²: chooser %g vs tracker %g", c.Gamma2(), p.Gamma2())
+	}
+	if c.UsingMLE() != p.UsingMLE() {
+		t.Error("selection disagrees")
+	}
+	if math.Abs(c.GEEEstimate()-p.GEEEstimate()) > 1e-9 {
+		t.Errorf("GEE: %g vs %g", c.GEEEstimate(), p.GEEEstimate())
+	}
+	// MLE caches on the same Algorithm 3 schedule with the same inputs.
+	if math.Abs(c.MLEEstimate()-p.MLEEstimate()) > 1e-9 {
+		t.Errorf("MLE: %g vs %g", c.MLEEstimate(), p.MLEEstimate())
+	}
+	if c.DistinctSeen() != p.DistinctSeen() || c.Seen() != p.Seen() {
+		t.Error("counters disagree")
+	}
+}
+
+func TestTrackerExactAtExhaustion(t *testing.T) {
+	const total = 5000
+	vals := drawAll(zipf.MustNew(300, 0, 43, 0), total)
+	p := NewProfileTracker(total, DefaultTau)
+	counts := map[int64]int64{}
+	for _, v := range vals {
+		counts[v]++
+		p.ObserveCount(counts[v])
+	}
+	p.MarkExhausted()
+	if got, want := p.Estimate(), float64(distinctOf(vals)); got != want {
+		t.Errorf("exhausted estimate %g, want %g", got, want)
+	}
+}
+
+func TestTrackerDisableMLERecompute(t *testing.T) {
+	p := NewProfileTracker(100000, -1)
+	p.DisableMLERecompute()
+	counts := map[int64]int64{}
+	for _, v := range drawAll(zipf.MustNew(50, 0, 47, 0), 5000) {
+		counts[v]++
+		p.ObserveCount(counts[v])
+	}
+	if p.haveCache {
+		t.Error("MLE recompute ran despite being disabled")
+	}
+	// τ = -1 forces GEE.
+	if p.UsingMLE() {
+		t.Error("τ=-1 should never select MLE")
+	}
+	if p.Estimate() != p.GEEEstimate() {
+		t.Error("estimate should be the GEE value")
+	}
+}
+
+func TestTrackerSetTotal(t *testing.T) {
+	p := NewProfileTracker(100, DefaultTau)
+	p.ObserveCount(1)
+	before := p.GEEEstimate()
+	p.SetTotal(10000)
+	if after := p.GEEEstimate(); after <= before {
+		t.Errorf("larger |T| should scale singletons: %g -> %g", before, after)
+	}
+}
+
+func TestChooserMarkExhausted(t *testing.T) {
+	c := NewChooser(1000, DefaultTau)
+	c.Observe(data.Int(1))
+	c.Observe(data.Int(1))
+	c.Observe(data.Int(2))
+	c.MarkExhausted()
+	if c.Estimate() != 2 || c.GEEEstimate() != 2 || c.MLEEstimate() != 2 {
+		t.Errorf("exhausted estimates = %g/%g/%g, want 2",
+			c.Estimate(), c.GEEEstimate(), c.MLEEstimate())
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	freqs := map[int64]int64{1: 4, 2: 3, 5: 1}
+	t64 := int64(4*1 + 3*2 + 5)
+	if got := GEEFromProfile(freqs, t64, float64(t64)); got != 8 {
+		t.Errorf("GEE at full = %g, want 8", got)
+	}
+	if got := MLEFromProfile(freqs, t64, float64(t64)); got != 8 {
+		t.Errorf("MLE at full = %g, want 8", got)
+	}
+	if got := GEEFromProfile(freqs, 0, 100); got != 0 {
+		t.Errorf("GEE empty = %g", got)
+	}
+	if got := MLEFromProfile(nil, 0, 100); got != 0 {
+		t.Errorf("MLE empty = %g", got)
+	}
+	if got := Gamma2FromProfile(nil, 0); got != 0 {
+		t.Errorf("γ² empty = %g", got)
+	}
+	est, usedMLE := ChooseFromProfile(freqs, t64, 1000, 1e18)
+	if !usedMLE {
+		t.Error("huge τ should select MLE")
+	}
+	if est <= 0 {
+		t.Errorf("estimate = %g", est)
+	}
+	est2, usedMLE2 := ChooseFromProfile(freqs, t64, 1000, -1)
+	if usedMLE2 {
+		t.Error("τ=-1 should select GEE")
+	}
+	if est2 <= 0 {
+		t.Errorf("estimate = %g", est2)
+	}
+}

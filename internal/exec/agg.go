@@ -1,0 +1,378 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"qpi/internal/data"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	CountStar AggFunc = iota
+	Count
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case CountStar:
+		return "COUNT(*)"
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return "AVG"
+	}
+}
+
+// AggSpec requests one aggregate over an input column (Col ignored for
+// COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Name string
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sum   float64
+	min   data.Value
+	max   data.Value
+}
+
+func (s *aggState) add(f AggFunc, v data.Value) {
+	if f == CountStar {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	s.sum += v.AsFloat()
+	if s.min.IsNull() || data.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if s.max.IsNull() || data.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+func (s *aggState) result(f AggFunc) data.Value {
+	switch f {
+	case CountStar, Count:
+		return data.Int(s.count)
+	case Sum:
+		if s.count == 0 {
+			return data.Null()
+		}
+		return data.Float(s.sum)
+	case Min:
+		return s.min
+	case Max:
+		return s.max
+	default: // Avg
+		if s.count == 0 {
+			return data.Null()
+		}
+		return data.Float(s.sum / float64(s.count))
+	}
+}
+
+// aggSchema builds the output schema of a grouping operator.
+func aggSchema(in *data.Schema, groupBy []int, aggs []AggSpec) *data.Schema {
+	cols := make([]data.Column, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		cols = append(cols, in.Cols[g])
+	}
+	for _, a := range aggs {
+		kind := data.KindFloat
+		if a.Func == Count || a.Func == CountStar {
+			kind = data.KindInt
+		} else if a.Func == Min || a.Func == Max {
+			kind = in.Cols[a.Col].Kind
+		}
+		name := a.Name
+		if name == "" {
+			name = a.Func.String()
+		}
+		cols = append(cols, data.Column{Name: name, Kind: kind})
+	}
+	return data.NewSchema(cols...)
+}
+
+// GroupKey builds a comparable key for a group (single-column groups use
+// the value directly; multi-column groups concatenate string renderings,
+// which is slower but correct). It is exported for the estimation
+// framework, which must group exactly the way the operators do.
+func GroupKey(t data.Tuple, groupBy []int) data.Value {
+	if len(groupBy) == 1 {
+		return t[groupBy[0]]
+	}
+	key := ""
+	for i, g := range groupBy {
+		if i > 0 {
+			key += "\x00"
+		}
+		key += t[g].String()
+	}
+	return data.Str(key)
+}
+
+// HashAgg implements hash-based grouping: the input is fully read and
+// partitioned by group key (firing OnInput per tuple — where the distinct-
+// value estimators attach), then groups are computed and emitted.
+type HashAgg struct {
+	base
+	child   Operator
+	groupBy []int
+	aggs    []AggSpec
+
+	// OnInput fires for every input tuple during the blocking read.
+	OnInput func(data.Tuple)
+	// OnInputGroupCount fires for every input tuple with the tuple's
+	// group's new observation count — n=1 means a new group. It rides the
+	// group lookup the aggregation performs anyway, so distinct-value
+	// estimators can update without any hashing of their own (the paper's
+	// "interleaved with the actual partitioning to keep overheads low").
+	OnInputGroupCount func(n int64)
+	// OnInputEnd fires when the input is exhausted.
+	OnInputEnd func()
+
+	groups    map[data.Value]*groupState
+	order     []data.Value
+	pos       int
+	computed  bool
+	inputRows int64
+}
+
+// groupState is one group's accumulators plus its observation count.
+type groupState struct {
+	states []*aggState
+	repr   data.Tuple
+	n      int64
+}
+
+// NewHashAgg groups child by the groupBy column indexes and computes aggs.
+func NewHashAgg(child Operator, groupBy []int, aggs []AggSpec) *HashAgg {
+	a := &HashAgg{child: child, groupBy: groupBy, aggs: aggs}
+	a.schema = aggSchema(child.Schema(), groupBy, aggs)
+	return a
+}
+
+// Name implements Operator.
+func (a *HashAgg) Name() string { return fmt.Sprintf("HashAgg(%v)", a.groupBy) }
+
+// Children implements Operator.
+func (a *HashAgg) Children() []Operator { return []Operator{a.child} }
+
+// GroupBy returns the grouping column indexes.
+func (a *HashAgg) GroupBy() []int { return a.groupBy }
+
+// Child returns the input operator.
+func (a *HashAgg) Child() Operator { return a.child }
+
+// Open implements Operator.
+func (a *HashAgg) Open() error { return a.child.Open() }
+
+// Next implements Operator.
+func (a *HashAgg) Next() (data.Tuple, error) {
+	if !a.computed {
+		if err := a.consume(); err != nil {
+			return nil, err
+		}
+	}
+	if a.pos >= len(a.order) {
+		return a.finish()
+	}
+	k := a.order[a.pos]
+	a.pos++
+	return a.emit(a.groupTuple(k))
+}
+
+func (a *HashAgg) consume() error {
+	a.groups = map[data.Value]*groupState{}
+	for {
+		t, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		a.inputRows++
+		if a.OnInput != nil {
+			a.OnInput(t)
+		}
+		k := GroupKey(t, a.groupBy)
+		gs, ok := a.groups[k]
+		if !ok {
+			gs = &groupState{states: make([]*aggState, len(a.aggs)), repr: t}
+			for i := range gs.states {
+				gs.states[i] = &aggState{}
+			}
+			a.groups[k] = gs
+			a.order = append(a.order, k)
+		}
+		gs.n++
+		if a.OnInputGroupCount != nil {
+			a.OnInputGroupCount(gs.n)
+		}
+		for i, spec := range a.aggs {
+			var v data.Value
+			if spec.Func != CountStar {
+				v = t[spec.Col]
+			}
+			gs.states[i].add(spec.Func, v)
+		}
+	}
+	if a.OnInputEnd != nil {
+		a.OnInputEnd()
+	}
+	a.computed = true
+	return nil
+}
+
+// GroupsSeen returns the number of distinct groups observed so far during
+// the input pass.
+func (a *HashAgg) GroupsSeen() int64 { return int64(len(a.groups)) }
+
+func (a *HashAgg) groupTuple(k data.Value) data.Tuple {
+	gs := a.groups[k]
+	out := make(data.Tuple, 0, len(a.groupBy)+len(a.aggs))
+	for _, g := range a.groupBy {
+		out = append(out, gs.repr[g])
+	}
+	for i, spec := range a.aggs {
+		out = append(out, gs.states[i].result(spec.Func))
+	}
+	return out
+}
+
+// InputRows returns the number of input tuples consumed.
+func (a *HashAgg) InputRows() int64 { return a.inputRows }
+
+// Close implements Operator.
+func (a *HashAgg) Close() error {
+	a.groups, a.order = nil, nil
+	return a.child.Close()
+}
+
+// SortAgg implements sort-based grouping: the input is sorted on the group
+// key (a blocking pass firing OnInput per tuple), then adjacent runs are
+// aggregated.
+type SortAgg struct {
+	base
+	child   Operator
+	sorter  *Sort
+	groupBy []int
+	aggs    []AggSpec
+
+	cur     data.Tuple // first tuple of the pending group
+	started bool
+	done    bool
+}
+
+// NewSortAgg groups child by the groupBy column indexes using sorting.
+func NewSortAgg(child Operator, groupBy []int, aggs []AggSpec) *SortAgg {
+	a := &SortAgg{
+		child:   child,
+		sorter:  NewSort(child, groupBy...),
+		groupBy: groupBy,
+		aggs:    aggs,
+	}
+	a.schema = aggSchema(child.Schema(), groupBy, aggs)
+	return a
+}
+
+// Sorter exposes the internal sort for estimator attachment.
+func (a *SortAgg) Sorter() *Sort { return a.sorter }
+
+// GroupBy returns the grouping column indexes.
+func (a *SortAgg) GroupBy() []int { return a.groupBy }
+
+// Name implements Operator.
+func (a *SortAgg) Name() string { return fmt.Sprintf("SortAgg(%v)", a.groupBy) }
+
+// Children implements Operator. The internal sort is part of the visible
+// plan tree so that its getnext() counts reach the progress monitor.
+func (a *SortAgg) Children() []Operator { return []Operator{a.sorter} }
+
+// Open implements Operator.
+func (a *SortAgg) Open() error { return a.sorter.Open() }
+
+// Next implements Operator.
+func (a *SortAgg) Next() (data.Tuple, error) {
+	if a.done {
+		return a.finish()
+	}
+	if !a.started {
+		t, err := a.sorter.Next()
+		if err != nil {
+			return nil, err
+		}
+		a.cur = t
+		a.started = true
+	}
+	if a.cur == nil {
+		a.done = true
+		return a.finish()
+	}
+	states := make([]*aggState, len(a.aggs))
+	for i := range states {
+		states[i] = &aggState{}
+	}
+	groupRepr := a.cur
+	key := GroupKey(a.cur, a.groupBy)
+	for a.cur != nil && data.Compare(GroupKey(a.cur, a.groupBy), key) == 0 {
+		for i, spec := range a.aggs {
+			var v data.Value
+			if spec.Func != CountStar {
+				v = a.cur[spec.Col]
+			}
+			states[i].add(spec.Func, v)
+		}
+		t, err := a.sorter.Next()
+		if err != nil {
+			return nil, err
+		}
+		a.cur = t
+	}
+	out := make(data.Tuple, 0, len(a.groupBy)+len(a.aggs))
+	for _, g := range a.groupBy {
+		out = append(out, groupRepr[g])
+	}
+	for i, spec := range a.aggs {
+		out = append(out, states[i].result(spec.Func))
+	}
+	return a.emit(out)
+}
+
+// Close implements Operator.
+func (a *SortAgg) Close() error { return a.sorter.Close() }
+
+// SortTuplesByKey sorts tuples in place by the given key columns; shared
+// helper for tests.
+func SortTuplesByKey(rows []data.Tuple, keys ...int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			if c := data.Compare(rows[i][k], rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,100 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"qpi/internal/data"
+)
+
+// faultOp emits good tuples then fails, exercising error propagation
+// through every composite operator.
+type faultOp struct {
+	base
+	good    int
+	emitted int
+}
+
+var errInjected = errors.New("injected failure")
+
+func newFaultOp(good int) *faultOp {
+	f := &faultOp{good: good}
+	f.schema = data.NewSchema(data.Column{Table: "f", Name: "k", Kind: data.KindInt})
+	return f
+}
+
+func (f *faultOp) Name() string         { return "Fault" }
+func (f *faultOp) Children() []Operator { return nil }
+func (f *faultOp) Open() error          { return nil }
+func (f *faultOp) Close() error         { return nil }
+func (f *faultOp) Next() (data.Tuple, error) {
+	if f.emitted >= f.good {
+		return nil, errInjected
+	}
+	f.emitted++
+	return data.Tuple{data.Int(int64(f.emitted))}, nil
+}
+
+// openFaultOp fails at Open.
+type openFaultOp struct{ faultOp }
+
+func (o *openFaultOp) Open() error { return errInjected }
+
+func expectInjected(t *testing.T, op Operator) {
+	t.Helper()
+	if err := op.Open(); err != nil {
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("unexpected open error: %v", err)
+		}
+		return
+	}
+	for {
+		tu, err := op.Next()
+		if err != nil {
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		if tu == nil {
+			t.Fatal("stream ended without the injected error")
+		}
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	mk := func() *faultOp { return newFaultOp(5) }
+	good := func() Operator { return NewScan(makeTable("g", []int64{1, 2, 3}), "") }
+
+	cases := map[string]Operator{
+		"filter":          NewFilter(mk(), alwaysTrueExpr{}),
+		"project":         NewProject(mk(), nil, nil),
+		"limit":           NewLimit(mk(), 100),
+		"sort":            NewSort(mk(), 0),
+		"hashjoin-build":  NewHashJoin(mk(), good(), 0, 0),
+		"hashjoin-probe":  NewHashJoin(good(), mk(), 0, 0),
+		"mergejoin-left":  NewMergeJoin(NewSort(mk(), 0), NewSort(good(), 0), 0, 0),
+		"mergejoin-right": NewMergeJoin(NewSort(good(), 0), NewSort(mk(), 0), 0, 0),
+		"nljoin-outer":    NewIndexedNLJoin(mk(), good(), 0, 0),
+		"nljoin-inner":    NewIndexedNLJoin(good(), mk(), 0, 0),
+		"hashagg":         NewHashAgg(mk(), []int{0}, []AggSpec{{Func: CountStar}}),
+		"sortagg":         NewSortAgg(mk(), []int{0}, []AggSpec{{Func: CountStar}}),
+	}
+	for name, op := range cases {
+		t.Run(name, func(t *testing.T) { expectInjected(t, op) })
+	}
+}
+
+func TestOpenErrorPropagation(t *testing.T) {
+	bad := &openFaultOp{}
+	bad.schema = data.NewSchema(data.Column{Table: "f", Name: "k", Kind: data.KindInt})
+	j := NewHashJoin(bad, NewScan(makeTable("g", []int64{1}), ""), 0, 0)
+	if err := j.Open(); !errors.Is(err, errInjected) {
+		t.Fatalf("open error not propagated: %v", err)
+	}
+}
+
+type alwaysTrueExpr struct{}
+
+func (alwaysTrueExpr) Eval(data.Tuple) data.Value { return data.Bool(true) }
+func (alwaysTrueExpr) String() string             { return "true" }

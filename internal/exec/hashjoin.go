@@ -1,0 +1,532 @@
+package exec
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+
+	"qpi/internal/data"
+)
+
+// hashSeed is the process-wide seed for partitioning hashes.
+var hashSeed = maphash.MakeSeed()
+
+// hashValue hashes a join key for partitioning.
+func hashValue(v data.Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.Kind {
+	case data.KindInt:
+		var b [9]byte
+		b[0] = 1
+		for i := 0; i < 8; i++ {
+			b[i+1] = byte(v.I >> (8 * i))
+		}
+		h.Write(b[:])
+	case data.KindFloat:
+		var b [9]byte
+		b[0] = 2
+		bits := math.Float64bits(v.F)
+		for i := 0; i < 8; i++ {
+			b[i+1] = byte(bits >> (8 * i))
+		}
+		h.Write(b[:])
+	case data.KindString:
+		h.WriteByte(3)
+		h.WriteString(v.S)
+	default:
+		h.WriteByte(0)
+	}
+	return h.Sum64()
+}
+
+// HashJoin is a grace hash join: it fully partitions the build input, then
+// fully partitions the probe input, then joins partition by partition.
+//
+// The explicit probe partition pass matters for two reasons. First, the
+// online estimator attaches there (OnProbeTuple) and converges to the
+// exact join cardinality before any output is produced (§4.1.1). Second,
+// the join output is clustered by partition, which is exactly the
+// reordering that makes the dne and byte estimators fluctuate on skewed
+// data (§5.1.2 / Figure 4).
+type HashJoin struct {
+	base
+	build, probe         Operator
+	buildKeys, probeKeys []int
+	parts                int
+
+	// OnBuildTuple fires for every build-input tuple during the build
+	// partition pass.
+	OnBuildTuple func(data.Tuple)
+	// OnProbeTuple fires for every probe-input tuple during the probe
+	// partition pass (before any join output is produced).
+	OnProbeTuple func(data.Tuple)
+	// OnProbeEnd fires when the probe input is exhausted, i.e. when the
+	// online estimate has converged.
+	OnProbeEnd func()
+	// OnOutput fires for every emitted join tuple (the second pass),
+	// letting progress monitors sample during long emission phases.
+	OnOutput func(data.Tuple)
+
+	state      hjState
+	buildParts [][]data.Tuple
+	probeParts [][]data.Tuple
+	buildRows  int64
+	probeRows  int64
+
+	// Memory-budgeted (spilling) mode: when memBudget > 0, partitions
+	// whose buffered bytes exceed the per-partition share spill to temp
+	// files — the grace hash join's actual on-disk behaviour. The hash
+	// table for the partition being joined is still built in memory.
+	memBudget  int64
+	buildSpill []*spillFile
+	probeSpill []*spillFile
+	buildBytes []int64
+	probeBytes []int64
+	probeFile  *spillFile // reader for the current spilled probe partition
+	spilled    int        // partition buffers that went to disk
+
+	curPart      int
+	ht           map[data.Value][]data.Tuple
+	curProbe     int
+	matches      []data.Tuple
+	matchPos     int
+	probeTup     data.Tuple
+	joinedProbes int64 // probe tuples consumed in the join (second) pass
+
+	joinType  JoinType
+	nullBuild data.Tuple // all-NULL build-side padding for ProbeOuterJoin
+}
+
+type hjState uint8
+
+const (
+	hjInit hjState = iota
+	hjJoin
+	hjDone
+)
+
+// JoinType selects the join semantics of a HashJoin. The probe side is
+// the preserved side for the outer/semi/anti variants, because the probe
+// input streams and a preserved build side would require end-of-join
+// bitmap scans; the SQL planner orients joins accordingly.
+type JoinType uint8
+
+// Join types.
+const (
+	// InnerJoin emits build ⧺ probe for every match.
+	InnerJoin JoinType = iota
+	// ProbeOuterJoin additionally emits NULL-padded build columns for
+	// probe tuples without a match (SQL LEFT JOIN with the preserved
+	// relation on the probe side).
+	ProbeOuterJoin
+	// SemiJoin emits each probe tuple once iff a match exists; the output
+	// schema is the probe schema alone.
+	SemiJoin
+	// AntiJoin emits each probe tuple iff no match exists; the output
+	// schema is the probe schema alone.
+	AntiJoin
+)
+
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "inner"
+	case ProbeOuterJoin:
+		return "outer"
+	case SemiJoin:
+		return "semi"
+	default:
+		return "anti"
+	}
+}
+
+// NewHashJoin joins build ⋈ probe on build.Schema()[buildKey] =
+// probe.Schema()[probeKey]. The output schema is build columns followed by
+// probe columns.
+func NewHashJoin(build, probe Operator, buildKey, probeKey int) *HashJoin {
+	return NewHashJoinMulti(build, probe, []int{buildKey}, []int{probeKey}, InnerJoin)
+}
+
+// NewHashJoinMulti joins on the conjunction of several column equalities
+// (§4.1's "join conditions involving ... conjunctions of multiple
+// attributes"): tuples match when every corresponding key column pair is
+// equal. buildKeys and probeKeys must have equal non-zero length.
+func NewHashJoinMulti(build, probe Operator, buildKeys, probeKeys []int, t JoinType) *HashJoin {
+	if len(buildKeys) == 0 || len(buildKeys) != len(probeKeys) {
+		panic(fmt.Sprintf("exec: NewHashJoinMulti: key arity mismatch %d vs %d",
+			len(buildKeys), len(probeKeys)))
+	}
+	j := &HashJoin{
+		build:     build,
+		probe:     probe,
+		buildKeys: buildKeys,
+		probeKeys: probeKeys,
+		parts:     16,
+		joinType:  t,
+	}
+	j.schema = build.Schema().Concat(probe.Schema())
+	switch t {
+	case SemiJoin, AntiJoin:
+		j.schema = probe.Schema()
+	case ProbeOuterJoin:
+		j.nullBuild = make(data.Tuple, build.Schema().Len())
+	}
+	return j
+}
+
+// NewHashJoinTyped creates a hash join with explicit join semantics.
+func NewHashJoinTyped(build, probe Operator, buildKey, probeKey int, t JoinType) *HashJoin {
+	return NewHashJoinMulti(build, probe, []int{buildKey}, []int{probeKey}, t)
+}
+
+// JoinKeyOf extracts a join key from a tuple: the single column value, or
+// a composite value for multi-column keys (any NULL component yields
+// NULL, since a NULL never equals anything).
+func JoinKeyOf(t data.Tuple, cols []int) data.Value {
+	if len(cols) == 1 {
+		return t[cols[0]]
+	}
+	for _, c := range cols {
+		if t[c].IsNull() {
+			return data.Null()
+		}
+	}
+	return GroupKey(t, cols)
+}
+
+// Type returns the join semantics.
+func (j *HashJoin) Type() JoinType { return j.joinType }
+
+// NewHashJoinOn resolves the join columns by qualified name.
+func NewHashJoinOn(build, probe Operator, buildTable, buildCol, probeTable, probeCol string) *HashJoin {
+	return NewHashJoin(build, probe,
+		build.Schema().MustResolve(buildTable, buildCol),
+		probe.Schema().MustResolve(probeTable, probeCol))
+}
+
+// SetPartitions overrides the number of grace partitions (default 16).
+func (j *HashJoin) SetPartitions(p int) *HashJoin {
+	if p < 1 {
+		p = 1
+	}
+	j.parts = p
+	return j
+}
+
+// SetMemoryBudget caps the bytes buffered across partition buffers;
+// overflowing partitions spill to temporary files (0 = unlimited, the
+// default). The budget is split evenly across partitions and sides.
+func (j *HashJoin) SetMemoryBudget(bytes int64) *HashJoin {
+	j.memBudget = bytes
+	return j
+}
+
+// Spilled reports how many partition buffers went to disk (both sides).
+func (j *HashJoin) Spilled() int { return j.spilled }
+
+// partitionAppend buffers a tuple for partition p on one side, spilling
+// the buffer when it exceeds its budget share.
+func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
+	bytes []int64, p int, t data.Tuple, width int) error {
+	if spill != nil && spill[p] != nil {
+		return spill[p].append(t)
+	}
+	parts[p] = append(parts[p], t)
+	if j.memBudget <= 0 {
+		return nil
+	}
+	bytes[p] += int64(t.Size())
+	if bytes[p] <= j.memBudget/int64(2*j.parts) {
+		return nil
+	}
+	// Overflow: dump this partition's buffer and switch it to disk.
+	f, err := newSpillFile(width)
+	if err != nil {
+		return err
+	}
+	for _, buf := range parts[p] {
+		if err := f.append(buf); err != nil {
+			f.close()
+			return err
+		}
+	}
+	parts[p] = nil
+	spill[p] = f
+	j.spilled++
+	return nil
+}
+
+// Build returns the build child; Probe the probe child.
+func (j *HashJoin) Build() Operator { return j.build }
+
+// Probe returns the probe child.
+func (j *HashJoin) Probe() Operator { return j.probe }
+
+// BuildKey returns the first build-side join column index.
+func (j *HashJoin) BuildKey() int { return j.buildKeys[0] }
+
+// ProbeKey returns the first probe-side join column index.
+func (j *HashJoin) ProbeKey() int { return j.probeKeys[0] }
+
+// BuildKeys returns the build-side join column indexes.
+func (j *HashJoin) BuildKeys() []int { return j.buildKeys }
+
+// ProbeKeys returns the probe-side join column indexes.
+func (j *HashJoin) ProbeKeys() []int { return j.probeKeys }
+
+// Name implements Operator.
+func (j *HashJoin) Name() string {
+	kind := ""
+	if j.joinType != InnerJoin {
+		kind = j.joinType.String() + " "
+	}
+	conds := ""
+	for i := range j.buildKeys {
+		if i > 0 {
+			conds += " AND "
+		}
+		conds += j.build.Schema().Cols[j.buildKeys[i]].Qualified() + " = " +
+			j.probe.Schema().Cols[j.probeKeys[i]].Qualified()
+	}
+	return fmt.Sprintf("HashJoin(%s%s)", kind, conds)
+}
+
+// Children implements Operator.
+func (j *HashJoin) Children() []Operator { return []Operator{j.build, j.probe} }
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	return j.probe.Open()
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (data.Tuple, error) {
+	if j.state == hjInit {
+		if err := j.partitionPhases(); err != nil {
+			return nil, err
+		}
+		j.state = hjJoin
+	}
+	for j.state == hjJoin {
+		// Emit pending matches for the current probe tuple.
+		if j.matchPos < len(j.matches) {
+			m := j.matches[j.matchPos]
+			j.matchPos++
+			return j.emitOut(m.Concat(j.probeTup))
+		}
+		// Advance to the next probe tuple in the current partition.
+		probeTup, err := j.nextProbeInPartition()
+		if err != nil {
+			return nil, err
+		}
+		if probeTup != nil {
+			j.probeTup = probeTup
+			j.joinedProbes++
+			key := JoinKeyOf(j.probeTup, j.probeKeys)
+			var matches []data.Tuple
+			if !key.IsNull() {
+				matches = j.ht[key]
+			}
+			switch j.joinType {
+			case SemiJoin:
+				if len(matches) > 0 {
+					return j.emitOut(j.probeTup)
+				}
+				continue
+			case AntiJoin:
+				if len(matches) == 0 {
+					return j.emitOut(j.probeTup)
+				}
+				continue
+			case ProbeOuterJoin:
+				if len(matches) == 0 {
+					return j.emitOut(j.nullBuild.Concat(j.probeTup))
+				}
+			}
+			j.matches = matches
+			j.matchPos = 0
+			continue
+		}
+		// Advance to the next partition.
+		if j.probeFile != nil {
+			j.probeFile.close()
+			j.probeSpill[j.curPart] = nil
+			j.probeFile = nil
+		}
+		j.curPart++
+		if j.curPart >= j.parts {
+			j.state = hjDone
+			break
+		}
+		if err := j.loadPartition(j.curPart); err != nil {
+			return nil, err
+		}
+	}
+	return j.finish()
+}
+
+// partitionPhases runs the build and probe partition passes.
+func (j *HashJoin) partitionPhases() error {
+	j.buildParts = make([][]data.Tuple, j.parts)
+	j.probeParts = make([][]data.Tuple, j.parts)
+	j.buildSpill = make([]*spillFile, j.parts)
+	j.probeSpill = make([]*spillFile, j.parts)
+	j.buildBytes = make([]int64, j.parts)
+	j.probeBytes = make([]int64, j.parts)
+	buildWidth := j.build.Schema().Len()
+	probeWidth := j.probe.Schema().Len()
+	for {
+		t, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		j.buildRows++
+		if j.OnBuildTuple != nil {
+			j.OnBuildTuple(t)
+		}
+		k := JoinKeyOf(t, j.buildKeys)
+		if k.IsNull() {
+			continue // NULL keys never join
+		}
+		p := int(hashValue(k) % uint64(j.parts))
+		if err := j.partitionAppend(j.buildParts, j.buildSpill, j.buildBytes, p, t, buildWidth); err != nil {
+			return err
+		}
+	}
+	for {
+		t, err := j.probe.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		j.probeRows++
+		if j.OnProbeTuple != nil {
+			j.OnProbeTuple(t)
+		}
+		k := JoinKeyOf(t, j.probeKeys)
+		if k.IsNull() {
+			// NULL keys never match; they are preserved only by the
+			// probe-preserving join types.
+			if j.joinType == ProbeOuterJoin || j.joinType == AntiJoin {
+				if err := j.partitionAppend(j.probeParts, j.probeSpill, j.probeBytes, 0, t, probeWidth); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		p := int(hashValue(k) % uint64(j.parts))
+		if err := j.partitionAppend(j.probeParts, j.probeSpill, j.probeBytes, p, t, probeWidth); err != nil {
+			return err
+		}
+	}
+	if j.OnProbeEnd != nil {
+		j.OnProbeEnd()
+	}
+	j.curPart = 0
+	return j.loadPartition(0)
+}
+
+// emitOut fires the output hook and counts the emission.
+func (j *HashJoin) emitOut(out data.Tuple) (data.Tuple, error) {
+	if j.OnOutput != nil {
+		j.OnOutput(out)
+	}
+	return j.emit(out)
+}
+
+// loadPartition builds the in-memory hash table for one partition,
+// reading spilled build tuples back from disk, and positions the probe
+// cursor (in-memory slice or spilled stream).
+func (j *HashJoin) loadPartition(p int) error {
+	buildTuples := j.buildParts[p]
+	if f := j.buildSpill[p]; f != nil {
+		var err error
+		buildTuples, err = f.readAll()
+		if err != nil {
+			return err
+		}
+		f.close()
+		j.buildSpill[p] = nil
+	}
+	j.ht = make(map[data.Value][]data.Tuple, len(buildTuples))
+	for _, t := range buildTuples {
+		k := JoinKeyOf(t, j.buildKeys)
+		j.ht[k] = append(j.ht[k], t)
+	}
+	j.buildParts[p] = nil // partition consumed
+	j.probeFile = nil
+	if f := j.probeSpill[p]; f != nil {
+		if err := f.startRead(); err != nil {
+			return err
+		}
+		j.probeFile = f
+	}
+	j.curProbe = 0
+	j.matches = nil
+	j.matchPos = 0
+	return nil
+}
+
+// nextProbeInPartition advances the probe cursor within the current
+// partition, returning nil at partition end.
+func (j *HashJoin) nextProbeInPartition() (data.Tuple, error) {
+	if j.probeFile != nil {
+		return j.probeFile.next()
+	}
+	if j.curPart < j.parts && j.curProbe < len(j.probeParts[j.curPart]) {
+		t := j.probeParts[j.curPart][j.curProbe]
+		j.curProbe++
+		return t, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.buildParts, j.probeParts, j.ht, j.matches = nil, nil, nil, nil
+	for _, f := range j.buildSpill {
+		if f != nil {
+			f.close()
+		}
+	}
+	for _, f := range j.probeSpill {
+		if f != nil {
+			f.close()
+		}
+	}
+	j.buildSpill, j.probeSpill, j.probeFile = nil, nil, nil
+	if err := j.build.Close(); err != nil {
+		j.probe.Close()
+		return err
+	}
+	return j.probe.Close()
+}
+
+// BuildRows returns the number of build tuples read (available after the
+// first Next call).
+func (j *HashJoin) BuildRows() int64 { return j.buildRows }
+
+// ProbeRows returns the number of probe tuples read.
+func (j *HashJoin) ProbeRows() int64 { return j.probeRows }
+
+// JoinedProbeFraction returns the fraction of the probe input consumed by
+// the join (second) pass — the x-axis of the paper's Figure 4 and the
+// driver progress the dne/byte estimators observe for hash joins.
+func (j *HashJoin) JoinedProbeFraction() float64 {
+	if j.probeRows == 0 {
+		if j.state == hjDone {
+			return 1
+		}
+		return 0
+	}
+	return float64(j.joinedProbes) / float64(j.probeRows)
+}

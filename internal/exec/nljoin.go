@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"fmt"
+
+	"qpi/internal/data"
+	"qpi/internal/expr"
+)
+
+// NestedLoopsJoin materializes the inner input once, then joins each outer
+// tuple against it as the outer is read (no preprocessing pass over the
+// outer — which is why the paper's framework cannot do better than the
+// dne estimator here, §4.1.3).
+//
+// When Indexed is set, a temporary hash index on the inner join column is
+// built during materialization (the common engine optimization the paper
+// notes); the join predicate is then an equijoin on the key columns.
+// Otherwise an arbitrary predicate over the concatenated tuple is
+// supported (theta joins).
+type NestedLoopsJoin struct {
+	base
+	outer, inner Operator
+
+	// Equijoin configuration (used when Indexed is true).
+	outerKey, innerKey int
+	// Pred is the general join predicate over outer⧺inner (used when
+	// Indexed is false). A nil Pred means cross product.
+	Pred expr.Expr
+	// Indexed selects the temporary-index variant.
+	Indexed bool
+
+	// OnOuterTuple fires for every outer tuple as it is read.
+	OnOuterTuple func(data.Tuple)
+	// OnInnerTuple fires for every inner tuple during materialization.
+	OnInnerTuple func(data.Tuple)
+
+	innerRows []data.Tuple
+	index     map[data.Value][]data.Tuple
+	loaded    bool
+
+	outerTup data.Tuple
+	matches  []data.Tuple
+	matchPos int
+}
+
+// NewNestedLoopsJoin creates a theta nested-loops join with predicate pred
+// over the concatenated (outer ⧺ inner) tuple.
+func NewNestedLoopsJoin(outer, inner Operator, pred expr.Expr) *NestedLoopsJoin {
+	j := &NestedLoopsJoin{outer: outer, inner: inner, Pred: pred}
+	j.schema = outer.Schema().Concat(inner.Schema())
+	return j
+}
+
+// NewIndexedNLJoin creates an equijoin nested-loops join with a temporary
+// hash index on the inner join column.
+func NewIndexedNLJoin(outer, inner Operator, outerKey, innerKey int) *NestedLoopsJoin {
+	j := &NestedLoopsJoin{
+		outer: outer, inner: inner,
+		outerKey: outerKey, innerKey: innerKey,
+		Indexed: true,
+	}
+	j.schema = outer.Schema().Concat(inner.Schema())
+	return j
+}
+
+// Name implements Operator.
+func (j *NestedLoopsJoin) Name() string {
+	if j.Indexed {
+		return fmt.Sprintf("IndexedNLJoin(%s = %s)",
+			j.outer.Schema().Cols[j.outerKey].Qualified(),
+			j.inner.Schema().Cols[j.innerKey].Qualified())
+	}
+	if j.Pred == nil {
+		return "NLJoin(cross)"
+	}
+	return fmt.Sprintf("NLJoin(%s)", j.Pred)
+}
+
+// Children implements Operator.
+func (j *NestedLoopsJoin) Children() []Operator { return []Operator{j.outer, j.inner} }
+
+// Outer returns the outer child; Inner the inner child.
+func (j *NestedLoopsJoin) Outer() Operator { return j.outer }
+
+// Inner returns the inner child.
+func (j *NestedLoopsJoin) Inner() Operator { return j.inner }
+
+// OuterKey returns the outer join column index (indexed variant).
+func (j *NestedLoopsJoin) OuterKey() int { return j.outerKey }
+
+// InnerKey returns the inner join column index (indexed variant).
+func (j *NestedLoopsJoin) InnerKey() int { return j.innerKey }
+
+// Open implements Operator.
+func (j *NestedLoopsJoin) Open() error {
+	if err := j.outer.Open(); err != nil {
+		return err
+	}
+	return j.inner.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopsJoin) Next() (data.Tuple, error) {
+	if !j.loaded {
+		if err := j.loadInner(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if j.matchPos < len(j.matches) {
+			m := j.matches[j.matchPos]
+			j.matchPos++
+			return j.emit(j.outerTup.Concat(m))
+		}
+		t, err := j.outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return j.finish()
+		}
+		if j.OnOuterTuple != nil {
+			j.OnOuterTuple(t)
+		}
+		j.outerTup = t
+		j.matchPos = 0
+		if j.Indexed {
+			k := t[j.outerKey]
+			if k.IsNull() {
+				j.matches = nil
+				continue
+			}
+			j.matches = j.index[k]
+			continue
+		}
+		// Theta join: filter the materialized inner.
+		j.matches = j.matches[:0]
+		for _, in := range j.innerRows {
+			if j.Pred == nil || j.Pred.Eval(t.Concat(in)).IsTrue() {
+				j.matches = append(j.matches, in)
+			}
+		}
+	}
+}
+
+func (j *NestedLoopsJoin) loadInner() error {
+	if j.Indexed {
+		j.index = map[data.Value][]data.Tuple{}
+	}
+	for {
+		t, err := j.inner.Next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			break
+		}
+		if j.OnInnerTuple != nil {
+			j.OnInnerTuple(t)
+		}
+		if j.Indexed {
+			k := t[j.innerKey]
+			if k.IsNull() {
+				continue
+			}
+			j.index[k] = append(j.index[k], t)
+		} else {
+			j.innerRows = append(j.innerRows, t)
+		}
+	}
+	j.loaded = true
+	return nil
+}
+
+// Close implements Operator.
+func (j *NestedLoopsJoin) Close() error {
+	j.innerRows, j.index, j.matches = nil, nil, nil
+	if err := j.outer.Close(); err != nil {
+		j.inner.Close()
+		return err
+	}
+	return j.inner.Close()
+}

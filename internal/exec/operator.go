@@ -1,0 +1,138 @@
+// Package exec implements a Volcano-style (Open/Next/Close iterator)
+// query executor: table scans with block-level sampling, filters,
+// projections, grace hash joins, sorts, sort-merge joins, nested-loops
+// joins and hash/sort aggregation.
+//
+// Every operator counts the getnext() calls it has satisfied (paper §3's
+// gnm work model) in its Stats, and the join/sort/aggregation operators
+// expose per-phase hooks (build tuple, probe tuple, input tuple, sample
+// end) that the online estimation framework in internal/core attaches to.
+// The executor itself knows nothing about estimation.
+package exec
+
+import (
+	"qpi/internal/data"
+)
+
+// Operator is the Volcano iterator contract. Next returns a nil tuple when
+// the stream is exhausted. Operators are single-use: Open, drain, Close.
+type Operator interface {
+	// Open prepares the operator (recursively opening children).
+	Open() error
+	// Next returns the next output tuple, or nil at end of stream.
+	Next() (data.Tuple, error)
+	// Close releases resources (recursively closing children).
+	Close() error
+	// Schema describes the output tuples.
+	Schema() *data.Schema
+	// Children returns the input operators, left to right.
+	Children() []Operator
+	// Stats returns the operator's live counters; estimators and the
+	// progress monitor read and write it during execution.
+	Stats() *Stats
+	// Name returns a short EXPLAIN-style label ("HashJoin", "Scan(t)").
+	Name() string
+}
+
+// Stats carries the live execution counters of one operator.
+//
+// Emitted is the K_i of the gnm model: the number of getnext() calls this
+// operator has satisfied. EstTotal is the current estimate of N_i, the
+// total number of getnext() calls over the operator's lifetime; it starts
+// as the optimizer estimate and is refined online by the estimators.
+type Stats struct {
+	Emitted    int64   // K_i: tuples emitted so far
+	EstTotal   float64 // current estimate of N_i
+	EstSource  string  // provenance: "optimizer", "once", "dne", "byte", "exact"
+	Done       bool    // operator exhausted (Emitted is exact N_i)
+	InputTotal int64   // leaf scans: total rows in the underlying table
+	// GroupsHint preserves an aggregation's distinct-count belief before
+	// it is capped at the (possibly misestimated) input cardinality, so
+	// progress refinement can re-cap when the input belief changes.
+	GroupsHint float64
+}
+
+// SetEstimate records a refined estimate of the operator's total output.
+func (s *Stats) SetEstimate(total float64, source string) {
+	s.EstTotal = total
+	s.EstSource = source
+}
+
+// Total returns the best current belief about N_i: exact when done,
+// the refined estimate otherwise (never below what has already been
+// emitted).
+func (s *Stats) Total() float64 {
+	if s.Done {
+		return float64(s.Emitted)
+	}
+	if s.EstTotal < float64(s.Emitted) {
+		return float64(s.Emitted)
+	}
+	return s.EstTotal
+}
+
+// base provides the shared bookkeeping for operators.
+type base struct {
+	stats  Stats
+	schema *data.Schema
+}
+
+func (b *base) Stats() *Stats        { return &b.stats }
+func (b *base) Schema() *data.Schema { return b.schema }
+
+// emit counts an emitted tuple and returns it, keeping Next bodies terse.
+func (b *base) emit(t data.Tuple) (data.Tuple, error) {
+	b.stats.Emitted++
+	return t, nil
+}
+
+// finish marks the operator done.
+func (b *base) finish() (data.Tuple, error) {
+	b.stats.Done = true
+	return nil, nil
+}
+
+// Drain runs an opened operator to exhaustion, returning the tuples.
+// It is a convenience for tests, examples and materializing consumers.
+func Drain(op Operator) ([]data.Tuple, error) {
+	var out []data.Tuple
+	for {
+		t, err := op.Next()
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Run opens, drains and closes an operator, returning the row count. It is
+// the cheapest way to execute a query whose output is not needed.
+func Run(op Operator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		t, err := op.Next()
+		if err != nil {
+			op.Close()
+			return n, err
+		}
+		if t == nil {
+			break
+		}
+		n++
+	}
+	return n, op.Close()
+}
+
+// Walk visits op and all descendants in pre-order.
+func Walk(op Operator, visit func(Operator)) {
+	visit(op)
+	for _, c := range op.Children() {
+		Walk(c, visit)
+	}
+}

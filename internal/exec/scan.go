@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"fmt"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+)
+
+// Scan reads a stored table. When SampleFraction > 0 the scan delivers a
+// block-level random sample of that fraction of the table first and the
+// remaining blocks afterwards (excluding sampled blocks), firing
+// OnSampleEnd as the punctuation between the two phases — the paper's
+// modified table scan (§5 "Implementation").
+type Scan struct {
+	base
+	table *storage.Table
+	alias string
+
+	// SampleFraction in [0,1] selects the size of the random block sample
+	// delivered first; 0 scans sequentially.
+	SampleFraction float64
+	// Seed makes the block sample reproducible.
+	Seed int64
+
+	// OnTuple fires for every emitted tuple, before it is returned.
+	OnTuple func(data.Tuple)
+	// OnSampleEnd fires once, after the last tuple of the random sample.
+	OnSampleEnd func()
+
+	it         *storage.Iterator
+	sampleLeft int
+	punctuated bool
+}
+
+// NewScan creates a sequential scan over a table. alias renames the output
+// columns ("" keeps the stored table name).
+func NewScan(t *storage.Table, alias string) *Scan {
+	s := &Scan{table: t, alias: alias}
+	sch := t.Schema()
+	if alias != "" && alias != t.Name() {
+		sch = sch.Rename(alias)
+	}
+	s.schema = sch
+	s.stats.InputTotal = int64(t.NumRows())
+	s.stats.SetEstimate(float64(t.NumRows()), "exact")
+	return s
+}
+
+// Table returns the underlying stored table.
+func (s *Scan) Table() *storage.Table { return s.table }
+
+// Name implements Operator.
+func (s *Scan) Name() string {
+	n := s.table.Name()
+	if s.alias != "" && s.alias != n {
+		n += " AS " + s.alias
+	}
+	return fmt.Sprintf("Scan(%s)", n)
+}
+
+// Children implements Operator.
+func (s *Scan) Children() []Operator { return nil }
+
+// Open implements Operator.
+func (s *Scan) Open() error {
+	if s.SampleFraction < 0 || s.SampleFraction > 1 {
+		return fmt.Errorf("exec: scan %s: sample fraction %g out of [0,1]",
+			s.Name(), s.SampleFraction)
+	}
+	if s.SampleFraction > 0 {
+		s.it = s.table.SampleOrder(s.SampleFraction, s.Seed)
+	} else {
+		s.it = s.table.SequentialOrder()
+	}
+	s.sampleLeft = s.it.SampleBoundary()
+	s.punctuated = s.sampleLeft == 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (data.Tuple, error) {
+	t := s.it.Next()
+	if t == nil {
+		if !s.punctuated {
+			s.punctuated = true
+			if s.OnSampleEnd != nil {
+				s.OnSampleEnd()
+			}
+		}
+		return s.finish()
+	}
+	if s.OnTuple != nil {
+		s.OnTuple(t)
+	}
+	if !s.punctuated {
+		s.sampleLeft--
+		if s.sampleLeft == 0 {
+			s.punctuated = true
+			if s.OnSampleEnd != nil {
+				s.OnSampleEnd()
+			}
+		}
+	}
+	return s.emit(t)
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error {
+	s.it = nil
+	return nil
+}
+
+// Fraction returns the fraction of the table emitted so far, used by the
+// driver-node (dne) and byte estimators.
+func (s *Scan) Fraction() float64 {
+	if s.stats.InputTotal == 0 {
+		return 1
+	}
+	return float64(s.stats.Emitted) / float64(s.stats.InputTotal)
+}

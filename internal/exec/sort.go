@@ -1,0 +1,327 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"qpi/internal/data"
+)
+
+// Sort is a blocking operator that materializes and sorts its input by one
+// or more key columns (ascending). The input pass fires OnInput for every
+// tuple, which is where the online estimation framework builds histograms
+// for sort-merge joins (§4.1.2: "every tuple of R is seen at least once
+// before any output is produced").
+type Sort struct {
+	base
+	child Operator
+	keys  []int
+	desc  []bool // per-key descending flags (nil = all ascending)
+
+	// OnInput fires for every input tuple during the (blocking) sort read.
+	OnInput func(data.Tuple)
+	// OnInputEnd fires when the input is exhausted, before output starts.
+	OnInputEnd func()
+
+	rows   []data.Tuple
+	pos    int
+	sorted bool
+
+	// External sorting (see extsort.go).
+	memBudget int64
+	bufBytes  int64
+	runs      []*spillFile
+	merge     *mergeState
+}
+
+// NewSort sorts child by the given column indexes, ascending.
+func NewSort(child Operator, keys ...int) *Sort {
+	s := &Sort{child: child, keys: keys}
+	s.schema = child.Schema()
+	return s
+}
+
+// NewSortDirs sorts child with per-key directions (desc[i] true =
+// descending). len(desc) must equal len(keys).
+func NewSortDirs(child Operator, keys []int, desc []bool) *Sort {
+	if len(keys) != len(desc) {
+		panic("exec: NewSortDirs: keys/desc length mismatch")
+	}
+	s := &Sort{child: child, keys: keys, desc: desc}
+	s.schema = child.Schema()
+	return s
+}
+
+// Name implements Operator.
+func (s *Sort) Name() string { return fmt.Sprintf("Sort(%v)", s.keys) }
+
+// Children implements Operator.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
+// Open implements Operator.
+func (s *Sort) Open() error { return s.child.Open() }
+
+// Next implements Operator.
+func (s *Sort) Next() (data.Tuple, error) {
+	if !s.sorted {
+		for {
+			t, err := s.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				break
+			}
+			if s.OnInput != nil {
+				s.OnInput(t)
+			}
+			s.rows = append(s.rows, t)
+			if s.memBudget > 0 {
+				s.bufBytes += int64(t.Size())
+				if s.bufBytes > s.memBudget {
+					if err := s.spillRun(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if s.OnInputEnd != nil {
+			s.OnInputEnd()
+		}
+		if len(s.runs) > 0 {
+			// External path: flush the tail as the final run and merge.
+			if err := s.spillRun(); err != nil {
+				return nil, err
+			}
+			if err := s.startMerge(); err != nil {
+				return nil, err
+			}
+		} else {
+			sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
+		}
+		s.sorted = true
+	}
+	if s.merge != nil {
+		t, err := s.mergeNext()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return s.finish()
+		}
+		return s.emit(t)
+	}
+	if s.pos >= len(s.rows) {
+		return s.finish()
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return s.emit(t)
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	for _, f := range s.runs {
+		f.close()
+	}
+	s.runs, s.merge = nil, nil
+	return s.child.Close()
+}
+
+// MergeJoin merges two inputs that are sorted on the join keys, emitting
+// the cross product of each matching key group. Compose it over Sort
+// operators (see NewSortMergeJoin) unless the inputs are already sorted —
+// the case where the paper's framework cannot push estimation down and
+// falls back to dne (§4.1.2 end).
+type MergeJoin struct {
+	base
+	left, right       Operator
+	leftKey, rightKey int
+
+	// OnOutput fires for every emitted join tuple.
+	OnOutput func(data.Tuple)
+
+	leftTup   data.Tuple
+	rightTup  data.Tuple
+	group     []data.Tuple // right tuples matching current left key
+	groupPos  int
+	started   bool
+	done      bool
+	leftRead  int64
+	rightRead int64
+}
+
+// Progress returns the fraction of the (sorted) inputs consumed by the
+// merge pass, the driver progress dne/byte observe for sort-merge joins.
+func (j *MergeJoin) Progress() float64 {
+	lt := j.left.Stats().Total()
+	rt := j.right.Stats().Total()
+	if lt+rt == 0 {
+		if j.done {
+			return 1
+		}
+		return 0
+	}
+	return float64(j.leftRead+j.rightRead) / (lt + rt)
+}
+
+// NewMergeJoin joins two key-sorted inputs.
+func NewMergeJoin(left, right Operator, leftKey, rightKey int) *MergeJoin {
+	j := &MergeJoin{left: left, right: right, leftKey: leftKey, rightKey: rightKey}
+	j.schema = left.Schema().Concat(right.Schema())
+	return j
+}
+
+// NewSortMergeJoin wraps both children in Sort operators and merges them.
+// It returns the join and the two sorts (for estimator attachment).
+func NewSortMergeJoin(left, right Operator, leftKey, rightKey int) (*MergeJoin, *Sort, *Sort) {
+	ls := NewSort(left, leftKey)
+	rs := NewSort(right, rightKey)
+	return NewMergeJoin(ls, rs, leftKey, rightKey), ls, rs
+}
+
+// Name implements Operator.
+func (j *MergeJoin) Name() string {
+	return fmt.Sprintf("MergeJoin(%s = %s)",
+		j.left.Schema().Cols[j.leftKey].Qualified(),
+		j.right.Schema().Cols[j.rightKey].Qualified())
+}
+
+// Children implements Operator.
+func (j *MergeJoin) Children() []Operator { return []Operator{j.left, j.right} }
+
+// Open implements Operator.
+func (j *MergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	return j.right.Open()
+}
+
+// LeftKey returns the left join column index.
+func (j *MergeJoin) LeftKey() int { return j.leftKey }
+
+// RightKey returns the right join column index.
+func (j *MergeJoin) RightKey() int { return j.rightKey }
+
+// Left returns the left child; Right the right child.
+func (j *MergeJoin) Left() Operator { return j.left }
+
+// Right returns the right child.
+func (j *MergeJoin) Right() Operator { return j.right }
+
+// nextLeft advances the left cursor, counting consumed tuples.
+func (j *MergeJoin) nextLeft() error {
+	t, err := j.left.Next()
+	if err != nil {
+		return err
+	}
+	if t != nil {
+		j.leftRead++
+	}
+	j.leftTup = t
+	return nil
+}
+
+// nextRight advances the right cursor, counting consumed tuples.
+func (j *MergeJoin) nextRight() error {
+	t, err := j.right.Next()
+	if err != nil {
+		return err
+	}
+	if t != nil {
+		j.rightRead++
+	}
+	j.rightTup = t
+	return nil
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() (data.Tuple, error) {
+	if j.done {
+		return j.finish()
+	}
+	if !j.started {
+		if err := j.nextLeft(); err != nil {
+			return nil, err
+		}
+		if err := j.nextRight(); err != nil {
+			return nil, err
+		}
+		j.started = true
+	}
+	for {
+		// Emit pending pairs for the current left tuple and group.
+		if j.groupPos < len(j.group) {
+			out := j.leftTup.Concat(j.group[j.groupPos])
+			j.groupPos++
+			if j.OnOutput != nil {
+				j.OnOutput(out)
+			}
+			return j.emit(out)
+		}
+		// Current left tuple's group exhausted: advance left; if the key
+		// is unchanged reuse the group.
+		if j.group != nil {
+			prevKey := j.leftTup[j.leftKey]
+			if err := j.nextLeft(); err != nil {
+				return nil, err
+			}
+			if j.leftTup != nil && data.Equal(j.leftTup[j.leftKey], prevKey) {
+				j.groupPos = 0
+				continue
+			}
+			j.group = nil
+		}
+		if j.leftTup == nil || j.rightTup == nil {
+			j.done = true
+			return j.finish()
+		}
+		lk := j.leftTup[j.leftKey]
+		rk := j.rightTup[j.rightKey]
+		// NULL keys never join; NULLs sort first so skip them.
+		if lk.IsNull() {
+			if err := j.nextLeft(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if rk.IsNull() {
+			if err := j.nextRight(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		switch c := data.Compare(lk, rk); {
+		case c < 0:
+			if err := j.nextLeft(); err != nil {
+				return nil, err
+			}
+		case c > 0:
+			if err := j.nextRight(); err != nil {
+				return nil, err
+			}
+		default:
+			// Collect the right group for this key.
+			j.group = j.group[:0]
+			for j.rightTup != nil && data.Equal(j.rightTup[j.rightKey], lk) {
+				j.group = append(j.group, j.rightTup)
+				if err := j.nextRight(); err != nil {
+					return nil, err
+				}
+			}
+			j.groupPos = 0
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close() error {
+	j.group = nil
+	if err := j.left.Close(); err != nil {
+		j.right.Close()
+		return err
+	}
+	return j.right.Close()
+}

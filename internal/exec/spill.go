@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"qpi/internal/data"
+)
+
+// spillFile is a temporary on-disk run of tuples used by the
+// memory-budgeted operators (grace hash join partitions, external sort
+// runs). Write everything first, then iterate; the file is deleted on
+// close.
+type spillFile struct {
+	f     *os.File
+	w     *bufio.Writer
+	r     *bufio.Reader
+	ncols int
+	rows  int64
+}
+
+// newSpillFile creates a spill file in the default temp directory.
+func newSpillFile(ncols int) (*spillFile, error) {
+	f, err := os.CreateTemp("", "qpi-spill-*")
+	if err != nil {
+		return nil, err
+	}
+	// Unlink immediately: the file lives until the descriptor closes,
+	// and crashes can't leak it.
+	os.Remove(f.Name())
+	return &spillFile{f: f, w: bufio.NewWriterSize(f, 1<<16), ncols: ncols}, nil
+}
+
+// append writes one tuple.
+func (s *spillFile) append(t data.Tuple) error {
+	s.rows++
+	return data.EncodeTuple(s.w, t)
+}
+
+// startRead flushes writes and rewinds for iteration.
+func (s *spillFile) startRead() error {
+	if s.w != nil {
+		if err := s.w.Flush(); err != nil {
+			return err
+		}
+		s.w = nil
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.r = bufio.NewReaderSize(s.f, 1<<16)
+	return nil
+}
+
+// next returns the next tuple, or (nil, nil) at end of file.
+func (s *spillFile) next() (data.Tuple, error) {
+	t, err := data.DecodeTuple(s.r, s.ncols)
+	if err == io.EOF {
+		return nil, nil
+	}
+	return t, err
+}
+
+// readAll materializes the remaining tuples.
+func (s *spillFile) readAll() ([]data.Tuple, error) {
+	if err := s.startRead(); err != nil {
+		return nil, err
+	}
+	out := make([]data.Tuple, 0, s.rows)
+	for {
+		t, err := s.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// close deletes the spill file.
+func (s *spillFile) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

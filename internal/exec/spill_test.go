@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qpi/internal/data"
+)
+
+func randTable(name string, n, domain int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(rng.Intn(domain))
+	}
+	return out
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tuples := []data.Tuple{
+		{data.Int(-7), data.Float(2.5), data.Str("hello"), data.Null()},
+		{data.Int(1 << 62), data.Float(-0.0), data.Str(""), data.Int(0)},
+	}
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	for _, tu := range tuples {
+		if err := data.EncodeTuple(w, tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	r := bufio.NewReader(&buf)
+	for i, want := range tuples {
+		got, err := data.DecodeTuple(r, len(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("tuple %d col %d: %v vs %v", i, c, got[c], want[c])
+			}
+		}
+	}
+	if tu, err := data.DecodeTuple(r, 4); tu != nil || err == nil {
+		// clean EOF expected
+		if err.Error() != "EOF" {
+			t.Fatalf("expected EOF, got %v, %v", tu, err)
+		}
+	}
+}
+
+func TestSpilledHashJoinMatchesInMemory(t *testing.T) {
+	a := randTable("a", 3000, 100, 1)
+	b := randTable("b", 4000, 100, 2)
+	run := func(budget int64) (int64, int) {
+		j := NewHashJoinOn(
+			NewScan(makeTable("a", a), ""),
+			NewScan(makeTable("b", b), ""),
+			"a", "k", "b", "k")
+		if budget > 0 {
+			j.SetMemoryBudget(budget)
+		}
+		n, err := Run(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, j.Spilled()
+	}
+	plainN, plainSpills := run(0)
+	if plainSpills != 0 {
+		t.Fatalf("unbudgeted join spilled %d partitions", plainSpills)
+	}
+	spilledN, spills := run(16 * 1024) // tiny budget: everything spills
+	if spills == 0 {
+		t.Fatal("budgeted join did not spill")
+	}
+	if spilledN != plainN {
+		t.Fatalf("spilled join produced %d rows, in-memory %d", spilledN, plainN)
+	}
+}
+
+func TestSpilledTypedJoins(t *testing.T) {
+	a := randTable("a", 1000, 40, 3)
+	b := randTable("b", 1500, 40, 4)
+	for _, jt := range []JoinType{InnerJoin, SemiJoin, AntiJoin, ProbeOuterJoin} {
+		run := func(budget int64) int64 {
+			j := NewHashJoinMulti(
+				NewScan(makeTable("a", a), ""),
+				NewScan(makeTable("b", b), ""),
+				[]int{0}, []int{0}, jt)
+			j.SetMemoryBudget(budget)
+			n, err := Run(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+		if mem, spill := run(0), run(8*1024); mem != spill {
+			t.Errorf("%v join: in-memory %d vs spilled %d", jt, mem, spill)
+		}
+	}
+}
+
+func TestExternalSortMatchesInMemory(t *testing.T) {
+	vals := randTable("t", 5000, 100000, 5)
+	run := func(budget int64) ([]int64, int) {
+		s := NewSort(NewScan(makeTable("t", vals), ""), 0)
+		if budget > 0 {
+			s.SetMemoryBudget(budget)
+		}
+		if err := s.Open(); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Drain(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs := s.Runs()
+		s.Close()
+		out := make([]int64, len(rows))
+		for i, r := range rows {
+			out[i] = r[0].I
+		}
+		return out, runs
+	}
+	mem, memRuns := run(0)
+	if memRuns != 0 {
+		t.Fatalf("in-memory sort produced %d runs", memRuns)
+	}
+	ext, extRuns := run(8 * 1024)
+	if extRuns < 2 {
+		t.Fatalf("external sort produced only %d runs", extRuns)
+	}
+	if len(mem) != len(ext) {
+		t.Fatalf("lengths differ: %d vs %d", len(mem), len(ext))
+	}
+	if !sort.SliceIsSorted(ext, func(i, j int) bool { return ext[i] < ext[j] }) {
+		t.Fatal("external sort output not sorted")
+	}
+	for i := range mem {
+		if mem[i] != ext[i] {
+			t.Fatalf("row %d: %d vs %d", i, mem[i], ext[i])
+		}
+	}
+}
+
+func TestExternalSortDescending(t *testing.T) {
+	vals := randTable("t", 2000, 1000, 6)
+	s := NewSortDirs(NewScan(makeTable("t", vals), ""), []int{0}, []bool{true})
+	s.SetMemoryBudget(4 * 1024)
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	for i := 1; i < len(rows); i++ {
+		if rows[i][0].I > rows[i-1][0].I {
+			t.Fatalf("not descending at %d", i)
+		}
+	}
+}
+
+func TestBudgetedSortMergeJoinMatches(t *testing.T) {
+	a := randTable("a", 2000, 60, 7)
+	b := randTable("b", 2500, 60, 8)
+	run := func(budget int64) int64 {
+		mj, ls, rs := NewSortMergeJoin(
+			NewScan(makeTable("a", a), ""),
+			NewScan(makeTable("b", b), ""), 0, 0)
+		if budget > 0 {
+			ls.SetMemoryBudget(budget)
+			rs.SetMemoryBudget(budget)
+		}
+		n, err := Run(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if mem, ext := run(0), run(8*1024); mem != ext {
+		t.Fatalf("SMJ in-memory %d vs external %d", mem, ext)
+	}
+}
+
+func TestSpilledJoinHooksStillFire(t *testing.T) {
+	a := randTable("a", 800, 30, 9)
+	b := randTable("b", 900, 30, 10)
+	j := NewHashJoinOn(
+		NewScan(makeTable("a", a), ""),
+		NewScan(makeTable("b", b), ""),
+		"a", "k", "b", "k")
+	j.SetMemoryBudget(4 * 1024)
+	var builds, probes int
+	end := false
+	j.OnBuildTuple = func(data.Tuple) { builds++ }
+	j.OnProbeTuple = func(data.Tuple) { probes++ }
+	j.OnProbeEnd = func() { end = true }
+	if _, err := Run(j); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 800 || probes != 900 || !end {
+		t.Errorf("hooks: builds=%d probes=%d end=%v", builds, probes, end)
+	}
+	if j.Spilled() == 0 {
+		t.Error("expected spills")
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast while exercising the full code
+// paths.
+func tinyConfig() Config {
+	return Config{
+		Rows:           4000,
+		DomainSmall:    200,
+		DomainLarge:    3000,
+		SF:             0.004,
+		SampleFraction: 0.10,
+		Seed:           7,
+		Checkpoints:    []float64{0.05, 0.10, 0.50, 1.00},
+	}
+}
+
+func TestSeriesAt(t *testing.T) {
+	s := Series{Points: []Point{{0.1, 1}, {0.5, 2}, {1, 3}}}
+	if s.At(0.05) != 1 || s.At(0.6) != 2 || s.At(1) != 3 {
+		t.Errorf("At = %g, %g, %g", s.At(0.05), s.At(0.6), s.At(1))
+	}
+	var empty Series
+	if empty.At(0.5) != 0 {
+		t.Error("empty series should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tb.AddRow("1", "2")
+	out := tb.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-header") {
+		t.Errorf("render = %q", out)
+	}
+	if !strings.Contains(out, "---") {
+		t.Error("missing separator")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{100, "100 B"},
+		{2048, "2.0 KB"},
+		{3 << 20, "3.00 MB"},
+	}
+	for _, c := range cases {
+		if got := humanBytes(c.n); got != c.want {
+			t.Errorf("humanBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+// ratioAtEnd extracts the final (100%) value of a named series column in
+// a SeriesTable.
+func finalRatios(t *testing.T, tb *Table) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("table %q has no rows", tb.Title)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	for i, h := range tb.Headers {
+		if i == 0 {
+			continue
+		}
+		out[h] = last[i]
+	}
+	return out
+}
+
+func TestFigure3ConvergesToOne(t *testing.T) {
+	tables, err := Figure3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		for name, v := range finalRatios(t, tb) {
+			if v != "1.000" {
+				t.Errorf("%s: series %s final ratio = %s, want 1.000", tb.Title, name, v)
+			}
+		}
+	}
+}
+
+func TestFigure4OnceConvergesEarly(t *testing.T) {
+	cfg := tinyConfig()
+	tables, err := Figure4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	// once must be at ratio 1.000 at the 100% checkpoint of both plots.
+	for _, tb := range tables {
+		final := finalRatios(t, tb)
+		if final["once"] != "1.000" {
+			t.Errorf("%s: once final = %s", tb.Title, final["once"])
+		}
+		if final["dne"] != "1.000" || final["byte"] != "1.000" {
+			t.Errorf("%s: baselines final = %v", tb.Title, final)
+		}
+	}
+}
+
+func TestFigure5BothLevelsConverge(t *testing.T) {
+	tables, err := Figure5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tb := range tables {
+		for name, v := range finalRatios(t, tb) {
+			if v != "1.000" {
+				t.Errorf("%s / %s final = %s", tb.Title, name, v)
+			}
+		}
+	}
+}
+
+func TestFigure6BothCasesConverge(t *testing.T) {
+	tables, err := Figure6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if len(tb.Headers) < 2 {
+			t.Fatalf("%s: no surviving series", tb.Title)
+		}
+		for name, v := range finalRatios(t, tb) {
+			if v != "1.000" {
+				t.Errorf("%s / %s final = %s", tb.Title, name, v)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 { // 3 domains × 3 skews
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if len(r) != 6 {
+			t.Fatalf("row arity = %d", len(r))
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb, err := Table2(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d (scaled config)", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[0][1], "KB") {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 { // 3 SFs × 2 join kinds
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tables, err := Table4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if len(tables[0].Rows) != 4 { // 2 SFs × 2 cases
+		t.Errorf("pipeline rows = %d", len(tables[0].Rows))
+	}
+	if len(tables[1].Rows) != 3 { // 3 SFs
+		t.Errorf("agg rows = %d", len(tables[1].Rows))
+	}
+}
+
+func TestFigure8ProgressShapes(t *testing.T) {
+	tb, err := Figure8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	// Both estimators must reach 1.000 at actual progress 100%.
+	if last[1] != "1.000" || last[2] != "1.000" {
+		t.Errorf("final row = %v", last)
+	}
+}
+
+func TestRegistryRunsAll(t *testing.T) {
+	cfg := tinyConfig()
+	for _, name := range Names() {
+		tables, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tables) == 0 {
+			t.Errorf("%s: no tables", name)
+		}
+		for _, tb := range tables {
+			if tb.String() == "" {
+				t.Errorf("%s: empty render", name)
+			}
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qpi/internal/catalog"
+	"qpi/internal/core"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+)
+
+// ExtApprox is an extension experiment beyond the paper's evaluation: it
+// explores the accuracy/memory trade-off of approximate (bucketized)
+// histograms that §6 proposes as future work. A skewed binary join runs
+// with exact histograms and with bucket histograms of decreasing size;
+// the table reports the converged ratio error (approximate counts can
+// only overestimate) against the histogram memory.
+func ExtApprox(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Extension: approximate histograms (C_{1,%d} ⋈ C'_{1,%d}, %d rows)",
+			cfg.DomainLarge, cfg.DomainLarge, cfg.Rows),
+		Headers: []string{"histogram", "memory", "converged ratio error"},
+	}
+	build := customer("cb", cfg.Rows, cfg.DomainLarge, 1, cfg.Seed+1, 7)
+	probe := customer("cp", cfg.Rows, cfg.DomainLarge, 1, cfg.Seed+2, 8)
+
+	run := func(factory core.HistogramFactory) (ratio float64, mem int64, err error) {
+		cat := catalog.New()
+		cat.Register(build)
+		cat.Register(probe)
+		j := exec.NewHashJoinOn(exec.NewScan(build, ""), exec.NewScan(probe, ""),
+			"cb", "nationkey", "cp", "nationkey")
+		plan.EstimateCardinalities(j, cat)
+		att := core.AttachWith(j, core.AttachOptions{Histograms: factory})
+		n, err := exec.Run(j)
+		if err != nil {
+			return 0, 0, err
+		}
+		pe := att.ChainOf[j]
+		est := pe.Estimate(0)
+		if n > 0 {
+			ratio = est / float64(n)
+		}
+		mem = pe.Histogram(0, 0).MemoryUsed()
+		return ratio, mem, nil
+	}
+
+	ratio, mem, err := run(core.ExactHistograms)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("exact", humanBytes(mem), f3(ratio))
+	for _, buckets := range []int{4096, 1024, 256, 64} {
+		ratio, mem, err := run(core.ApproximateHistograms(buckets))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d buckets", buckets), humanBytes(mem), f3(ratio))
+	}
+	return t, nil
+}

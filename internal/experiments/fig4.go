@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qpi/internal/catalog"
+	"qpi/internal/tpch"
+)
+
+// Figure4 reproduces Figure 4: once vs dne vs byte ratio errors.
+//
+// (a) C_{1,large} ⋈ C'_{1,large} on nationkey — the scenario where the
+// optimizer estimate is badly off and the byte estimator converges slowly
+// while dne fluctuates with the hash partitioning order.
+//
+// (b) a primary-key/foreign-key join between a customer table and its
+// (domain-widened) nation table with a selection nationkey < domain/2.5
+// on the build side.
+//
+// The x axis for dne/byte is the fraction of the probe input *joined*
+// (second pass); once has already converged before that pass begins, so
+// its ratio error is reported against the fraction of the probe input
+// *seen* (first pass) — the same presentation as the paper's Figure 4.
+func Figure4(cfg Config) ([]*Table, error) {
+	var out []*Table
+
+	// (a) skewed self-join with misaligned hot values.
+	{
+		cat := catalog.New()
+		build := customer("cb", cfg.Rows, cfg.DomainLarge, 1, cfg.Seed+1, 77)
+		probe := customer("cp", cfg.Rows, cfg.DomainLarge, 1, cfg.Seed+2, 99)
+		cat.Register(build)
+		cat.Register(probe)
+		once, dne, byteS, truth, opt, err := binaryJoinTrajectories(
+			cat, build, probe, "nationkey", "nationkey", 200, "", 0)
+		if err != nil {
+			return nil, err
+		}
+		t := SeriesTable(
+			fmt.Sprintf("Figure 4 (a) C_{1,%d} ⋈ C'_{1,%d}: ratio error (optimizer off by %.1fx, true size %d)",
+				cfg.DomainLarge, cfg.DomainLarge, ratioOff(opt, truth), truth),
+			cfg.Checkpoints, once, dne, byteS)
+		out = append(out, t)
+	}
+
+	// (b) PK-FK join with a selection on the build side.
+	{
+		cat := catalog.New()
+		probe := customer("cust", cfg.Rows, cfg.DomainLarge, 1, cfg.Seed+3, 55)
+		nation := tpch.NationTable("nation", cfg.DomainLarge)
+		cat.Register(probe)
+		cat.Register(nation)
+		cut := int64(float64(cfg.DomainLarge) / 2.5)
+		once, dne, byteS, truth, opt, err := binaryJoinTrajectories(
+			cat, nation, probe, "nationkey", "nationkey", 200, "nationkey", cut)
+		if err != nil {
+			return nil, err
+		}
+		t := SeriesTable(
+			fmt.Sprintf("Figure 4 (b) σ(nationkey<%d)(nation) ⋈ customer: ratio error (optimizer off by %.1fx, true size %d)",
+				cut, ratioOff(opt, truth), truth),
+			cfg.Checkpoints, once, dne, byteS)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func ratioOff(opt float64, truth int64) float64 {
+	if truth == 0 || opt == 0 {
+		return 0
+	}
+	r := opt / float64(truth)
+	if r < 1 {
+		r = 1 / r
+	}
+	return r
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qpi/internal/catalog"
+	"qpi/internal/core"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+	"qpi/internal/storage"
+)
+
+// chainTrajectories executes a hash-join chain rooted at top with the
+// framework attached, sampling every join level's estimate during the
+// bottom probe pass. It returns one ratio-error series per level (0 =
+// top) plus the true cardinalities.
+func chainTrajectories(cat *catalog.Catalog, top *exec.HashJoin, samples int) ([]Series, []int64, error) {
+	plan.EstimateCardinalities(top, cat)
+	att := core.Attach(top)
+	pe := att.ChainOf[top]
+	if pe == nil || att.LevelOf[top] != 0 {
+		return nil, nil, fmt.Errorf("experiments: no chain estimator for top join")
+	}
+	m := pe.Levels()
+	raw := make([]Series, m)
+
+	// The bottom stream size: read from the bottom join's probe scan.
+	var bottom *exec.HashJoin = top
+	for {
+		next, ok := bottom.Probe().(*exec.HashJoin)
+		if !ok {
+			break
+		}
+		bottom = next
+	}
+	probeRows := int64(1)
+	if sc, ok := bottom.Probe().(*exec.Scan); ok {
+		probeRows = int64(sc.Table().NumRows())
+	}
+	every := probeRows / int64(samples)
+	if every < 1 {
+		every = 1
+	}
+	pe.OnProbeObserved = func(t int64) {
+		if t%every == 0 || t == probeRows {
+			x := float64(t) / float64(probeRows)
+			for k := 0; k < m; k++ {
+				raw[k].Points = append(raw[k].Points, Point{X: x, Y: pe.Estimate(k)})
+			}
+		}
+	}
+	if _, err := exec.Run(top); err != nil {
+		return nil, nil, err
+	}
+	// True sizes per level.
+	truths := make([]int64, m)
+	cur := top
+	for k := 0; k < m; k++ {
+		truths[k] = cur.Stats().Emitted
+		if next, ok := cur.Probe().(*exec.HashJoin); ok {
+			cur = next
+		}
+	}
+	series := make([]Series, m)
+	for k := 0; k < m; k++ {
+		series[k] = toRatio(raw[k], fmt.Sprintf("level%d", k), truths[k])
+	}
+	return series, truths, nil
+}
+
+// sameAttrPipeline builds A ⋈x (B ⋈x C): a two-join pipeline on one
+// attribute.
+func sameAttrPipeline(a, b, c *storage.Table) *exec.HashJoin {
+	lower := exec.NewHashJoinOn(exec.NewScan(b, ""), exec.NewScan(c, ""),
+		b.Name(), "nationkey", c.Name(), "nationkey")
+	return exec.NewHashJoin(exec.NewScan(a, ""), lower,
+		exec.NewScan(a, "").Schema().MustResolve(a.Name(), "nationkey"),
+		lower.Schema().MustResolve(c.Name(), "nationkey"))
+}
+
+// Figure5 reproduces Figure 5: a pipeline of two hash joins on the same
+// attribute over three equal-skew, differently-permuted tables; (a) the
+// upper join's estimate and (b) the lower join's estimate, both against
+// the fraction of the lower probe input seen, for z ∈ {0, 1, 2}.
+func Figure5(cfg Config) ([]*Table, error) {
+	var upperSeries, lowerSeries []Series
+	for _, z := range []float64{0, 1, 2} {
+		cat := catalog.New()
+		a := customer("a", cfg.Rows, cfg.DomainSmall, z, cfg.Seed+1, 11)
+		b := customer("b", cfg.Rows, cfg.DomainSmall, z, cfg.Seed+2, 22)
+		c := customer("c", cfg.Rows, cfg.DomainSmall, z, cfg.Seed+3, 33)
+		cat.Register(a)
+		cat.Register(b)
+		cat.Register(c)
+		top := sameAttrPipeline(a, b, c)
+		series, truths, err := chainTrajectories(cat, top, 200)
+		if err != nil {
+			return nil, err
+		}
+		if truths[0] == 0 || truths[1] == 0 {
+			continue // empty joins have no ratio error (cf. Figure 6 note)
+		}
+		series[0].Name = fmt.Sprintf("z=%g", z)
+		series[1].Name = fmt.Sprintf("z=%g", z)
+		upperSeries = append(upperSeries, series[0])
+		lowerSeries = append(lowerSeries, series[1])
+	}
+	ta := SeriesTable(
+		fmt.Sprintf("Figure 5 (a) upper join of same-attribute pipeline (domain %d): ratio error vs %% lower probe input",
+			cfg.DomainSmall),
+		cfg.Checkpoints, upperSeries...)
+	tb := SeriesTable(
+		fmt.Sprintf("Figure 5 (b) lower join of same-attribute pipeline (domain %d): ratio error vs %% lower probe input",
+			cfg.DomainSmall),
+		cfg.Checkpoints, lowerSeries...)
+	return []*Table{ta, tb}, nil
+}

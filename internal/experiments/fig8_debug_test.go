@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"qpi/internal/core"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+	"qpi/internal/tpch"
+)
+
+// TestFigure8OptimizerMisestimatesPipeline documents the Figure 8 setup:
+// the engineered selections must make the optimizer misestimate the main
+// pipeline joins by a large factor (the paper observed underestimation),
+// and the once framework must correct every join exactly by the end of
+// its probe pass.
+func TestFigure8OptimizerMisestimatesPipeline(t *testing.T) {
+	cfg := tinyConfig()
+	cat, err := tpch.Generate(tpch.Config{SF: cfg.SF, Seed: cfg.Seed, Skew: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := q8Plan(cat, cfg)
+	plan.EstimateCardinalities(root, cat)
+	optEst := map[exec.Operator]float64{}
+	exec.Walk(root, func(op exec.Operator) { optEst[op] = op.Stats().EstTotal })
+	core.Attach(root)
+	if _, err := exec.Run(root); err != nil {
+		t.Fatal(err)
+	}
+	worst := 1.0
+	exec.Walk(root, func(op exec.Operator) {
+		j, ok := op.(*exec.HashJoin)
+		if !ok {
+			return
+		}
+		truth := float64(j.Stats().Emitted)
+		if j.Stats().EstSource != "once-exact" {
+			t.Errorf("%s: source %q", j.Name(), j.Stats().EstSource)
+		}
+		if truth > 0 && j.Stats().EstTotal != truth {
+			t.Errorf("%s: converged est %g != %g", j.Name(), j.Stats().EstTotal, truth)
+		}
+		if truth > 0 && optEst[j] > 0 {
+			r := truth / optEst[j]
+			t.Logf("%-55s optimizer=%-12.0f true=%-12.0f true/opt=%.2f",
+				j.Name(), optEst[j], truth, r)
+			if r > worst {
+				worst = r
+			}
+		}
+	})
+	if worst < 3 {
+		t.Errorf("largest underestimation factor %.2f; Figure 8 needs the optimizer to underestimate the pipeline", worst)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper table or figure.
+type Runner func(Config) ([]*Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig3": Figure3,
+	"fig4": Figure4,
+	"fig5": Figure5,
+	"fig6": Figure6,
+	"table1": func(c Config) ([]*Table, error) {
+		t, err := Table1(c)
+		return []*Table{t}, err
+	},
+	"table2": func(c Config) ([]*Table, error) {
+		t, err := Table2(c)
+		return []*Table{t}, err
+	},
+	"table3": func(c Config) ([]*Table, error) {
+		t, err := Table3(c)
+		return []*Table{t}, err
+	},
+	"table4": Table4,
+	"fig8": func(c Config) ([]*Table, error) {
+		t, err := Figure8(c)
+		return []*Table{t}, err
+	},
+	"ext-approx": func(c Config) ([]*Table, error) {
+		t, err := ExtApprox(c)
+		return []*Table{t}, err
+	},
+	"ext-disk": func(c Config) ([]*Table, error) {
+		t, err := ExtDisk(c)
+		return []*Table{t}, err
+	},
+	"ext-distinct": func(c Config) ([]*Table, error) {
+		t, err := ExtDistinct(c)
+		return []*Table{t}, err
+	},
+}
+
+// Names lists the available experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment by id.
+func Run(name string, cfg Config) ([]*Table, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: headers plus rows of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// SeriesTable renders a set of series sampled at shared checkpoints
+// (fractions of the driving input), one row per checkpoint.
+func SeriesTable(title string, checkpoints []float64, series ...Series) *Table {
+	t := &Table{Title: title, Headers: []string{"%input"}}
+	for _, s := range series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range checkpoints {
+		row := []string{fmt.Sprintf("%.0f%%", 100*x)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.3f", s.At(x)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// humanBytes renders byte counts as the paper's Table 2 does.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"qpi/internal/data"
+	"qpi/internal/distinct"
+	"qpi/internal/zipf"
+)
+
+// Figure 1 of the paper's tables: Table 1 compares GEE and MLE on
+// customer-sized streams with varying domain size and skew, reporting the
+// γ² skew measure at a 10% sample and the number of rows each estimator
+// needs before staying within 10% of the true distinct count, plus the
+// rows needed to see every value ("All Seen").
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{
+		Title:   fmt.Sprintf("Table 1: GEE vs MLE (stream of %d rows; rows to reach within 10%% of truth)", cfg.Rows),
+		Headers: []string{"#Values", "z", "γ²@10%", "GEE", "MLE", "All Seen"},
+	}
+	domains := []int{cfg.DomainSmall / 10, cfg.DomainSmall, cfg.DomainLarge}
+	for _, domain := range domains {
+		if domain < 1 {
+			continue
+		}
+		for _, z := range []float64{0, 1, 2} {
+			row, err := table1Row(cfg, domain, z)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+func table1Row(cfg Config, domain int, z float64) ([]string, error) {
+	g, err := zipf.New(domain, z, cfg.Seed+int64(domain)*7+int64(z*13), 0)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Rows
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = g.Next()
+	}
+	// Ground truth and "all seen" point.
+	seen := map[int64]bool{}
+	allSeenAt := n
+	var truth int
+	for i, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			allSeenAt = i + 1
+		}
+	}
+	truth = len(seen)
+
+	gee := distinct.NewGEE(float64(n))
+	mle := distinct.NewMLEWithInterval(float64(n), int64(float64(n)*distinct.DefaultLowerFrac)+1,
+		int64(float64(n)*distinct.DefaultUpperFrac)+1, distinct.DefaultK)
+	chooser := distinct.NewChooser(float64(n), distinct.DefaultTau)
+
+	within := func(est float64) bool {
+		return math.Abs(est-float64(truth)) <= 0.10*float64(truth)
+	}
+	// An estimator "reaches" the truth at the first row after which it
+	// stays within 10% forever.
+	geeAt, mleAt := -1, -1
+	var gamma2At10 float64
+	for i, v := range vals {
+		dv := data.Int(v)
+		gee.Observe(dv)
+		mle.Observe(dv)
+		chooser.Observe(dv)
+		if i+1 == n/10 {
+			gamma2At10 = chooser.Gamma2()
+		}
+		if within(gee.Estimate()) {
+			if geeAt < 0 {
+				geeAt = i + 1
+			}
+		} else {
+			geeAt = -1
+		}
+		if within(mle.Estimate()) {
+			if mleAt < 0 {
+				mleAt = i + 1
+			}
+		} else {
+			mleAt = -1
+		}
+	}
+	if geeAt < 0 {
+		geeAt = n
+	}
+	if mleAt < 0 {
+		mleAt = n
+	}
+	return []string{
+		itoa(int64(domain)),
+		fmt.Sprintf("%g", z),
+		fmt.Sprintf("%.2f", gamma2At10),
+		itoa(int64(geeAt)),
+		itoa(int64(mleAt)),
+		itoa(int64(allSeenAt)),
+	}, nil
+}

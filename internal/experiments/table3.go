@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"qpi/internal/catalog"
+	"qpi/internal/core"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+	"qpi/internal/tpch"
+)
+
+// Table3 reproduces Table 3: the runtime overhead the estimation
+// framework adds to a lineitem ⋈ orders primary-key/foreign-key join
+// (both grace hash join and sort-merge join) at varying block-sample
+// sizes, across TPC-H scale factors. The paper's claim: overheads are a
+// small fraction of the query time because estimation rides the
+// preprocessing passes.
+func Table3(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Table 3: join runtime overhead of the estimation framework",
+		Headers: []string{"SF", "join", "baseline", "1% sample", "5% sample", "10% sample",
+			"ovh@10%"},
+	}
+	for _, sf := range []float64{cfg.SF / 2, cfg.SF, cfg.SF * 2} {
+		cat, err := tpch.Generate(tpch.Config{
+			SF: sf, Seed: cfg.Seed, Tables: []string{"orders", "lineitem"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []string{"hash", "sort-merge"} {
+			base, err := bestOf(3, func() (time.Duration, error) {
+				return timeJoin(cat, kind, false, 0, cfg.Seed)
+			})
+			if err != nil {
+				return nil, err
+			}
+			var withEst [3]time.Duration
+			for i, frac := range []float64{0.01, 0.05, 0.10} {
+				frac := frac
+				d, err := bestOf(3, func() (time.Duration, error) {
+					return timeJoin(cat, kind, true, frac, cfg.Seed)
+				})
+				if err != nil {
+					return nil, err
+				}
+				withEst[i] = d
+			}
+			ovh := 100 * (withEst[2].Seconds() - base.Seconds()) / base.Seconds()
+			t.AddRow(
+				fmt.Sprintf("%.3g", sf),
+				kind,
+				fmtDur(base),
+				fmtDur(withEst[0]),
+				fmtDur(withEst[1]),
+				fmtDur(withEst[2]),
+				fmt.Sprintf("%+.1f%%", ovh),
+			)
+		}
+	}
+	return t, nil
+}
+
+// timeJoin builds and runs a lineitem ⋈ orders join, returning the wall
+// time. When estimate is true the framework is attached and the scans
+// deliver a block sample of sampleFrac first.
+func timeJoin(cat *catalog.Catalog, kind string, estimate bool, sampleFrac float64, seed int64) (time.Duration, error) {
+	orders := cat.MustLookup("orders").Table
+	lineitem := cat.MustLookup("lineitem").Table
+	buildScan := exec.NewScan(orders, "")
+	probeScan := exec.NewScan(lineitem, "")
+	if estimate && sampleFrac > 0 {
+		buildScan.SampleFraction = sampleFrac
+		buildScan.Seed = seed
+		probeScan.SampleFraction = sampleFrac
+		probeScan.Seed = seed + 1
+	}
+	var root exec.Operator
+	switch kind {
+	case "hash":
+		root = exec.NewHashJoin(buildScan, probeScan,
+			buildScan.Schema().MustResolve("orders", "orderkey"),
+			probeScan.Schema().MustResolve("lineitem", "orderkey"))
+	default:
+		mj, _, _ := exec.NewSortMergeJoin(buildScan, probeScan,
+			buildScan.Schema().MustResolve("orders", "orderkey"),
+			probeScan.Schema().MustResolve("lineitem", "orderkey"))
+		root = mj
+	}
+	plan.EstimateCardinalities(root, cat)
+	if estimate {
+		core.Attach(root)
+	}
+	start := time.Now()
+	if _, err := exec.Run(root); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+
+// bestOf returns the minimum duration over n runs (the standard
+// de-noising for wall-clock microbenchmarks).
+func bestOf(n int, f func() (time.Duration, error)) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < n; i++ {
+		d, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}

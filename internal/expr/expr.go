@@ -1,0 +1,336 @@
+// Package expr implements scalar expressions evaluated over tuples:
+// column references, constants, comparisons, boolean connectives and
+// arithmetic. Predicates evaluate to BIGINT 0/1 (NULL-involving
+// comparisons evaluate to 0, collapsing SQL's three-valued logic to the
+// filter semantics the executor needs).
+package expr
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"qpi/internal/data"
+)
+
+// Expr is a scalar expression over a tuple.
+type Expr interface {
+	// Eval computes the expression over a tuple.
+	Eval(t data.Tuple) data.Value
+	// String renders the expression for EXPLAIN-style output.
+	String() string
+}
+
+// Col references a column by position, resolved against a schema at plan
+// build time.
+type Col struct {
+	Index int
+	Name  string // display name, e.g. "c.nationkey"
+}
+
+// Column builds a column reference resolved against schema.
+func Column(s *data.Schema, table, name string) Col {
+	idx := s.MustResolve(table, name)
+	return Col{Index: idx, Name: s.Cols[idx].Qualified()}
+}
+
+// Eval returns the referenced column value.
+func (c Col) Eval(t data.Tuple) data.Value { return t[c.Index] }
+
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Index)
+}
+
+// Const is a literal value.
+type Const struct{ V data.Value }
+
+// Lit builds a literal expression.
+func Lit(v data.Value) Const { return Const{V: v} }
+
+// IntLit builds an integer literal.
+func IntLit(i int64) Const { return Const{V: data.Int(i)} }
+
+// Eval returns the literal.
+func (c Const) Eval(data.Tuple) data.Value { return c.V }
+
+func (c Const) String() string { return c.V.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Cmp compares two subexpressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Compare builds a comparison expression.
+func Compare(op CmpOp, l, r Expr) Cmp { return Cmp{Op: op, L: l, R: r} }
+
+// Eval returns Bool(l op r); comparisons involving NULL are false.
+func (c Cmp) Eval(t data.Tuple) data.Value {
+	l, r := c.L.Eval(t), c.R.Eval(t)
+	if l.IsNull() || r.IsNull() {
+		return data.Bool(false)
+	}
+	cmp := data.Compare(l, r)
+	switch c.Op {
+	case EQ:
+		return data.Bool(cmp == 0)
+	case NE:
+		return data.Bool(cmp != 0)
+	case LT:
+		return data.Bool(cmp < 0)
+	case LE:
+		return data.Bool(cmp <= 0)
+	case GT:
+		return data.Bool(cmp > 0)
+	default:
+		return data.Bool(cmp >= 0)
+	}
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is a conjunction of predicates.
+type And struct{ Terms []Expr }
+
+// AndOf builds a conjunction.
+func AndOf(terms ...Expr) And { return And{Terms: terms} }
+
+// Eval returns true iff every term is true (empty conjunction is true).
+func (a And) Eval(t data.Tuple) data.Value {
+	for _, e := range a.Terms {
+		if !e.Eval(t).IsTrue() {
+			return data.Bool(false)
+		}
+	}
+	return data.Bool(true)
+}
+
+func (a And) String() string { return joinExprs(a.Terms, " AND ") }
+
+// Or is a disjunction of predicates.
+type Or struct{ Terms []Expr }
+
+// OrOf builds a disjunction.
+func OrOf(terms ...Expr) Or { return Or{Terms: terms} }
+
+// Eval returns true iff any term is true (empty disjunction is false).
+func (o Or) Eval(t data.Tuple) data.Value {
+	for _, e := range o.Terms {
+		if e.Eval(t).IsTrue() {
+			return data.Bool(true)
+		}
+	}
+	return data.Bool(false)
+}
+
+func (o Or) String() string { return joinExprs(o.Terms, " OR ") }
+
+// Not negates a predicate.
+type Not struct{ E Expr }
+
+// Eval returns the boolean negation.
+func (n Not) Eval(t data.Tuple) data.Value { return data.Bool(!n.E.Eval(t).IsTrue()) }
+
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// IsNull tests a subexpression for SQL NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval returns Bool(E IS [NOT] NULL).
+func (n IsNull) Eval(t data.Tuple) data.Value {
+	isNull := n.E.Eval(t).IsNull()
+	if n.Negate {
+		return data.Bool(!isNull)
+	}
+	return data.Bool(isNull)
+}
+
+func (n IsNull) String() string {
+	if n.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", n.E)
+	}
+	return fmt.Sprintf("%s IS NULL", n.E)
+}
+
+// Like tests a string subexpression against a SQL LIKE pattern
+// (% matches any run, _ matches one character). The pattern is compiled
+// to a regular expression once at construction.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+	re      *regexp.Regexp
+}
+
+// NewLike compiles a LIKE predicate.
+func NewLike(e Expr, pattern string, negate bool) (Like, error) {
+	var sb strings.Builder
+	sb.WriteString("^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			sb.WriteString("(?s).*")
+		case '_':
+			sb.WriteString("(?s).")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteString("$")
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return Like{}, fmt.Errorf("expr: bad LIKE pattern %q: %w", pattern, err)
+	}
+	return Like{E: e, Pattern: pattern, Negate: negate, re: re}, nil
+}
+
+// Eval returns whether the operand matches (NULL operands are false).
+func (l Like) Eval(t data.Tuple) data.Value {
+	v := l.E.Eval(t)
+	if v.IsNull() || v.Kind != data.KindString {
+		return data.Bool(false)
+	}
+	m := l.re.MatchString(v.S)
+	if l.Negate {
+		m = !m
+	}
+	return data.Bool(m)
+}
+
+func (l Like) String() string {
+	if l.Negate {
+		return fmt.Sprintf("%s NOT LIKE '%s'", l.E, l.Pattern)
+	}
+	return fmt.Sprintf("%s LIKE '%s'", l.E, l.Pattern)
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	default:
+		return "%"
+	}
+}
+
+// Arith combines two numeric subexpressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval computes l op r with int arithmetic when both sides are ints (except
+// Div by zero and Mod by zero, which yield NULL), float otherwise.
+func (a Arith) Eval(t data.Tuple) data.Value {
+	l, r := a.L.Eval(t), a.R.Eval(t)
+	if l.IsNull() || r.IsNull() {
+		return data.Null()
+	}
+	if l.Kind == data.KindInt && r.Kind == data.KindInt {
+		switch a.Op {
+		case Add:
+			return data.Int(l.I + r.I)
+		case Sub:
+			return data.Int(l.I - r.I)
+		case Mul:
+			return data.Int(l.I * r.I)
+		case Div:
+			if r.I == 0 {
+				return data.Null()
+			}
+			return data.Int(l.I / r.I)
+		default:
+			if r.I == 0 {
+				return data.Null()
+			}
+			return data.Int(l.I % r.I)
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch a.Op {
+	case Add:
+		return data.Float(lf + rf)
+	case Sub:
+		return data.Float(lf - rf)
+	case Mul:
+		return data.Float(lf * rf)
+	case Div:
+		if rf == 0 {
+			return data.Null()
+		}
+		return data.Float(lf / rf)
+	default:
+		return data.Null() // Mod undefined for floats
+	}
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+func joinExprs(terms []Expr, sep string) string {
+	s := ""
+	for i, e := range terms {
+		if i > 0 {
+			s += sep
+		}
+		s += "(" + e.String() + ")"
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"testing"
+
+	"qpi/internal/catalog"
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+	"qpi/internal/storage"
+)
+
+func uniformTable(name string, rows, domain int) *storage.Table {
+	t := storage.NewTable(name, data.NewSchema(
+		data.Column{Table: name, Name: "k", Kind: data.KindInt}))
+	for i := 0; i < rows; i++ {
+		t.MustAppend(data.Tuple{data.Int(int64(i%domain + 1))})
+	}
+	return t
+}
+
+func regCat(tables ...*storage.Table) *catalog.Catalog {
+	c := catalog.New()
+	for _, t := range tables {
+		c.Register(t)
+	}
+	return c
+}
+
+func TestOptimizerSemiAntiOuterEstimates(t *testing.T) {
+	ta := uniformTable("a", 1000, 100)
+	tb := uniformTable("b", 500, 50) // subset of a's domain
+	cat := regCat(ta, tb)
+
+	mk := func(jt exec.JoinType) float64 {
+		j := exec.NewHashJoinTyped(exec.NewScan(tb, ""), exec.NewScan(ta, ""), 0, 0, jt)
+		EstimateCardinalities(j, cat)
+		return j.Stats().EstTotal
+	}
+	semi := mk(exec.SemiJoin)
+	anti := mk(exec.AntiJoin)
+	outer := mk(exec.ProbeOuterJoin)
+	inner := mk(exec.InnerJoin)
+
+	// Semi + anti partition the probe input.
+	if semi+anti != 1000 {
+		t.Errorf("semi %g + anti %g != probe 1000", semi, anti)
+	}
+	// Semi selectivity = d_build/d_probe = 50/100.
+	if semi != 500 {
+		t.Errorf("semi = %g, want 500", semi)
+	}
+	// Outer preserves at least the probe side.
+	if outer < 1000 || outer < inner {
+		t.Errorf("outer = %g (inner %g)", outer, inner)
+	}
+}
+
+func TestOptimizerSortProjectLimitEstimates(t *testing.T) {
+	ta := uniformTable("a", 300, 10)
+	cat := regCat(ta)
+	sc := exec.NewScan(ta, "")
+	s := exec.NewSort(sc, 0)
+	p := exec.NewProject(s, []expr.Expr{expr.Col{Index: 0}}, []string{"k"})
+	l := exec.NewLimit(p, 5)
+	EstimateCardinalities(l, cat)
+	if s.Stats().EstTotal != 300 {
+		t.Errorf("sort est = %g", s.Stats().EstTotal)
+	}
+	if p.Stats().EstTotal != 300 {
+		t.Errorf("project est = %g", p.Stats().EstTotal)
+	}
+	// Limit inherits the child estimate (clamping to n is left to the
+	// Total floor logic at runtime).
+	if l.Stats().EstTotal != 300 {
+		t.Errorf("limit est = %g", l.Stats().EstTotal)
+	}
+}
+
+func TestOptimizerNLJoinEstimates(t *testing.T) {
+	ta := uniformTable("a", 200, 20)
+	tb := uniformTable("b", 100, 20)
+	cat := regCat(ta, tb)
+
+	idx := exec.NewIndexedNLJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""), 0, 0)
+	EstimateCardinalities(idx, cat)
+	if got := idx.Stats().EstTotal; got != 200*100/20 {
+		t.Errorf("indexed NL est = %g, want 1000", got)
+	}
+
+	cross := exec.NewNestedLoopsJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""), nil)
+	EstimateCardinalities(cross, cat)
+	if got := cross.Stats().EstTotal; got != 200*100 {
+		t.Errorf("cross est = %g, want 20000", got)
+	}
+
+	theta := exec.NewNestedLoopsJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""),
+		expr.Compare(expr.LT, expr.Col{Index: 0}, expr.Col{Index: 1}))
+	EstimateCardinalities(theta, cat)
+	if got := theta.Stats().EstTotal; got != 200*100*defaultSelectivity {
+		t.Errorf("theta est = %g", got)
+	}
+}
+
+func TestOptimizerSortAggEstimate(t *testing.T) {
+	ta := uniformTable("a", 400, 25)
+	cat := regCat(ta)
+	agg := exec.NewSortAgg(exec.NewScan(ta, ""), []int{0},
+		[]exec.AggSpec{{Func: exec.CountStar}})
+	EstimateCardinalities(agg, cat)
+	if got := agg.Stats().EstTotal; got != 25 {
+		t.Errorf("sort-agg est = %g, want 25", got)
+	}
+	if agg.Stats().GroupsHint != 25 {
+		t.Errorf("groups hint = %g", agg.Stats().GroupsHint)
+	}
+}
+
+func TestOptimizerMissingStatsFallsBack(t *testing.T) {
+	ta := uniformTable("a", 100, 10)
+	tb := uniformTable("b", 100, 10)
+	cat := catalog.New()
+	cat.RegisterWithoutStats(ta)
+	cat.RegisterWithoutStats(tb)
+	j := exec.NewHashJoinOn(exec.NewScan(ta, ""), exec.NewScan(tb, ""), "a", "k", "b", "k")
+	EstimateCardinalities(j, cat)
+	// Without distinct counts both sides fall back to row counts:
+	// 100·100/max(100,100) = 100.
+	if got := j.Stats().EstTotal; got != 100 {
+		t.Errorf("stat-less join est = %g, want 100", got)
+	}
+}
+
+func TestPipelineStringAndContains(t *testing.T) {
+	sc := exec.NewScan(uniformTable("a", 3, 3), "")
+	ps := Decompose(sc)
+	if !ps[0].Contains(sc) {
+		t.Error("Contains failed")
+	}
+	other := exec.NewScan(uniformTable("b", 3, 3), "")
+	if ps[0].Contains(other) {
+		t.Error("Contains false positive")
+	}
+	if ps[0].String() == "" {
+		t.Error("empty pipeline render")
+	}
+}
+
+func TestDecomposeSortAggTree(t *testing.T) {
+	sc := exec.NewScan(uniformTable("a", 10, 5), "")
+	agg := exec.NewSortAgg(sc, []int{0}, []exec.AggSpec{{Func: exec.CountStar}})
+	ps := Decompose(agg)
+	// P0: SortAgg; P1: internal Sort; P2: scan.
+	if len(ps) != 3 {
+		t.Fatalf("pipelines = %d", len(ps))
+	}
+	if ps[0].Driver() != exec.Operator(agg) {
+		t.Error("agg should drive its pipeline")
+	}
+}

@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qpi/internal/catalog"
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+	"qpi/internal/storage"
+	"qpi/internal/tpch"
+)
+
+func makeTable(name string, vals []int64) *storage.Table {
+	s := data.NewSchema(data.Column{Table: name, Name: "k", Kind: data.KindInt})
+	t := storage.NewTable(name, s)
+	for _, v := range vals {
+		t.MustAppend(data.Tuple{data.Int(v)})
+	}
+	return t
+}
+
+func TestDecomposeSingleScan(t *testing.T) {
+	sc := exec.NewScan(makeTable("t", []int64{1}), "")
+	ps := Decompose(sc)
+	if len(ps) != 1 {
+		t.Fatalf("pipelines = %d", len(ps))
+	}
+	if len(ps[0].Ops) != 1 || ps[0].Driver() != sc {
+		t.Errorf("pipeline = %v", ps[0])
+	}
+}
+
+func TestDecomposeHashJoinChain(t *testing.T) {
+	// (a ⋈ (b ⋈ c)): two hash joins, probe chain c → lower → upper.
+	a := exec.NewScan(makeTable("a", nil), "")
+	b := exec.NewScan(makeTable("b", nil), "")
+	c := exec.NewScan(makeTable("c", nil), "")
+	lower := exec.NewHashJoin(b, c, 0, 0)
+	upper := exec.NewHashJoin(a, lower, 0, 0)
+	ps := Decompose(upper)
+	// P0: upper, lower, c-scan (probe chain). P1: a-scan. P2: b-scan.
+	if len(ps) != 3 {
+		t.Fatalf("pipelines = %d: %v", len(ps), ps)
+	}
+	if !ps[0].Contains(upper) || !ps[0].Contains(lower) || !ps[0].Contains(c) {
+		t.Errorf("root pipeline = %v", ps[0])
+	}
+	if ps[0].Driver() != c {
+		t.Errorf("driver = %v", ps[0].Driver())
+	}
+	if !ps[1].Contains(a) || !ps[2].Contains(b) {
+		t.Errorf("build pipelines = %v, %v", ps[1], ps[2])
+	}
+}
+
+func TestDecomposeSortMergeJoin(t *testing.T) {
+	a := exec.NewScan(makeTable("a", nil), "")
+	b := exec.NewScan(makeTable("b", nil), "")
+	mj, ls, rs := exec.NewSortMergeJoin(a, b, 0, 0)
+	ps := Decompose(mj)
+	// P0: {mj, ls, rs} (sorts emit into the merge pipeline),
+	// P1: {a}, P2: {b}.
+	if len(ps) != 3 {
+		t.Fatalf("pipelines = %d: %v", len(ps), ps)
+	}
+	if !ps[0].Contains(mj) || !ps[0].Contains(ls) || !ps[0].Contains(rs) {
+		t.Errorf("root pipeline = %v", ps[0])
+	}
+	if len(ps[0].Sources) != 2 {
+		t.Errorf("sources = %v", ps[0].Sources)
+	}
+	if !ps[1].Contains(a) || !ps[2].Contains(b) {
+		t.Errorf("sort-input pipelines wrong")
+	}
+}
+
+func TestDecomposeAggregation(t *testing.T) {
+	sc := exec.NewScan(makeTable("t", nil), "")
+	agg := exec.NewHashAgg(sc, []int{0}, []exec.AggSpec{{Func: exec.CountStar}})
+	ps := Decompose(agg)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d", len(ps))
+	}
+	if ps[0].Driver() != agg {
+		t.Errorf("agg should be source of root pipeline")
+	}
+	if !ps[1].Contains(sc) {
+		t.Errorf("scan pipeline missing")
+	}
+}
+
+func TestDecomposeNLJoin(t *testing.T) {
+	outer := exec.NewScan(makeTable("a", nil), "")
+	inner := exec.NewScan(makeTable("b", nil), "")
+	j := exec.NewIndexedNLJoin(outer, inner, 0, 0)
+	ps := Decompose(j)
+	if len(ps) != 2 {
+		t.Fatalf("pipelines = %d", len(ps))
+	}
+	if !ps[0].Contains(outer) || ps[0].Driver() != outer {
+		t.Errorf("outer should drive root pipeline")
+	}
+	if !ps[1].Contains(inner) {
+		t.Errorf("inner should root its own pipeline")
+	}
+}
+
+func TestPipelineCounters(t *testing.T) {
+	sc := exec.NewScan(makeTable("t", []int64{1, 2, 3}), "")
+	f := exec.NewFilter(sc, expr.Compare(expr.GT, expr.Col{Index: 0}, expr.IntLit(1)))
+	ps := Decompose(f)
+	p := ps[0]
+	if p.Started() {
+		t.Error("pipeline started before execution")
+	}
+	if _, err := exec.Run(f); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Done() || !p.Started() {
+		t.Error("pipeline should be done after Run")
+	}
+	// C(p) = scan 3 + filter 2.
+	if got := p.Emitted(); got != 5 {
+		t.Errorf("Emitted = %d, want 5", got)
+	}
+	if got := p.EstimatedTotal(); got != 5 {
+		t.Errorf("EstimatedTotal = %g, want 5 (exact when done)", got)
+	}
+}
+
+func TestOptimizerScanAndFilterEstimates(t *testing.T) {
+	cat := catalog.New()
+	var vals []int64
+	for i := int64(0); i < 1000; i++ {
+		vals = append(vals, i%100+1) // uniform over [1,100]
+	}
+	tb := makeTable("t", vals)
+	cat.Register(tb)
+	sc := exec.NewScan(tb, "")
+	f := exec.NewFilter(sc, expr.Compare(expr.EQ,
+		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(7)))
+	EstimateCardinalities(f, cat)
+	if sc.Stats().EstTotal != 1000 {
+		t.Errorf("scan est = %g", sc.Stats().EstTotal)
+	}
+	// equality on a column with 100 distinct values → 1000/100 = 10.
+	if got := f.Stats().EstTotal; math.Abs(got-10) > 0.001 {
+		t.Errorf("filter est = %g, want 10", got)
+	}
+}
+
+func TestOptimizerRangeSelectivity(t *testing.T) {
+	cat := catalog.New()
+	var vals []int64
+	for i := int64(1); i <= 100; i++ {
+		vals = append(vals, i)
+	}
+	tb := makeTable("t", vals)
+	cat.Register(tb)
+	sc := exec.NewScan(tb, "")
+	f := exec.NewFilter(sc, expr.Compare(expr.LT,
+		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(26)))
+	EstimateCardinalities(f, cat)
+	// (26-1)/(100-1) ≈ 0.2525 → ~25 rows.
+	got := f.Stats().EstTotal
+	if got < 20 || got > 30 {
+		t.Errorf("range filter est = %g, want ~25", got)
+	}
+}
+
+func TestOptimizerJoinUniformIsAccurate(t *testing.T) {
+	cat := catalog.New()
+	var a, b []int64
+	for i := int64(0); i < 1000; i++ {
+		a = append(a, i%50+1)
+		b = append(b, i%50+1)
+	}
+	ta, tb := makeTable("a", a), makeTable("b", b)
+	cat.Register(ta)
+	cat.Register(tb)
+	j := exec.NewHashJoinOn(exec.NewScan(ta, ""), exec.NewScan(tb, ""), "a", "k", "b", "k")
+	EstimateCardinalities(j, cat)
+	// True size: 50 keys × 20 × 20 = 20000; uniform estimate 1000·1000/50.
+	if got := j.Stats().EstTotal; math.Abs(got-20000) > 1 {
+		t.Errorf("join est = %g, want 20000", got)
+	}
+}
+
+func TestOptimizerMisestimatesSkewedJoins(t *testing.T) {
+	// The defining failure mode the paper corrects: the uniformity
+	// assumption is wrong by a large factor on skewed data whose hot
+	// values are misaligned (the paper's Figure 4(a) observes PostgreSQL
+	// off by ~13×; with misaligned Zipf permutations the uniform
+	// assumption overestimates, by the rearrangement inequality).
+	cat := catalog.New()
+	ta := tpch.MustSkewedCustomer("a", 20000, 5000, 1.5, 3, 100)
+	tb := tpch.MustSkewedCustomer("b", 20000, 5000, 1.5, 4, 200)
+	cat.Register(ta)
+	cat.Register(tb)
+	j := exec.NewHashJoinOn(exec.NewScan(ta, ""), exec.NewScan(tb, ""),
+		"a", "nationkey", "b", "nationkey")
+	EstimateCardinalities(j, cat)
+	est := j.Stats().EstTotal
+	n, err := exec.Run(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := est / float64(n)
+	if ratio < 3 && ratio > 1.0/3 {
+		t.Errorf("optimizer estimate %g too close to true size %d (ratio %.2f); the skew experiments rely on a large error", est, n, ratio)
+	}
+}
+
+func TestOptimizerGroupByEstimate(t *testing.T) {
+	cat := catalog.New()
+	var vals []int64
+	for i := int64(0); i < 500; i++ {
+		vals = append(vals, i%25)
+	}
+	tb := makeTable("t", vals)
+	cat.Register(tb)
+	agg := exec.NewHashAgg(exec.NewScan(tb, ""), []int{0},
+		[]exec.AggSpec{{Func: exec.CountStar}})
+	EstimateCardinalities(agg, cat)
+	if got := agg.Stats().EstTotal; got != 25 {
+		t.Errorf("group-by est = %g, want 25", got)
+	}
+}
+
+func TestOptimizerWithoutCatalogFallsBack(t *testing.T) {
+	tb := makeTable("t", []int64{1, 2, 3})
+	sc := exec.NewScan(tb, "")
+	f := exec.NewFilter(sc, expr.Compare(expr.EQ,
+		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(1)))
+	EstimateCardinalities(f, nil)
+	if got := f.Stats().EstTotal; math.Abs(got-3*defaultEqSelectivity) > 1e-9 {
+		t.Errorf("fallback est = %g", got)
+	}
+}
+
+func TestBooleanSelectivities(t *testing.T) {
+	in := nodeEstimate{rows: 100, distinct: map[int]float64{0: 10},
+		mins: map[int]float64{}, maxs: map[int]float64{}}
+	eq := expr.Compare(expr.EQ, expr.Col{Index: 0}, expr.IntLit(1))
+	if got := predicateSelectivity(eq, in); got != 0.1 {
+		t.Errorf("eq sel = %g", got)
+	}
+	and := expr.AndOf(eq, eq)
+	if got := predicateSelectivity(and, in); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("and sel = %g", got)
+	}
+	or := expr.OrOf(eq, eq)
+	if got := predicateSelectivity(or, in); math.Abs(got-0.19) > 1e-12 {
+		t.Errorf("or sel = %g", got)
+	}
+	not := expr.Not{E: eq}
+	if got := predicateSelectivity(not, in); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("not sel = %g", got)
+	}
+	ne := expr.Compare(expr.NE, expr.Col{Index: 0}, expr.IntLit(1))
+	if got := predicateSelectivity(ne, in); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("ne sel = %g", got)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	sc := exec.NewScan(makeTable("t", []int64{1}), "")
+	f := exec.NewFilter(sc, expr.Compare(expr.GT, expr.Col{Index: 0}, expr.IntLit(0)))
+	out := Explain(f)
+	if !strings.Contains(out, "Filter") || !strings.Contains(out, "Scan(t)") {
+		t.Errorf("Explain = %q", out)
+	}
+	if !strings.Contains(out, "  Scan") {
+		t.Error("child not indented")
+	}
+}

@@ -1,0 +1,364 @@
+// Package progress implements the getnext() model of query progress
+// ("gnm", paper §3) and a monitor that combines it with the online
+// estimation framework (§4.4):
+//
+//	progress = C(Q)/T(Q) = Σ_i K_i / Σ_i N_i
+//
+// over all operators i of the plan. The plan is decomposed into pipelines;
+// completed pipelines contribute exact counts, the running pipeline's
+// totals come from the online ("once") estimators, and pipelines yet to
+// begin contribute optimizer estimates. The monitor can also be configured
+// to ignore the once estimators and use the dne or byte refinement instead
+// — the baselines of Figure 8.
+package progress
+
+import (
+	"fmt"
+	"strings"
+
+	"qpi/internal/core"
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+)
+
+// Mode selects how running, unfinished operators' totals are estimated.
+type Mode int
+
+// Estimation modes.
+const (
+	// ModeOnce uses the paper's online framework where attached, with the
+	// dne estimate for fallback operators (§4.4).
+	ModeOnce Mode = iota
+	// ModeDNE uses the driver-node estimator everywhere (the [9]
+	// baseline).
+	ModeDNE
+	// ModeByte uses Luo et al.'s weighted refinement everywhere (the [18]
+	// baseline).
+	ModeByte
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOnce:
+		return "once"
+	case ModeDNE:
+		return "dne"
+	default:
+		return "byte"
+	}
+}
+
+// Monitor tracks the progress of one executing plan.
+type Monitor struct {
+	root      exec.Operator
+	pipelines []*plan.Pipeline
+	mode      Mode
+
+	// optimizer estimates captured at construction, per operator, so that
+	// the dne/byte baselines always blend against the original optimizer
+	// belief even after the online framework overwrote Stats.EstTotal.
+	optimizer map[exec.Operator]float64
+
+	// att gives access to the chain estimators' confidence intervals
+	// (ProgressInterval); nil outside ModeOnce.
+	att *core.Attachment
+}
+
+// NewMonitor builds a monitor for a plan whose optimizer estimates have
+// already been seeded (plan.EstimateCardinalities) and whose estimators
+// have been attached (core.Attach) if mode is ModeOnce.
+func NewMonitor(root exec.Operator, mode Mode) *Monitor {
+	return NewMonitorWith(root, mode, nil)
+}
+
+// NewMonitorWith additionally hands the monitor the estimator attachment,
+// enabling confidence intervals on the progress estimate.
+func NewMonitorWith(root exec.Operator, mode Mode, att *core.Attachment) *Monitor {
+	m := &Monitor{
+		root:      root,
+		pipelines: plan.Decompose(root),
+		mode:      mode,
+		optimizer: map[exec.Operator]float64{},
+		att:       att,
+	}
+	exec.Walk(root, func(op exec.Operator) {
+		m.optimizer[op] = op.Stats().EstTotal
+	})
+	return m
+}
+
+// Pipelines returns the plan's pipelines.
+func (m *Monitor) Pipelines() []*plan.Pipeline { return m.pipelines }
+
+// OptimizerEstimate returns the optimizer estimate captured for op at
+// monitor construction (0 when unknown).
+func (m *Monitor) OptimizerEstimate(op exec.Operator) float64 { return m.optimizer[op] }
+
+// Mode returns the estimation mode.
+func (m *Monitor) Mode() Mode { return m.mode }
+
+// opTotal returns the monitor's belief about one operator's N_i.
+func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
+	st := op.Stats()
+	if st.Done {
+		return float64(st.Emitted)
+	}
+	if !pipelineStarted {
+		// Future pipeline: optimizer estimate refined by propagating the
+		// current beliefs about its inputs, with sanity bounds — the
+		// [9]-style refinement of §4.4.
+		return m.refineFuture(op)
+	}
+	switch m.mode {
+	case ModeDNE:
+		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted))
+	case ModeByte:
+		return floorAt(core.ByteEstimate(op, m.optimizer[op]), float64(st.Emitted))
+	default:
+		if strings.HasPrefix(st.EstSource, "once") || st.EstSource == "gee" ||
+			st.EstSource == "mle" || st.EstSource == "agg-pushdown" || st.EstSource == "exact" {
+			return st.Total()
+		}
+		// §4.3/§4.4: operators without a push-down estimator use dne.
+		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted))
+	}
+}
+
+// refineFuture estimates the total output of an operator in a pipeline
+// that has not started, scaling the original optimizer estimate by how
+// much the beliefs about its inputs have moved and clamping to structural
+// bounds (a join cannot exceed the product of its refined inputs, a
+// unary operator cannot exceed its input where output ≤ input holds).
+func (m *Monitor) refineFuture(op exec.Operator) float64 {
+	st := op.Stats()
+	if st.Done {
+		return float64(st.Emitted)
+	}
+	// An operator that has already produced output (its own pipeline is
+	// running or done) carries a live estimate.
+	if st.Emitted > 0 {
+		return m.opTotal(op, true)
+	}
+	// Already refined by an online estimator (e.g. a converged chain
+	// below a pending aggregation): trust it.
+	if src := st.EstSource; src != "optimizer" && src != "" {
+		return st.Total()
+	}
+	children := op.Children()
+	if len(children) == 0 {
+		return st.Total()
+	}
+	refined := make([]float64, len(children))
+	ratio := 1.0
+	for i, c := range children {
+		refined[i] = m.refineFuture(c)
+		if orig := m.optimizer[c]; orig > 0 {
+			ratio *= refined[i] / orig
+		}
+	}
+	est := m.optimizer[op] * ratio
+	// Structural bounds.
+	switch op.(type) {
+	case *exec.HashJoin, *exec.MergeJoin, *exec.NestedLoopsJoin:
+		upper := 1.0
+		for _, r := range refined {
+			upper *= r
+		}
+		if est > upper {
+			est = upper
+		}
+	case *exec.HashAgg, *exec.SortAgg:
+		// An aggregation emits at most its input, and at most its
+		// distinct-count belief (which survives input misestimates).
+		if hint := st.GroupsHint; hint > 0 && est > hint {
+			est = hint
+		}
+		if est > refined[0] {
+			est = refined[0]
+		}
+	case *exec.Filter, *exec.Limit:
+		if est > refined[0] {
+			est = refined[0]
+		}
+	case *exec.Sort, *exec.Project:
+		est = refined[0]
+	}
+	if est < 0 {
+		est = 0
+	}
+	return est
+}
+
+// ProgressInterval returns a two-sided α confidence interval around the
+// progress estimate, derived from the chain estimators' cardinality
+// intervals (only meaningful with ModeOnce and an attachment; otherwise
+// it degenerates to the point estimate).
+func (m *Monitor) ProgressInterval(alpha float64) (lo, hi float64) {
+	c, _ := m.Totals()
+	var tLo, tHi float64
+	for _, p := range m.pipelines {
+		started := p.Started()
+		for _, op := range p.Ops {
+			point := m.opTotal(op, started)
+			l, h := point, point
+			if m.att != nil && !op.Stats().Done {
+				if pe := m.att.ChainOf[op]; pe != nil && pe.ProbeTuplesSeen() > 0 {
+					l, h = pe.ConfidenceInterval(m.att.LevelOf[op], alpha)
+				}
+			}
+			if l > point {
+				l = point
+			}
+			if h < point {
+				h = point
+			}
+			tLo += l
+			tHi += h
+		}
+	}
+	if tHi <= 0 {
+		return 0, 0
+	}
+	lo = c / tHi
+	hi = 1.0
+	if tLo > 0 {
+		hi = c / tLo
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+func floorAt(v, lo float64) float64 {
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Totals returns C(Q) and the current estimate of T(Q).
+func (m *Monitor) Totals() (c float64, t float64) {
+	for _, p := range m.pipelines {
+		started := p.Started()
+		for _, op := range p.Ops {
+			c += float64(op.Stats().Emitted)
+			t += m.opTotal(op, started)
+		}
+	}
+	return c, t
+}
+
+// Progress returns C(Q)/T(Q) in [0,1].
+func (m *Monitor) Progress() float64 {
+	c, t := m.Totals()
+	if t <= 0 {
+		return 0
+	}
+	p := c / t
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// PipelineReport summarizes one pipeline for Report.
+type PipelineReport struct {
+	ID      int
+	C       float64
+	T       float64
+	Started bool
+	Done    bool
+	Root    string
+}
+
+// Report is a point-in-time snapshot of query progress.
+type Report struct {
+	Progress  float64
+	C, T      float64
+	Mode      Mode
+	Pipelines []PipelineReport
+}
+
+// Report captures a full snapshot.
+func (m *Monitor) Report() Report {
+	r := Report{Mode: m.mode}
+	for _, p := range m.pipelines {
+		started := p.Started()
+		pr := PipelineReport{ID: p.ID, Started: started, Done: p.Done(), Root: p.Root.Name()}
+		for _, op := range p.Ops {
+			pr.C += float64(op.Stats().Emitted)
+			pr.T += m.opTotal(op, started)
+		}
+		r.C += pr.C
+		r.T += pr.T
+		r.Pipelines = append(r.Pipelines, pr)
+	}
+	if r.T > 0 {
+		r.Progress = r.C / r.T
+		if r.Progress > 1 {
+			r.Progress = 1
+		}
+	}
+	return r
+}
+
+// String renders the report as a one-line progress summary plus one line
+// per pipeline.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "progress %5.1f%%  (C=%.0f T=%.0f, mode=%s)\n",
+		100*r.Progress, r.C, r.T, r.Mode)
+	for _, p := range r.Pipelines {
+		state := "pending"
+		if p.Done {
+			state = "done"
+		} else if p.Started {
+			state = "running"
+		}
+		fmt.Fprintf(&b, "  P%d %-8s C=%-10.0f T=%-10.0f %s\n", p.ID, state, p.C, p.T, p.Root)
+	}
+	return b.String()
+}
+
+// InstallTicker arranges for f to be called once every `every` units of
+// work (tuples flowing through scans, join phases and blocking input
+// passes). Progress experiments use it to sample the monitor at evenly
+// spaced points of actual work without a second goroutine.
+func InstallTicker(root exec.Operator, every int64, f func()) {
+	var counter int64
+	tick := func() {
+		counter++
+		if counter%every == 0 {
+			f()
+		}
+	}
+	hook := func(prev func(data.Tuple)) func(data.Tuple) {
+		return func(t data.Tuple) {
+			if prev != nil {
+				prev(t)
+			}
+			tick()
+		}
+	}
+	exec.Walk(root, func(op exec.Operator) {
+		switch o := op.(type) {
+		case *exec.Scan:
+			o.OnTuple = hook(o.OnTuple)
+		case *exec.HashJoin:
+			o.OnBuildTuple = hook(o.OnBuildTuple)
+			o.OnProbeTuple = hook(o.OnProbeTuple)
+			o.OnOutput = hook(o.OnOutput)
+		case *exec.MergeJoin:
+			o.OnOutput = hook(o.OnOutput)
+		case *exec.Sort:
+			o.OnInput = hook(o.OnInput)
+		case *exec.HashAgg:
+			o.OnInput = hook(o.OnInput)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package progress
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry tracks the progress of multiple concurrently executing queries
+// — the multi-query extension of Luo et al. [19] the paper cites. Each
+// query registers its monitor under a label; snapshots are safe to take
+// from other goroutines as long as each query executes on one goroutine
+// (the registry locks its own map; the underlying counters are
+// monotonically increasing int64s whose torn reads are harmless for
+// display purposes, matching how production engines expose progress
+// views).
+type Registry struct {
+	mu       sync.Mutex
+	monitors map[string]*Monitor
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{monitors: map[string]*Monitor{}}
+}
+
+// Register adds a query's monitor under a unique label.
+func (r *Registry) Register(label string, m *Monitor) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.monitors[label]; dup {
+		return fmt.Errorf("progress: query %q already registered", label)
+	}
+	r.monitors[label] = m
+	r.order = append(r.order, label)
+	return nil
+}
+
+// Unregister removes a query.
+func (r *Registry) Unregister(label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.monitors, label)
+	for i, l := range r.order {
+		if l == label {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// QueryProgress is one query's row in a registry snapshot.
+type QueryProgress struct {
+	Label    string
+	Progress float64
+	C, T     float64
+	Done     bool
+}
+
+// Snapshot reports every registered query's progress, in registration
+// order.
+func (r *Registry) Snapshot() []QueryProgress {
+	r.mu.Lock()
+	labels := make([]string, len(r.order))
+	copy(labels, r.order)
+	monitors := make([]*Monitor, len(labels))
+	for i, l := range labels {
+		monitors[i] = r.monitors[l]
+	}
+	r.mu.Unlock()
+
+	out := make([]QueryProgress, len(labels))
+	for i, m := range monitors {
+		rep := m.Report()
+		done := true
+		for _, p := range rep.Pipelines {
+			if !p.Done {
+				done = false
+			}
+		}
+		out[i] = QueryProgress{
+			Label:    labels[i],
+			Progress: rep.Progress,
+			C:        rep.C,
+			T:        rep.T,
+			Done:     done,
+		}
+	}
+	return out
+}
+
+// OverallProgress aggregates all registered queries under the gnm model:
+// ΣC over ΣT — total work done across the workload versus the total
+// expected.
+func (r *Registry) OverallProgress() float64 {
+	snap := r.Snapshot()
+	var c, t float64
+	for _, q := range snap {
+		c += q.C
+		t += q.T
+	}
+	if t <= 0 {
+		return 0
+	}
+	p := c / t
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// String renders a dashboard-style table, sorted by progress.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].Progress > snap[j].Progress })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %12s %12s\n", "query", "progress", "C", "T")
+	for _, q := range snap {
+		state := ""
+		if q.Done {
+			state = " (done)"
+		}
+		fmt.Fprintf(&b, "%-24s %7.1f%% %12.0f %12.0f%s\n",
+			q.Label, 100*q.Progress, q.C, q.T, state)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package progress
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qpi/internal/exec"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	j1, m1 := buildJoinQuery(t, 21, ModeOnce)
+	j2, m2 := buildJoinQuery(t, 22, ModeOnce)
+	if err := r.Register("q1", m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("q2", m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("q1", m1); err == nil {
+		t.Error("duplicate label accepted")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Label != "q1" || snap[0].Done {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if r.OverallProgress() != 0 {
+		t.Errorf("initial overall = %g", r.OverallProgress())
+	}
+
+	// Finish q1 only: overall progress lies strictly between 0 and 1.
+	if _, err := exec.Run(j1); err != nil {
+		t.Fatal(err)
+	}
+	overall := r.OverallProgress()
+	if overall <= 0 || overall >= 1 {
+		t.Errorf("overall after one query = %g", overall)
+	}
+	snap = r.Snapshot()
+	if !snap[0].Done || snap[1].Done {
+		t.Errorf("done flags = %+v", snap)
+	}
+
+	if _, err := exec.Run(j2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OverallProgress(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("overall = %g, want 1", got)
+	}
+
+	out := r.String()
+	if !strings.Contains(out, "q1") || !strings.Contains(out, "q2") {
+		t.Errorf("dashboard = %q", out)
+	}
+
+	r.Unregister("q1")
+	if len(r.Snapshot()) != 1 {
+		t.Error("unregister failed")
+	}
+	r.Unregister("missing") // no-op
+}

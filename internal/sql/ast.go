@@ -1,0 +1,288 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed scalar or boolean expression.
+type Expr interface {
+	String() string
+	exprNode()
+}
+
+// ColRef references table.column (Table may be empty).
+type ColRef struct {
+	Table  string
+	Column string
+	Pos    int
+}
+
+func (c *ColRef) exprNode() {}
+func (c *ColRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// Lit is a literal: int64, float64, string, or nil (NULL).
+type Lit struct {
+	Value any
+	Pos   int
+}
+
+func (l *Lit) exprNode() {}
+func (l *Lit) String() string {
+	if l.Value == nil {
+		return "NULL"
+	}
+	if s, ok := l.Value.(string); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return fmt.Sprint(l.Value)
+}
+
+// Binary is a binary operation: comparisons (= <> < <= > >=), arithmetic
+// (+ - * / %), and boolean AND/OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  int
+}
+
+func (b *Binary) exprNode() {}
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Unary is NOT expr or -expr.
+type Unary struct {
+	Op  string // "NOT" or "-"
+	E   Expr
+	Pos int
+}
+
+func (u *Unary) exprNode() {}
+func (u *Unary) String() string {
+	return u.Op + " (" + u.E.String() + ")"
+}
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	E      Expr
+	Negate bool
+	Pos    int
+}
+
+func (i *IsNull) exprNode() {}
+func (i *IsNull) String() string {
+	if i.Negate {
+		return i.E.String() + " IS NOT NULL"
+	}
+	return i.E.String() + " IS NULL"
+}
+
+// Between is "expr BETWEEN lo AND hi".
+type Between struct {
+	E, Lo, Hi Expr
+	Pos       int
+}
+
+func (b *Between) exprNode() {}
+func (b *Between) String() string {
+	return b.E.String() + " BETWEEN " + b.Lo.String() + " AND " + b.Hi.String()
+}
+
+// InList is "expr IN (v1, v2, ...)".
+type InList struct {
+	E    Expr
+	List []Expr
+	Pos  int
+}
+
+func (in *InList) exprNode() {}
+func (in *InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	return in.E.String() + " IN (" + strings.Join(parts, ", ") + ")"
+}
+
+// LikePred is "expr [NOT] LIKE 'pattern'".
+type LikePred struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+	Pos     int
+}
+
+func (l *LikePred) exprNode() {}
+func (l *LikePred) String() string {
+	op := " LIKE '"
+	if l.Negate {
+		op = " NOT LIKE '"
+	}
+	return l.E.String() + op + strings.ReplaceAll(l.Pattern, "'", "''") + "'"
+}
+
+// FuncCall is an aggregate call: COUNT(*), COUNT(x), SUM/MIN/MAX/AVG(x).
+type FuncCall struct {
+	Name string // upper-case
+	Star bool
+	Arg  Expr
+	Pos  int
+}
+
+func (f *FuncCall) exprNode() {}
+func (f *FuncCall) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	return f.Name + "(" + f.Arg.String() + ")"
+}
+
+// SelectItem is one projection: an expression with an optional alias, or
+// the bare star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// TableRef is a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+	Pos   int
+}
+
+// AliasOrName returns the effective relation name.
+func (t TableRef) AliasOrName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinKind enumerates join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinSemi
+	JoinAnti
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "INNER"
+	case JoinLeft:
+		return "LEFT"
+	case JoinSemi:
+		return "SEMI"
+	case JoinAnti:
+		return "ANTI"
+	default:
+		return "CROSS"
+	}
+}
+
+// JoinClause is "JOIN table ON cond".
+type JoinClause struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY column.
+type OrderItem struct {
+	Col  ColRef
+	Desc bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef // comma-separated FROM list
+	Joins   []JoinClause
+	Where   Expr
+	GroupBy []ColRef
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   *int64
+}
+
+// String reassembles a normalized SQL rendering (for diagnostics).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " %s JOIN %s", j.Kind, j.Table.Name)
+		if j.Table.Alias != "" {
+			b.WriteString(" AS " + j.Table.Alias)
+		}
+		if j.On != nil {
+			b.WriteString(" ON " + j.On.String())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Col.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the lexer/parser never panic and that anything that
+// parses re-renders to something that parses again to the same rendering
+// (a parse/print fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT * FROM t WHERE a < 5 AND b IS NOT NULL",
+		"SELECT a, COUNT(*) c FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 3",
+		"SELECT t.a FROM t JOIN u ON t.a = u.a LEFT JOIN v ON v.b = t.b",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b IN (1, 2.5, 'x')",
+		"SELECT -a * (b + 3) % 2 FROM t -- comment",
+		"SELECT 'it''s' FROM t;",
+		"select sum(x) from y cross join z",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := stmt.String()
+		stmt2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if got := stmt2.String(); got != rendered {
+			t.Fatalf("print fixpoint violated:\n first: %q\nsecond: %q", rendered, got)
+		}
+	})
+}
+
+// TestParsePrintFixpointCorpus runs the fuzz property over a corpus in
+// normal test runs (fuzzing is opt-in with -fuzz).
+func TestParsePrintFixpointCorpus(t *testing.T) {
+	corpus := []string{
+		"SELECT a FROM t",
+		"SELECT a AS x, b y FROM t u WHERE u.a <> 3",
+		"SELECT COUNT(*) FROM a JOIN b ON a.x = b.x AND a.y = b.y",
+		"SELECT a FROM t SEMI JOIN u ON u.k = t.k ANTI JOIN v ON v.k = t.k",
+		"SELECT a FROM t WHERE NOT (a = 1 OR a = 2) GROUP BY a HAVING MIN(a) >= 0",
+		"SELECT a FROM t ORDER BY a, b DESC LIMIT 0",
+	}
+	for _, q := range corpus {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		r1 := stmt.String()
+		stmt2, err := Parse(r1)
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", q, r1, err)
+		}
+		if r2 := stmt2.String(); r2 != r1 {
+			t.Fatalf("fixpoint: %q vs %q", r1, r2)
+		}
+		if !strings.HasPrefix(r1, "SELECT") {
+			t.Fatalf("odd rendering %q", r1)
+		}
+	}
+}

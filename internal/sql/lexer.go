@@ -1,0 +1,134 @@
+package sql
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lex tokenizes a SQL string. It returns the token stream without the
+// trailing EOF token errors are positioned at the offending byte.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: up, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < n && (input[i] >= '0' && input[i] <= '9') {
+				i++
+			}
+			if i < n && input[i] == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && input[i] >= '0' && input[i] <= '9' {
+					i++
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
+		case c == '(':
+			toks = append(toks, Token{Kind: TokLParen, Text: "(", Pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, Token{Kind: TokRParen, Text: ")", Pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, Token{Kind: TokComma, Text: ",", Pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, Token{Kind: TokDot, Text: ".", Pos: i})
+			i++
+		case c == '*':
+			toks = append(toks, Token{Kind: TokStar, Text: "*", Pos: i})
+			i++
+		case c == '=' || c == '+' || c == '-' || c == '/' || c == '%':
+			toks = append(toks, Token{Kind: TokOp, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokOp, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokOp, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokOp, Text: "!=", Pos: i})
+				i += 2
+			} else {
+				return nil, errf(i, "unexpected character %q", c)
+			}
+		case c == ';':
+			// Statement terminator: stop lexing.
+			i = n
+		default:
+			return nil, errf(i, "unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || (c >= '0' && c <= '9')
+}

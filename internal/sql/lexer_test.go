@@ -1,0 +1,104 @@
+package sql
+
+import (
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 42, 3.5, 'it''s' FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokKeyword, TokIdent, TokDot, TokIdent, TokComma,
+		TokInt, TokComma, TokFloat, TokComma, TokString, TokKeyword, TokIdent}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[9].Text != "it's" {
+		t.Errorf("string literal = %q", toks[9].Text)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From wHeRe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].Kind != TokKeyword || toks[i].Text != want {
+			t.Errorf("token %d = %+v, want keyword %s", i, toks[i], want)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("= <> != < <= > >= + - * / %")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"=", "<>", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- comment here\n 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[1].Kind != TokInt {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexSemicolonTerminates(t *testing.T) {
+	toks, err := Lex("SELECT 1; garbage !!!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 {
+		t.Errorf("tokens = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("SELECT #"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := Lex("a ! b"); err == nil {
+		t.Error("bare ! accepted")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("ab cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 3 {
+		t.Errorf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}

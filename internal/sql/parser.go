@@ -1,0 +1,565 @@
+package sql
+
+import "strconv"
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.peek().Pos, "unexpected %s %q after statement", p.peek().Kind, p.peek().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return Token{Kind: TokEOF, Pos: endPos(p.toks)}
+}
+
+func endPos(toks []Token) int {
+	if len(toks) == 0 {
+		return 0
+	}
+	last := toks[len(toks)-1]
+	return last.Pos + len(last.Text)
+}
+
+func (p *parser) next() Token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+// peekAhead looks n tokens past the cursor.
+func (p *parser) peekAhead(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return Token{Kind: TokEOF, Pos: endPos(p.toks)}
+}
+
+// acceptKeyword consumes kw if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return errf(t.Pos, "expected %s, found %s %q", kw, t.Kind, t.Text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return t, errf(t.Pos, "expected %s, found %s %q", kind, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	// FROM.
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if p.peek().Kind != TokComma {
+			break
+		}
+		p.next()
+	}
+	// JOIN clauses.
+	for {
+		kind, isJoin, err := p.parseJoinKind()
+		if err != nil {
+			return nil, err
+		}
+		if !isJoin {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		jc := JoinClause{Kind: kind, Table: tr}
+		if kind != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			jc.On = on
+		}
+		stmt.Joins = append(stmt.Joins, jc)
+	}
+	// WHERE.
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	// GROUP BY.
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, *c)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	// ORDER BY.
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: *c}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	// LIMIT.
+	if p.acceptKeyword("LIMIT") {
+		t, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, errf(t.Pos, "invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = &n
+	}
+	return stmt, nil
+}
+
+// parseJoinKind consumes an optional join prefix; isJoin reports whether
+// a join clause follows.
+func (p *parser) parseJoinKind() (JoinKind, bool, error) {
+	switch {
+	case p.acceptKeyword("JOIN"):
+		return JoinInner, true, nil
+	case p.acceptKeyword("INNER"):
+		return JoinInner, true, p.expectKeyword("JOIN")
+	case p.acceptKeyword("LEFT"):
+		p.acceptKeyword("OUTER")
+		return JoinLeft, true, p.expectKeyword("JOIN")
+	case p.acceptKeyword("SEMI"):
+		return JoinSemi, true, p.expectKeyword("JOIN")
+	case p.acceptKeyword("ANTI"):
+		return JoinAnti, true, p.expectKeyword("JOIN")
+	case p.acceptKeyword("CROSS"):
+		return JoinCross, true, p.expectKeyword("JOIN")
+	default:
+		return JoinInner, false, nil
+	}
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peek().Kind == TokStar {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: t.Text, Pos: t.Pos}
+	if p.acceptKeyword("AS") {
+		a, err := p.expect(TokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *parser) parseColRef() (*ColRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &ColRef{Column: t.Text, Pos: t.Pos}
+	if p.peek().Kind == TokDot {
+		p.next()
+		col, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		c.Table = t.Text
+		c.Column = col.Text
+	}
+	return c, nil
+}
+
+// Expression grammar (precedence climbing):
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	pred    := addExpr (cmpOp addExpr | IS [NOT] NULL | BETWEEN a AND b | IN (list))?
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/'|'%') unary)*
+//	unary   := '-' unary | primary
+//	primary := literal | colref | aggcall | '(' expr ')'
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "OR" {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokKeyword && p.peek().Text == "AND" {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r, Pos: pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().Kind == TokKeyword && p.peek().Text == "NOT" {
+		pos := p.next().Pos
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e, Pos: pos}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.Kind == TokOp && isCmpOp(t.Text):
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		op := t.Text
+		if op == "!=" {
+			op = "<>"
+		}
+		return &Binary{Op: op, L: l, R: r, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "LIKE":
+		p.next()
+		lit, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{E: l, Pattern: lit.Text, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "NOT" && p.peekAhead(1).Text == "LIKE":
+		p.next()
+		p.next()
+		lit, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		return &LikePred{E: l, Pattern: lit.Text, Negate: true, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "IS":
+		p.next()
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Negate: neg, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "BETWEEN":
+		p.next()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: l, Lo: lo, Hi: hi, Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && t.Text == "IN":
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.peek().Kind != TokComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &InList{E: l, List: list, Pos: t.Pos}, nil
+	}
+	return l, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp && (p.peek().Text == "+" || p.peek().Text == "-") {
+		t := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.Text, L: l, R: r, Pos: t.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for (p.peek().Kind == TokOp && (p.peek().Text == "/" || p.peek().Text == "%")) ||
+		p.peek().Kind == TokStar {
+		t := p.next()
+		op := t.Text
+		if t.Kind == TokStar {
+			op = "*"
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r, Pos: t.Pos}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().Kind == TokOp && p.peek().Text == "-" {
+		t := p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Constant-fold negative literals.
+		if lit, ok := e.(*Lit); ok {
+			switch v := lit.Value.(type) {
+			case int64:
+				return &Lit{Value: -v, Pos: t.Pos}, nil
+			case float64:
+				return &Lit{Value: -v, Pos: t.Pos}, nil
+			}
+		}
+		return &Unary{Op: "-", E: e, Pos: t.Pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid integer %q", t.Text)
+		}
+		return &Lit{Value: n, Pos: t.Pos}, nil
+	case TokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid float %q", t.Text)
+		}
+		return &Lit{Value: f, Pos: t.Pos}, nil
+	case TokString:
+		p.next()
+		return &Lit{Value: t.Text, Pos: t.Pos}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Lit{Value: nil, Pos: t.Pos}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			return p.parseAggCall()
+		}
+		return nil, errf(t.Pos, "unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		return p.parseColRef()
+	default:
+		return nil, errf(t.Pos, "unexpected %s %q in expression", t.Kind, t.Text)
+	}
+}
+
+func (p *parser) parseAggCall() (Expr, error) {
+	name := p.next() // COUNT/SUM/...
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncCall{Name: name.Text, Pos: name.Pos}
+	if p.peek().Kind == TokStar {
+		if name.Text != "COUNT" {
+			return nil, errf(p.peek().Pos, "%s(*) is not valid", name.Text)
+		}
+		p.next()
+		f.Star = true
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Arg = arg
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

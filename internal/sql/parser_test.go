@@ -1,0 +1,189 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT a, b FROM t WHERE a < 5 LIMIT 3")
+	if len(s.Items) != 2 || len(s.From) != 1 || s.From[0].Name != "t" {
+		t.Fatalf("stmt = %+v", s)
+	}
+	if s.Where == nil || s.Limit == nil || *s.Limit != 3 {
+		t.Fatalf("where/limit missing: %+v", s)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t")
+	if !s.Items[0].Star {
+		t.Error("star not parsed")
+	}
+}
+
+func TestParseQualifiedAndAliases(t *testing.T) {
+	s := mustParse(t, "SELECT c.name AS n, o.total price FROM customer AS c, orders o")
+	if s.Items[0].Alias != "n" || s.Items[1].Alias != "price" {
+		t.Errorf("aliases = %+v", s.Items)
+	}
+	if s.From[0].Alias != "c" || s.From[1].Alias != "o" {
+		t.Errorf("from = %+v", s.From)
+	}
+	c := s.Items[0].Expr.(*ColRef)
+	if c.Table != "c" || c.Column != "name" {
+		t.Errorf("colref = %+v", c)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := mustParse(t, `SELECT * FROM a
+		JOIN b ON a.x = b.x
+		LEFT JOIN c ON c.y = a.y
+		SEMI JOIN d ON d.z = a.z
+		ANTI JOIN e ON e.w = a.w
+		CROSS JOIN f`)
+	if len(s.Joins) != 5 {
+		t.Fatalf("joins = %d", len(s.Joins))
+	}
+	kinds := []JoinKind{JoinInner, JoinLeft, JoinSemi, JoinAnti, JoinCross}
+	for i, k := range kinds {
+		if s.Joins[i].Kind != k {
+			t.Errorf("join %d kind = %v, want %v", i, s.Joins[i].Kind, k)
+		}
+	}
+	if s.Joins[4].On != nil {
+		t.Error("cross join should have no ON")
+	}
+}
+
+func TestParseGroupByOrderBy(t *testing.T) {
+	s := mustParse(t, `SELECT k, COUNT(*) AS c, SUM(v) s FROM t
+		GROUP BY k ORDER BY k ASC, c DESC LIMIT 10`)
+	if len(s.GroupBy) != 1 || s.GroupBy[0].Column != "k" {
+		t.Fatalf("group by = %+v", s.GroupBy)
+	}
+	if len(s.OrderBy) != 2 || s.OrderBy[1].Desc != true || s.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", s.OrderBy)
+	}
+	fc := s.Items[1].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Errorf("count(*) = %+v", fc)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a + 2 * 3 = 7 AND b < 1 OR c > 2")
+	// ((a + (2*3)) = 7 AND b<1) OR c>2
+	or := s.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top = %v", or.Op)
+	}
+	and := or.L.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("left = %v", and.Op)
+	}
+	eq := and.L.(*Binary)
+	if eq.Op != "=" {
+		t.Fatalf("cmp = %v", eq.Op)
+	}
+	add := eq.L.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("add = %v", add.Op)
+	}
+	if mul := add.R.(*Binary); mul.Op != "*" {
+		t.Fatalf("mul = %v", mul.Op)
+	}
+}
+
+func TestParsePredicateForms(t *testing.T) {
+	s := mustParse(t, `SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL
+		AND c BETWEEN 1 AND 5 AND d IN (1, 2, 3) AND NOT (e = 1)`)
+	conjs := splitConjuncts(s.Where)
+	if len(conjs) != 5 {
+		t.Fatalf("conjuncts = %d", len(conjs))
+	}
+	if _, ok := conjs[0].(*IsNull); !ok {
+		t.Errorf("conj 0 = %T", conjs[0])
+	}
+	if n, ok := conjs[1].(*IsNull); !ok || !n.Negate {
+		t.Errorf("conj 1 = %+v", conjs[1])
+	}
+	if _, ok := conjs[2].(*Between); !ok {
+		t.Errorf("conj 2 = %T", conjs[2])
+	}
+	if in, ok := conjs[3].(*InList); !ok || len(in.List) != 3 {
+		t.Errorf("conj 3 = %+v", conjs[3])
+	}
+	if _, ok := conjs[4].(*Unary); !ok {
+		t.Errorf("conj 4 = %T", conjs[4])
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a > -5 AND b < -2.5")
+	conjs := splitConjuncts(s.Where)
+	gt := conjs[0].(*Binary)
+	if lit := gt.R.(*Lit); lit.Value.(int64) != -5 {
+		t.Errorf("lit = %+v", lit)
+	}
+	lt := conjs[1].(*Binary)
+	if lit := lt.R.(*Lit); lit.Value.(float64) != -2.5 {
+		t.Errorf("lit = %+v", lit)
+	}
+}
+
+func TestParseStringRendering(t *testing.T) {
+	q := "SELECT a AS x FROM t AS u JOIN v ON u.a = v.a WHERE a < 5 GROUP BY a ORDER BY a LIMIT 2"
+	s := mustParse(t, q)
+	out := s.String()
+	for _, frag := range []string{"SELECT", "AS x", "JOIN v", "WHERE", "GROUP BY", "ORDER BY", "LIMIT 2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendering %q missing %q", out, frag)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t JOIN b",
+		"SELECT a FROM t trailing junk (",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t WHERE (a = 1",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(a), SUM(b), MIN(c), MAX(d), AVG(e) FROM t")
+	names := []string{"COUNT", "SUM", "MIN", "MAX", "AVG"}
+	for i, n := range names {
+		fc := s.Items[i].Expr.(*FuncCall)
+		if fc.Name != n || fc.Star {
+			t.Errorf("item %d = %+v", i, fc)
+		}
+	}
+}

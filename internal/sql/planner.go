@@ -1,0 +1,973 @@
+package sql
+
+import (
+	"sort"
+	"strings"
+
+	"qpi/internal/catalog"
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+	"qpi/internal/plan"
+)
+
+// Plan compiles a parsed SELECT into a physical operator tree over the
+// catalog. The planner:
+//
+//   - pushes single-table WHERE conjuncts below the joins (except onto
+//     tables preserved by outer joins, where that would change results);
+//   - turns the inner-join graph into a left-deep chain of grace hash
+//     joins whose probe side is always the largest estimated input —
+//     exactly the pipeline shape the online estimation framework pushes
+//     estimates down through;
+//   - applies LEFT/SEMI/ANTI joins (probe-preserving hash joins) after
+//     the inner core, in statement order;
+//   - adds residual filters, grouping, ordering, projection and limit.
+func Plan(stmt *SelectStmt, cat *catalog.Catalog) (exec.Operator, error) {
+	p := &planner{cat: cat, rels: map[string]*rel{}}
+	return p.plan(stmt)
+}
+
+// rel is one base relation in the query.
+type rel struct {
+	ref     TableRef
+	scan    *exec.Scan
+	filters []Expr // pushed-down single-table conjuncts
+	op      exec.Operator
+	rows    float64
+	// outer marks tables joined by a non-inner join (no WHERE pushdown).
+	outerKind JoinKind
+	isOuter   bool
+	on        Expr // ON condition for non-inner joins
+	order     int  // statement order, for non-inner join application
+}
+
+type planner struct {
+	cat  *catalog.Catalog
+	rels map[string]*rel
+}
+
+func (p *planner) plan(stmt *SelectStmt) (exec.Operator, error) {
+	if len(stmt.From) == 0 {
+		return nil, errf(0, "FROM clause is required")
+	}
+	// Register relations.
+	for _, tr := range stmt.From {
+		if err := p.addRel(tr, JoinInner, nil, false); err != nil {
+			return nil, err
+		}
+	}
+	for i, jc := range stmt.Joins {
+		isOuter := jc.Kind != JoinInner && jc.Kind != JoinCross
+		if err := p.addRel(jc.Table, jc.Kind, jc.On, isOuter); err != nil {
+			return nil, err
+		}
+		p.rels[jc.Table.AliasOrName()].order = i
+	}
+
+	// Collect conjuncts from WHERE and inner-join ON clauses.
+	var conjuncts []Expr
+	if stmt.Where != nil {
+		conjuncts = splitConjuncts(stmt.Where)
+	}
+	for _, jc := range stmt.Joins {
+		if jc.Kind == JoinInner && jc.On != nil {
+			conjuncts = append(conjuncts, splitConjuncts(jc.On)...)
+		}
+	}
+
+	// Classify conjuncts.
+	type joinEdge struct {
+		a, b        string // relation aliases
+		aCol, bCol  *ColRef
+		fromOuterOn bool
+	}
+	var edges []joinEdge
+	var residual []Expr
+	for _, c := range conjuncts {
+		rels, err := p.referencedRels(c)
+		if err != nil {
+			return nil, err
+		}
+		switch len(rels) {
+		case 0:
+			residual = append(residual, c) // constant predicate
+		case 1:
+			r := p.rels[rels[0]]
+			if r.isOuter {
+				// Pushing a WHERE filter below an outer join would
+				// change semantics; keep it residual.
+				residual = append(residual, c)
+			} else {
+				r.filters = append(r.filters, c)
+			}
+		case 2:
+			if l, rr, ok := equiCols(c); ok {
+				la, _ := p.relOf(l)
+				ra, _ := p.relOf(rr)
+				if !p.rels[la].isOuter && !p.rels[ra].isOuter {
+					edges = append(edges, joinEdge{a: la, b: ra, aCol: l, bCol: rr})
+					continue
+				}
+			}
+			residual = append(residual, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+
+	// Non-inner join ON conditions: single equi condition between the
+	// outer table and the inner core.
+	for alias, r := range p.rels {
+		if !r.isOuter {
+			continue
+		}
+		if r.on == nil {
+			return nil, errf(r.ref.Pos, "%s JOIN %s needs an ON condition", r.outerKind, alias)
+		}
+		// ON single-table conjuncts on the outer table itself can be
+		// pushed (they filter the build input before preservation).
+		for _, c := range splitConjuncts(r.on) {
+			rels, err := p.referencedRels(c)
+			if err != nil {
+				return nil, err
+			}
+			if len(rels) == 1 && rels[0] == alias {
+				r.filters = append(r.filters, c)
+			}
+		}
+	}
+
+	// Build per-relation subplans (scan + pushed filters) and estimate.
+	for _, r := range p.rels {
+		op := exec.Operator(r.scan)
+		for _, f := range r.filters {
+			e, err := p.toExpr(f, op.Schema())
+			if err != nil {
+				return nil, err
+			}
+			op = exec.NewFilter(op, e)
+		}
+		r.op = op
+		plan.EstimateCardinalities(op, p.cat)
+		r.rows = op.Stats().EstTotal
+	}
+
+	// Inner core: greedy left-deep chain, largest input as the stream.
+	var innerAliases []string
+	for a, r := range p.rels {
+		if !r.isOuter {
+			innerAliases = append(innerAliases, a)
+		}
+	}
+	sort.Slice(innerAliases, func(i, j int) bool {
+		ri, rj := p.rels[innerAliases[i]], p.rels[innerAliases[j]]
+		if ri.rows != rj.rows {
+			return ri.rows > rj.rows
+		}
+		return innerAliases[i] < innerAliases[j]
+	})
+	if len(innerAliases) == 0 {
+		return nil, errf(0, "at least one inner relation is required")
+	}
+	stream := p.rels[innerAliases[0]].op
+	joined := map[string]bool{innerAliases[0]: true}
+	remaining := innerAliases[1:]
+	usedEdge := make([]bool, len(edges))
+	for len(remaining) > 0 {
+		// Find the smallest joinable relation.
+		bestIdx, bestEdge := -1, -1
+		for i, alias := range remaining {
+			for ei, e := range edges {
+				if usedEdge[ei] {
+					continue
+				}
+				var other string
+				switch {
+				case e.a == alias && joined[e.b]:
+					other = e.b
+				case e.b == alias && joined[e.a]:
+					other = e.a
+				default:
+					continue
+				}
+				_ = other
+				if bestIdx < 0 || p.rels[alias].rows < p.rels[remaining[bestIdx]].rows {
+					bestIdx, bestEdge = i, ei
+				}
+				break
+			}
+		}
+		if bestIdx < 0 {
+			// Disconnected: cross product with the smallest remaining.
+			sort.Slice(remaining, func(i, j int) bool {
+				return p.rels[remaining[i]].rows < p.rels[remaining[j]].rows
+			})
+			alias := remaining[0]
+			stream = exec.NewNestedLoopsJoin(stream, p.rels[alias].op, nil)
+			joined[alias] = true
+			remaining = remaining[1:]
+			continue
+		}
+		alias := remaining[bestIdx]
+		_ = bestEdge
+		// Gather every usable equality between the new relation and the
+		// stream so far: multiple conditions become one conjunctive
+		// multi-attribute hash join (§4.1).
+		build := p.rels[alias].op
+		var buildKeys, probeKeys []int
+		for ei, e := range edges {
+			if usedEdge[ei] {
+				continue
+			}
+			var buildCol, probeCol *ColRef
+			switch {
+			case e.a == alias && joined[e.b]:
+				buildCol, probeCol = e.aCol, e.bCol
+			case e.b == alias && joined[e.a]:
+				buildCol, probeCol = e.bCol, e.aCol
+			default:
+				continue
+			}
+			bIdx := build.Schema().Resolve(buildCol.Table, buildCol.Column)
+			pIdx := stream.Schema().Resolve(probeCol.Table, probeCol.Column)
+			if bIdx < 0 || pIdx < 0 {
+				return nil, errf(buildCol.Pos, "cannot resolve join columns %s = %s", buildCol, probeCol)
+			}
+			usedEdge[ei] = true
+			buildKeys = append(buildKeys, bIdx)
+			probeKeys = append(probeKeys, pIdx)
+		}
+		stream = exec.NewHashJoinMulti(build, stream, buildKeys, probeKeys, exec.InnerJoin)
+		joined[alias] = true
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	// Unused edges between already-joined relations become residual
+	// filters over the join output.
+	for ei, e := range edges {
+		if !usedEdge[ei] {
+			residual = append(residual, &Binary{Op: "=",
+				L: e.aCol, R: e.bCol, Pos: e.aCol.Pos})
+		}
+	}
+
+	// Non-inner joins, in statement order.
+	var outers []*rel
+	for _, r := range p.rels {
+		if r.isOuter {
+			outers = append(outers, r)
+		}
+	}
+	sort.Slice(outers, func(i, j int) bool { return outers[i].order < outers[j].order })
+	for _, r := range outers {
+		var cond *Binary
+		for _, c := range splitConjuncts(r.on) {
+			if l, rr, ok := equiCols(c); ok {
+				la, _ := p.relOf(l)
+				ra, _ := p.relOf(rr)
+				if (la == r.ref.AliasOrName()) != (ra == r.ref.AliasOrName()) {
+					cond = &Binary{Op: "=", L: l, R: rr}
+					break
+				}
+			}
+		}
+		if cond == nil {
+			return nil, errf(r.ref.Pos, "%s JOIN %s: ON must contain an equality between %s and a prior table",
+				r.outerKind, r.ref.AliasOrName(), r.ref.AliasOrName())
+		}
+		l := cond.L.(*ColRef)
+		rr := cond.R.(*ColRef)
+		buildCol, probeCol := l, rr
+		if la, _ := p.relOf(l); la != r.ref.AliasOrName() {
+			buildCol, probeCol = rr, l
+		}
+		bIdx := r.op.Schema().Resolve(buildCol.Table, buildCol.Column)
+		pIdx := stream.Schema().Resolve(probeCol.Table, probeCol.Column)
+		if bIdx < 0 || pIdx < 0 {
+			return nil, errf(buildCol.Pos, "cannot resolve join columns %s = %s", buildCol, probeCol)
+		}
+		var jt exec.JoinType
+		switch r.outerKind {
+		case JoinLeft:
+			jt = exec.ProbeOuterJoin
+		case JoinSemi:
+			jt = exec.SemiJoin
+		case JoinAnti:
+			jt = exec.AntiJoin
+		default:
+			return nil, errf(r.ref.Pos, "unsupported join kind %s", r.outerKind)
+		}
+		stream = exec.NewHashJoinTyped(r.op, stream, bIdx, pIdx, jt)
+	}
+
+	// Residual filters.
+	for _, c := range residual {
+		e, err := p.toExpr(c, stream.Schema())
+		if err != nil {
+			return nil, err
+		}
+		stream = exec.NewFilter(stream, e)
+	}
+
+	// ORDER BY on columns that are not projected (standard SQL allows
+	// this) sorts before the projection; otherwise the sort runs over the
+	// output schema, where select-list aliases are visible.
+	hasAggOrGroup := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAggOrGroup = true
+		}
+	}
+	orderApplied := false
+	if len(stmt.OrderBy) > 0 && !hasAggOrGroup {
+		keys := make([]int, 0, len(stmt.OrderBy))
+		desc := make([]bool, 0, len(stmt.OrderBy))
+		ok := true
+		for _, o := range stmt.OrderBy {
+			idx := stream.Schema().Resolve(o.Col.Table, o.Col.Column)
+			if idx < 0 {
+				ok = false
+				break
+			}
+			keys = append(keys, idx)
+			desc = append(desc, o.Desc)
+		}
+		if ok {
+			stream = exec.NewSortDirs(stream, keys, desc)
+			orderApplied = true
+		}
+	}
+
+	// Grouping / aggregation / projection.
+	out, err := p.planProjection(stmt, stream)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY over the output schema (aliases or column names).
+	if len(stmt.OrderBy) > 0 && !orderApplied {
+		keys := make([]int, 0, len(stmt.OrderBy))
+		desc := make([]bool, 0, len(stmt.OrderBy))
+		for _, o := range stmt.OrderBy {
+			idx := out.Schema().Resolve(o.Col.Table, o.Col.Column)
+			if idx < 0 {
+				return nil, errf(o.Col.Pos, "ORDER BY column %s not in output (and not a base column)", o.Col.String())
+			}
+			keys = append(keys, idx)
+			desc = append(desc, o.Desc)
+		}
+		out = exec.NewSortDirs(out, keys, desc)
+	}
+	if stmt.Limit != nil {
+		out = exec.NewLimit(out, *stmt.Limit)
+	}
+	return out, nil
+}
+
+func (p *planner) addRel(tr TableRef, kind JoinKind, on Expr, isOuter bool) error {
+	alias := tr.AliasOrName()
+	if _, dup := p.rels[alias]; dup {
+		return errf(tr.Pos, "duplicate table alias %q", alias)
+	}
+	entry, err := p.cat.Lookup(tr.Name)
+	if err != nil {
+		return errf(tr.Pos, "unknown table %q", tr.Name)
+	}
+	p.rels[alias] = &rel{
+		ref:       tr,
+		scan:      exec.NewScan(entry.Table, alias),
+		outerKind: kind,
+		isOuter:   isOuter,
+		on:        on,
+	}
+	return nil
+}
+
+// relOf resolves which relation a column reference belongs to.
+func (p *planner) relOf(c *ColRef) (string, error) {
+	if c.Table != "" {
+		if _, ok := p.rels[c.Table]; !ok {
+			return "", errf(c.Pos, "unknown table %q in column %s", c.Table, c)
+		}
+		return c.Table, nil
+	}
+	found := ""
+	for alias, r := range p.rels {
+		if r.scan.Schema().Resolve(alias, c.Column) >= 0 {
+			if found != "" {
+				return "", errf(c.Pos, "ambiguous column %q (in %s and %s)", c.Column, found, alias)
+			}
+			found = alias
+		}
+	}
+	if found == "" {
+		return "", errf(c.Pos, "unknown column %q", c.Column)
+	}
+	return found, nil
+}
+
+func relAlias(c *ColRef) string { return c.Table }
+
+// referencedRels returns the distinct relation aliases an expression
+// touches (resolving unqualified columns).
+func (p *planner) referencedRels(e Expr) ([]string, error) {
+	set := map[string]bool{}
+	var walk func(Expr) error
+	walk = func(e Expr) error {
+		switch x := e.(type) {
+		case *ColRef:
+			alias, err := p.relOf(x)
+			if err != nil {
+				return err
+			}
+			x.Table = alias // normalize for later resolution
+			set[alias] = true
+		case *Binary:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *Unary:
+			return walk(x.E)
+		case *IsNull:
+			return walk(x.E)
+		case *Between:
+			for _, s := range []Expr{x.E, x.Lo, x.Hi} {
+				if err := walk(s); err != nil {
+					return err
+				}
+			}
+		case *InList:
+			if err := walk(x.E); err != nil {
+				return err
+			}
+			for _, s := range x.List {
+				if err := walk(s); err != nil {
+					return err
+				}
+			}
+		case *LikePred:
+			return walk(x.E)
+		case *FuncCall:
+			if x.Arg != nil {
+				return walk(x.Arg)
+			}
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// splitConjuncts flattens a boolean expression into AND-connected terms.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// equiCols matches "col = col" between two different relations.
+func equiCols(e Expr) (*ColRef, *ColRef, bool) {
+	b, ok := e.(*Binary)
+	if !ok || b.Op != "=" {
+		return nil, nil, false
+	}
+	l, lok := b.L.(*ColRef)
+	r, rok := b.R.(*ColRef)
+	if !lok || !rok || l.Table == r.Table {
+		return nil, nil, false
+	}
+	return l, r, true
+}
+
+// toExpr compiles an AST expression against a schema.
+func (p *planner) toExpr(e Expr, s *data.Schema) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *ColRef:
+		idx := s.Resolve(x.Table, x.Column)
+		if idx < 0 {
+			return nil, errf(x.Pos, "column %s not found in %s", x, s)
+		}
+		return expr.Col{Index: idx, Name: x.String()}, nil
+	case *Lit:
+		switch v := x.Value.(type) {
+		case nil:
+			return expr.Lit(data.Null()), nil
+		case int64:
+			return expr.IntLit(v), nil
+		case float64:
+			return expr.Lit(data.Float(v)), nil
+		case string:
+			return expr.Lit(data.Str(v)), nil
+		default:
+			return nil, errf(x.Pos, "unsupported literal %T", x.Value)
+		}
+	case *Binary:
+		l, err := p.toExpr(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.toExpr(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "AND":
+			return expr.AndOf(l, r), nil
+		case "OR":
+			return expr.OrOf(l, r), nil
+		case "=":
+			return expr.Compare(expr.EQ, l, r), nil
+		case "<>":
+			return expr.Compare(expr.NE, l, r), nil
+		case "<":
+			return expr.Compare(expr.LT, l, r), nil
+		case "<=":
+			return expr.Compare(expr.LE, l, r), nil
+		case ">":
+			return expr.Compare(expr.GT, l, r), nil
+		case ">=":
+			return expr.Compare(expr.GE, l, r), nil
+		case "+":
+			return expr.Arith{Op: expr.Add, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: expr.Div, L: l, R: r}, nil
+		case "%":
+			return expr.Arith{Op: expr.Mod, L: l, R: r}, nil
+		default:
+			return nil, errf(x.Pos, "unsupported operator %q", x.Op)
+		}
+	case *Unary:
+		inner, err := p.toExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			return expr.Not{E: inner}, nil
+		case "-":
+			return expr.Arith{Op: expr.Sub, L: expr.IntLit(0), R: inner}, nil
+		default:
+			return nil, errf(x.Pos, "unsupported unary %q", x.Op)
+		}
+	case *IsNull:
+		inner, err := p.toExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.IsNull{E: inner, Negate: x.Negate}, nil
+	case *Between:
+		inner, err := p.toExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.toExpr(x.Lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.toExpr(x.Hi, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.AndOf(expr.Compare(expr.GE, inner, lo), expr.Compare(expr.LE, inner, hi)), nil
+	case *InList:
+		inner, err := p.toExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		terms := make([]expr.Expr, len(x.List))
+		for i, item := range x.List {
+			it, err := p.toExpr(item, s)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = expr.Compare(expr.EQ, inner, it)
+		}
+		return expr.OrOf(terms...), nil
+	case *LikePred:
+		inner, err := p.toExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := expr.NewLike(inner, x.Pattern, x.Negate)
+		if err != nil {
+			return nil, errf(x.Pos, "%v", err)
+		}
+		return lk, nil
+	case *FuncCall:
+		return nil, errf(x.Pos, "aggregate %s not allowed here", x.Name)
+	default:
+		return nil, errf(0, "unsupported expression %T", e)
+	}
+}
+
+// planProjection adds grouping/aggregation and the final projection.
+func (p *planner) planProjection(stmt *SelectStmt, in exec.Operator) (exec.Operator, error) {
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(stmt.GroupBy) == 0 {
+		if stmt.Having != nil {
+			return nil, errf(0, "HAVING requires GROUP BY or aggregates")
+		}
+		// Plain projection (or star).
+		if len(stmt.Items) == 1 && stmt.Items[0].Star {
+			return in, nil
+		}
+		exprs := make([]expr.Expr, 0, len(stmt.Items))
+		names := make([]string, 0, len(stmt.Items))
+		for _, it := range stmt.Items {
+			if it.Star {
+				return nil, errf(0, "* cannot be mixed with other select items")
+			}
+			e, err := p.toExpr(it.Expr, in.Schema())
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			names = append(names, itemName(it))
+		}
+		return exec.NewProject(in, exprs, names), nil
+	}
+
+	// Aggregation path. Group columns must resolve in the input schema.
+	gidx := make([]int, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		idx := in.Schema().Resolve(g.Table, g.Column)
+		if idx < 0 {
+			return nil, errf(g.Pos, "GROUP BY column %s not found", g.String())
+		}
+		gidx[i] = idx
+	}
+	// Collect aggregate specs from the select list.
+	var specs []exec.AggSpec
+	type outputRef struct {
+		isGroup bool
+		pos     int // index into gidx or specs
+		name    string
+	}
+	var outputs []outputRef
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, errf(0, "* is not valid with GROUP BY/aggregates")
+		}
+		switch x := it.Expr.(type) {
+		case *FuncCall:
+			spec, err := p.aggSpec(x, in.Schema(), itemName(it))
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, outputRef{isGroup: false, pos: len(specs), name: itemName(it)})
+			specs = append(specs, spec)
+		case *ColRef:
+			idx := in.Schema().Resolve(x.Table, x.Column)
+			if idx < 0 {
+				return nil, errf(x.Pos, "column %s not found", x)
+			}
+			gpos := -1
+			for i, g := range gidx {
+				if g == idx {
+					gpos = i
+				}
+			}
+			if gpos < 0 {
+				return nil, errf(x.Pos, "column %s must appear in GROUP BY or inside an aggregate", x)
+			}
+			outputs = append(outputs, outputRef{isGroup: true, pos: gpos, name: itemName(it)})
+		default:
+			return nil, errf(0, "select items with GROUP BY must be group columns or aggregates")
+		}
+	}
+	// HAVING may reference aggregates not in the select list; add them as
+	// hidden columns (dropped by the final projection).
+	var havingAggs []*FuncCall
+	if stmt.Having != nil {
+		collectAggs(stmt.Having, &havingAggs)
+		for _, f := range havingAggs {
+			if _, err := p.findOrAddSpec(f, in.Schema(), &specs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	agg := exec.NewHashAgg(in, gidx, specs)
+	var out exec.Operator = agg
+	if stmt.Having != nil {
+		he, err := p.havingExpr(stmt.Having, in.Schema(), gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NewFilter(out, he)
+	}
+	// Reorder/select via projection when the select order differs from
+	// (groups..., aggs...).
+	needProject := len(outputs) != len(gidx)+len(specs)
+	for i, o := range outputs {
+		want := o.pos
+		if !o.isGroup {
+			want = len(gidx) + o.pos
+		}
+		if want != i {
+			needProject = true
+		}
+	}
+	if !needProject {
+		return out, nil
+	}
+	exprs := make([]expr.Expr, len(outputs))
+	names := make([]string, len(outputs))
+	for i, o := range outputs {
+		idx := o.pos
+		if !o.isGroup {
+			idx = len(gidx) + o.pos
+		}
+		exprs[i] = expr.Col{Index: idx, Name: o.name}
+		names[i] = o.name
+	}
+	return exec.NewProject(out, exprs, names), nil
+}
+
+// collectAggs gathers aggregate calls in an expression.
+func collectAggs(e Expr, out *[]*FuncCall) {
+	switch x := e.(type) {
+	case *FuncCall:
+		*out = append(*out, x)
+	case *Binary:
+		collectAggs(x.L, out)
+		collectAggs(x.R, out)
+	case *Unary:
+		collectAggs(x.E, out)
+	case *IsNull:
+		collectAggs(x.E, out)
+	case *Between:
+		collectAggs(x.E, out)
+		collectAggs(x.Lo, out)
+		collectAggs(x.Hi, out)
+	case *InList:
+		collectAggs(x.E, out)
+		for _, i := range x.List {
+			collectAggs(i, out)
+		}
+	}
+}
+
+// findOrAddSpec locates the aggregate spec matching f, appending a hidden
+// one if absent; it returns the spec index.
+func (p *planner) findOrAddSpec(f *FuncCall, in *data.Schema, specs *[]exec.AggSpec) (int, error) {
+	cand, err := p.aggSpec(f, in, "__having_"+strings.ToLower(f.String()))
+	if err != nil {
+		return 0, err
+	}
+	for i, s := range *specs {
+		if s.Func == cand.Func && (s.Func == exec.CountStar || s.Col == cand.Col) {
+			return i, nil
+		}
+	}
+	*specs = append(*specs, cand)
+	return len(*specs) - 1, nil
+}
+
+// havingExpr compiles a HAVING expression against the aggregate output
+// schema: aggregate calls become references to their output columns and
+// plain columns must be group columns.
+func (p *planner) havingExpr(e Expr, in *data.Schema, gidx []int, specs []exec.AggSpec) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		cand, err := p.aggSpec(x, in, "")
+		if err != nil {
+			return nil, err
+		}
+		for i, s := range specs {
+			if s.Func == cand.Func && (s.Func == exec.CountStar || s.Col == cand.Col) {
+				return expr.Col{Index: len(gidx) + i, Name: x.String()}, nil
+			}
+		}
+		return nil, errf(x.Pos, "aggregate %s not available in HAVING", x)
+	case *ColRef:
+		idx := in.Resolve(x.Table, x.Column)
+		if idx < 0 {
+			return nil, errf(x.Pos, "column %s not found", x)
+		}
+		for i, g := range gidx {
+			if g == idx {
+				return expr.Col{Index: i, Name: x.String()}, nil
+			}
+		}
+		return nil, errf(x.Pos, "HAVING column %s must appear in GROUP BY or inside an aggregate", x)
+	case *Binary:
+		l, err := p.havingExpr(x.L, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.havingExpr(x.R, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		return combineBinary(x, l, r)
+	case *Unary:
+		inner, err := p.havingExpr(x.E, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return expr.Not{E: inner}, nil
+		}
+		return expr.Arith{Op: expr.Sub, L: expr.IntLit(0), R: inner}, nil
+	case *IsNull:
+		inner, err := p.havingExpr(x.E, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		return expr.IsNull{E: inner, Negate: x.Negate}, nil
+	case *Between:
+		inner, err := p.havingExpr(x.E, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.havingExpr(x.Lo, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.havingExpr(x.Hi, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		return expr.AndOf(expr.Compare(expr.GE, inner, lo), expr.Compare(expr.LE, inner, hi)), nil
+	case *InList:
+		inner, err := p.havingExpr(x.E, in, gidx, specs)
+		if err != nil {
+			return nil, err
+		}
+		terms := make([]expr.Expr, len(x.List))
+		for i, item := range x.List {
+			it, err := p.havingExpr(item, in, gidx, specs)
+			if err != nil {
+				return nil, err
+			}
+			terms[i] = expr.Compare(expr.EQ, inner, it)
+		}
+		return expr.OrOf(terms...), nil
+	case *Lit:
+		return p.toExpr(x, in) // literals are schema-independent
+	default:
+		return nil, errf(0, "unsupported expression %T in HAVING", e)
+	}
+}
+
+// combineBinary maps a binary AST node onto compiled operands.
+func combineBinary(x *Binary, l, r expr.Expr) (expr.Expr, error) {
+	switch x.Op {
+	case "AND":
+		return expr.AndOf(l, r), nil
+	case "OR":
+		return expr.OrOf(l, r), nil
+	case "=":
+		return expr.Compare(expr.EQ, l, r), nil
+	case "<>":
+		return expr.Compare(expr.NE, l, r), nil
+	case "<":
+		return expr.Compare(expr.LT, l, r), nil
+	case "<=":
+		return expr.Compare(expr.LE, l, r), nil
+	case ">":
+		return expr.Compare(expr.GT, l, r), nil
+	case ">=":
+		return expr.Compare(expr.GE, l, r), nil
+	case "+":
+		return expr.Arith{Op: expr.Add, L: l, R: r}, nil
+	case "-":
+		return expr.Arith{Op: expr.Sub, L: l, R: r}, nil
+	case "*":
+		return expr.Arith{Op: expr.Mul, L: l, R: r}, nil
+	case "/":
+		return expr.Arith{Op: expr.Div, L: l, R: r}, nil
+	case "%":
+		return expr.Arith{Op: expr.Mod, L: l, R: r}, nil
+	default:
+		return nil, errf(x.Pos, "unsupported operator %q", x.Op)
+	}
+}
+
+func (p *planner) aggSpec(f *FuncCall, s *data.Schema, name string) (exec.AggSpec, error) {
+	var fn exec.AggFunc
+	switch f.Name {
+	case "COUNT":
+		if f.Star {
+			return exec.AggSpec{Func: exec.CountStar, Name: name}, nil
+		}
+		fn = exec.Count
+	case "SUM":
+		fn = exec.Sum
+	case "MIN":
+		fn = exec.Min
+	case "MAX":
+		fn = exec.Max
+	case "AVG":
+		fn = exec.Avg
+	default:
+		return exec.AggSpec{}, errf(f.Pos, "unknown aggregate %q", f.Name)
+	}
+	col, ok := f.Arg.(*ColRef)
+	if !ok {
+		return exec.AggSpec{}, errf(f.Pos, "%s argument must be a column", f.Name)
+	}
+	idx := s.Resolve(col.Table, col.Column)
+	if idx < 0 {
+		return exec.AggSpec{}, errf(col.Pos, "column %s not found", col)
+	}
+	return exec.AggSpec{Func: fn, Col: idx, Name: name}, nil
+}
+
+// containsAgg reports whether an expression contains an aggregate call.
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		return true
+	case *Binary:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *Unary:
+		return containsAgg(x.E)
+	case *IsNull:
+		return containsAgg(x.E)
+	case *Between:
+		return containsAgg(x.E) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	case *InList:
+		if containsAgg(x.E) {
+			return true
+		}
+		for _, i := range x.List {
+			if containsAgg(i) {
+				return true
+			}
+		}
+	case *LikePred:
+		return containsAgg(x.E)
+	}
+	return false
+}
+
+// itemName derives the output column name of a select item.
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Column
+	}
+	return strings.ToLower(it.Expr.String())
+}

@@ -1,0 +1,90 @@
+// Package sql implements a SQL front-end for the engine: a lexer and
+// recursive-descent parser for a SELECT subset (joins, WHERE, GROUP BY,
+// ORDER BY, LIMIT, aggregates) and a planner that produces executor plans
+// shaped the way the estimation framework likes them — left-deep hash
+// join chains probing the largest input, with filters pushed down.
+package sql
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokOp // = <> != < <= > >= + - * / %
+	TokLParen
+	TokRParen
+	TokComma
+	TokDot
+	TokStar
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokOp:
+		return "operator"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token. Text preserves the original spelling except
+// for keywords, which are upper-cased.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int // byte offset in the input
+}
+
+// keywords recognized by the lexer (upper-case).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "JOIN": true, "ON": true,
+	"INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true, "SEMI": true,
+	"ANTI": true, "AND": true, "OR": true, "NOT": true, "ASC": true,
+	"DESC": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "NULL": true, "IS": true, "BETWEEN": true, "IN": true,
+	"DISTINCT": true, "HAVING": true, "USING": true, "CROSS": true,
+	"LIKE": true,
+}
+
+// Error is a SQL front-end error with a position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,103 @@
+package tpch
+
+import (
+	"fmt"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+	"qpi/internal/zipf"
+)
+
+// ColumnSpec describes one Zipf-distributed integer column of a synthetic
+// table, mirroring the paper's C_{z,n} notation (§5.1.1): values are drawn
+// from [1..Domain] with Zipfian skew Z, and PermSeed selects which values
+// carry the high frequencies (the paper's C^1, C^2, ... superscripts).
+type ColumnSpec struct {
+	Name     string
+	Domain   int
+	Z        float64
+	PermSeed int64
+}
+
+// SkewedTable builds a table whose first column is a sequential key
+// ("<name>key") and whose remaining columns follow the given specs. It is
+// the workhorse behind the accuracy experiments' C_{z,n} tables.
+func SkewedTable(name string, rows int, seed int64, specs ...ColumnSpec) (*storage.Table, error) {
+	if rows < 0 {
+		return nil, fmt.Errorf("tpch: rows %d must be non-negative", rows)
+	}
+	cols := make([]data.Column, 0, len(specs)+1)
+	cols = append(cols, intCol(name, "rowid"))
+	gens := make([]*zipf.Generator, len(specs))
+	for i, sp := range specs {
+		cols = append(cols, intCol(name, sp.Name))
+		g, err := zipf.New(sp.Domain, sp.Z, seed+int64(i)*101, sp.PermSeed)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: column %s: %w", sp.Name, err)
+		}
+		gens[i] = g
+	}
+	t := storage.NewTable(name, data.NewSchema(cols...))
+	for r := 0; r < rows; r++ {
+		tu := make(data.Tuple, len(specs)+1)
+		tu[0] = data.Int(int64(r + 1))
+		for i, g := range gens {
+			tu[i+1] = data.Int(g.Next())
+		}
+		t.MustAppend(tu)
+	}
+	return t, nil
+}
+
+// MustSkewedTable is SkewedTable, panicking on error.
+func MustSkewedTable(name string, rows int, seed int64, specs ...ColumnSpec) *storage.Table {
+	t, err := SkewedTable(name, rows, seed, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SkewedCustomer builds a paper-style customer table C_{z,domain}: 150K·SF
+// rows restricted to (custkey, nationkey), with nationkey ~ Zipf(z) over
+// [1..domain] and the rank→value permutation chosen by permSeed.
+func SkewedCustomer(name string, rows, domain int, z float64, seed, permSeed int64) (*storage.Table, error) {
+	g, err := zipf.New(domain, z, seed, permSeed)
+	if err != nil {
+		return nil, err
+	}
+	t := storage.NewTable(name, data.NewSchema(
+		intCol(name, "custkey"),
+		intCol(name, "nationkey"),
+	))
+	for i := 0; i < rows; i++ {
+		t.MustAppend(data.Tuple{data.Int(int64(i + 1)), data.Int(g.Next())})
+	}
+	return t, nil
+}
+
+// MustSkewedCustomer is SkewedCustomer, panicking on error.
+func MustSkewedCustomer(name string, rows, domain int, z float64, seed, permSeed int64) *storage.Table {
+	t, err := SkewedCustomer(name, rows, domain, z, seed, permSeed)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NationTable builds a nation-shaped dimension table with sequential
+// nationkey over [1..domain]; the paper widens the nationkey domain the
+// same way for the PK-FK experiment of Figure 4(b).
+func NationTable(name string, domain int) *storage.Table {
+	t := storage.NewTable(name, data.NewSchema(
+		intCol(name, "nationkey"),
+		strCol(name, "name"),
+	))
+	for i := 0; i < domain; i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Str(fmt.Sprintf("N%06d", i+1)),
+		})
+	}
+	return t
+}

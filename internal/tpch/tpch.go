@@ -1,0 +1,244 @@
+// Package tpch generates TPC-H-style tables at a configurable scale
+// factor, with optional Zipfian skew on foreign-key columns. It stands in
+// for the paper's modified dbgen + the Chaudhuri/Narasayya skew tool [8]
+// (§5 "Experiment Design"): the evaluation only depends on the schema
+// shape, the table cardinalities and Zipf(z) key columns, all of which are
+// reproduced here.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpi/internal/catalog"
+	"qpi/internal/data"
+	"qpi/internal/storage"
+	"qpi/internal/zipf"
+)
+
+// Base cardinalities at scale factor 1, per the TPC-H specification.
+const (
+	NationRows   = 25
+	RegionRows   = 5
+	SupplierBase = 10000
+	CustomerBase = 150000
+	OrdersBase   = 1500000
+	LineitemBase = 6000000
+	PartBase     = 200000
+)
+
+// Config controls generation.
+type Config struct {
+	// SF is the TPC-H scale factor (1.0 = 150K customers, 6M lineitems).
+	SF float64
+	// Seed drives all random draws.
+	Seed int64
+	// Skew is the Zipf parameter applied to foreign-key columns
+	// (0 = uniform, per the TPC-H spec).
+	Skew float64
+	// Tables optionally restricts generation to the named tables (all
+	// when empty). Parent keys are always available because foreign keys
+	// are drawn from [1..parent cardinality] rather than from the parent
+	// table itself.
+	Tables []string
+}
+
+// Generate builds the configured tables and registers them (with full
+// statistics) in a fresh catalog.
+func Generate(cfg Config) (*catalog.Catalog, error) {
+	if cfg.SF <= 0 {
+		return nil, fmt.Errorf("tpch: scale factor %g must be positive", cfg.SF)
+	}
+	want := map[string]bool{}
+	for _, t := range cfg.Tables {
+		want[t] = true
+	}
+	all := len(want) == 0
+	cat := catalog.New()
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	builders := []struct {
+		name  string
+		build func() (*storage.Table, error)
+	}{
+		{"region", g.region},
+		{"nation", g.nation},
+		{"supplier", g.supplier},
+		{"customer", g.customer},
+		{"orders", g.orders},
+		{"lineitem", g.lineitem},
+		{"part", g.part},
+	}
+	for _, b := range builders {
+		if !all && !want[b.name] {
+			continue
+		}
+		t, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		cat.Register(t)
+	}
+	return cat, nil
+}
+
+// MustGenerate is Generate, panicking on error.
+func MustGenerate(cfg Config) *catalog.Catalog {
+	c, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+func (g *gen) scaled(base int) int {
+	n := int(float64(base) * g.cfg.SF)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fk returns a foreign-key generator over [1..n] with the configured skew.
+func (g *gen) fk(n int, salt int64) *zipf.Generator {
+	return zipf.MustNew(n, g.cfg.Skew, g.cfg.Seed+salt, g.cfg.Seed+salt*31)
+}
+
+func intCol(table, name string) data.Column {
+	return data.Column{Table: table, Name: name, Kind: data.KindInt}
+}
+
+func floatCol(table, name string) data.Column {
+	return data.Column{Table: table, Name: name, Kind: data.KindFloat}
+}
+
+func strCol(table, name string) data.Column {
+	return data.Column{Table: table, Name: name, Kind: data.KindString}
+}
+
+func (g *gen) region() (*storage.Table, error) {
+	t := storage.NewTable("region", data.NewSchema(
+		intCol("region", "regionkey"),
+		strCol("region", "name"),
+	))
+	names := []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	for i := 0; i < RegionRows; i++ {
+		t.MustAppend(data.Tuple{data.Int(int64(i + 1)), data.Str(names[i])})
+	}
+	return t, nil
+}
+
+func (g *gen) nation() (*storage.Table, error) {
+	t := storage.NewTable("nation", data.NewSchema(
+		intCol("nation", "nationkey"),
+		intCol("nation", "regionkey"),
+		strCol("nation", "name"),
+	))
+	for i := 0; i < NationRows; i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Int(int64(i%RegionRows + 1)),
+			data.Str(fmt.Sprintf("NATION_%02d", i+1)),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) supplier() (*storage.Table, error) {
+	t := storage.NewTable("supplier", data.NewSchema(
+		intCol("supplier", "suppkey"),
+		intCol("supplier", "nationkey"),
+		floatCol("supplier", "acctbal"),
+	))
+	nation := g.fk(NationRows, 11)
+	for i := 0; i < g.scaled(SupplierBase); i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Int(nation.Next()),
+			data.Float(g.money()),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) customer() (*storage.Table, error) {
+	t := storage.NewTable("customer", data.NewSchema(
+		intCol("customer", "custkey"),
+		intCol("customer", "nationkey"),
+		floatCol("customer", "acctbal"),
+	))
+	nation := g.fk(NationRows, 13)
+	for i := 0; i < g.scaled(CustomerBase); i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Int(nation.Next()),
+			data.Float(g.money()),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) orders() (*storage.Table, error) {
+	t := storage.NewTable("orders", data.NewSchema(
+		intCol("orders", "orderkey"),
+		intCol("orders", "custkey"),
+		intCol("orders", "orderdate"),
+		floatCol("orders", "totalprice"),
+	))
+	cust := g.fk(g.scaled(CustomerBase), 17)
+	for i := 0; i < g.scaled(OrdersBase); i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Int(cust.Next()),
+			data.Int(int64(19920101 + g.rng.Intn(2556))), // 1992..1998
+			data.Float(g.money()),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) lineitem() (*storage.Table, error) {
+	t := storage.NewTable("lineitem", data.NewSchema(
+		intCol("lineitem", "orderkey"),
+		intCol("lineitem", "partkey"),
+		intCol("lineitem", "suppkey"),
+		floatCol("lineitem", "extendedprice"),
+	))
+	nOrders := g.scaled(OrdersBase)
+	nLines := g.scaled(LineitemBase)
+	order := g.fk(nOrders, 19)
+	part := g.fk(g.scaled(PartBase), 23)
+	supp := g.fk(g.scaled(SupplierBase), 29)
+	for i := 0; i < nLines; i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(order.Next()),
+			data.Int(part.Next()),
+			data.Int(supp.Next()),
+			data.Float(g.money()),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) part() (*storage.Table, error) {
+	t := storage.NewTable("part", data.NewSchema(
+		intCol("part", "partkey"),
+		intCol("part", "size"),
+	))
+	for i := 0; i < g.scaled(PartBase); i++ {
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i + 1)),
+			data.Int(int64(g.rng.Intn(50) + 1)),
+		})
+	}
+	return t, nil
+}
+
+func (g *gen) money() float64 {
+	return float64(g.rng.Intn(9999999)) / 100
+}

@@ -1,0 +1,200 @@
+package tpch
+
+import (
+	"testing"
+
+	"qpi/internal/data"
+)
+
+func TestGenerateCardinalities(t *testing.T) {
+	cat := MustGenerate(Config{SF: 0.01, Seed: 1})
+	cases := []struct {
+		table string
+		rows  int64
+	}{
+		{"region", 5},
+		{"nation", 25},
+		{"supplier", 100},
+		{"customer", 1500},
+		{"orders", 15000},
+		{"lineitem", 60000},
+		{"part", 2000},
+	}
+	for _, c := range cases {
+		e := cat.MustLookup(c.table)
+		if e.Stats.Rows != c.rows {
+			t.Errorf("%s: rows = %d, want %d", c.table, e.Stats.Rows, c.rows)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{SF: 0}); err == nil {
+		t.Error("SF=0 should fail")
+	}
+	if _, err := Generate(Config{SF: -1}); err == nil {
+		t.Error("SF<0 should fail")
+	}
+}
+
+func TestGenerateSubset(t *testing.T) {
+	cat := MustGenerate(Config{SF: 0.01, Seed: 1, Tables: []string{"orders", "customer"}})
+	if got := cat.Names(); len(got) != 2 {
+		t.Fatalf("Names = %v", got)
+	}
+	if _, err := cat.Lookup("lineitem"); err == nil {
+		t.Error("lineitem should not be generated")
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	cat := MustGenerate(Config{SF: 0.01, Seed: 2})
+	orders := cat.MustLookup("orders").Table
+	nCust := int64(cat.MustLookup("customer").Stats.Rows)
+	ckIdx := orders.Schema().MustResolve("orders", "custkey")
+	it := orders.SequentialOrder()
+	for tu := it.Next(); tu != nil; tu = it.Next() {
+		ck := tu[ckIdx].I
+		if ck < 1 || ck > nCust {
+			t.Fatalf("custkey %d out of [1,%d]", ck, nCust)
+		}
+	}
+}
+
+func TestSkewChangesDistribution(t *testing.T) {
+	top := func(c Config) float64 {
+		cat := MustGenerate(c)
+		cust := cat.MustLookup("customer").Table
+		idx := cust.Schema().MustResolve("customer", "nationkey")
+		counts := map[int64]int{}
+		it := cust.SequentialOrder()
+		for tu := it.Next(); tu != nil; tu = it.Next() {
+			counts[tu[idx].I]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / float64(cust.NumRows())
+	}
+	u := top(Config{SF: 0.02, Seed: 3, Skew: 0})
+	s := top(Config{SF: 0.02, Seed: 3, Skew: 2})
+	if s < 2*u {
+		t.Errorf("skewed top fraction %.3f not clearly above uniform %.3f", s, u)
+	}
+}
+
+func TestSkewedCustomerShape(t *testing.T) {
+	tb := MustSkewedCustomer("c1", 1000, 50, 1, 7, 11)
+	if tb.NumRows() != 1000 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	nkIdx := tb.Schema().MustResolve("c1", "nationkey")
+	ckIdx := tb.Schema().MustResolve("c1", "custkey")
+	it := tb.SequentialOrder()
+	i := int64(1)
+	for tu := it.Next(); tu != nil; tu = it.Next() {
+		if tu[ckIdx].I != i {
+			t.Fatalf("custkey %d, want %d", tu[ckIdx].I, i)
+		}
+		if nk := tu[nkIdx].I; nk < 1 || nk > 50 {
+			t.Fatalf("nationkey %d out of domain", nk)
+		}
+		i++
+	}
+}
+
+func TestSkewedCustomerPermSeedsDiffer(t *testing.T) {
+	hot := func(permSeed int64) int64 {
+		tb := MustSkewedCustomer("c", 5000, 1000, 2, 7, permSeed)
+		idx := tb.Schema().MustResolve("c", "nationkey")
+		counts := map[int64]int{}
+		it := tb.SequentialOrder()
+		for tu := it.Next(); tu != nil; tu = it.Next() {
+			counts[tu[idx].I]++
+		}
+		var best int64
+		max := -1
+		for v, c := range counts {
+			if c > max {
+				best, max = v, c
+			}
+		}
+		return best
+	}
+	if hot(11) == hot(222) {
+		t.Error("different permSeeds produced the same hot value")
+	}
+}
+
+func TestSkewedTableMultiColumn(t *testing.T) {
+	tb, err := SkewedTable("t", 500, 3,
+		ColumnSpec{Name: "x", Domain: 10, Z: 1, PermSeed: 1},
+		ColumnSpec{Name: "y", Domain: 20, Z: 0, PermSeed: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Schema().Len() != 3 {
+		t.Fatalf("schema = %v", tb.Schema())
+	}
+	xIdx := tb.Schema().MustResolve("t", "x")
+	yIdx := tb.Schema().MustResolve("t", "y")
+	it := tb.SequentialOrder()
+	for tu := it.Next(); tu != nil; tu = it.Next() {
+		if x := tu[xIdx].I; x < 1 || x > 10 {
+			t.Fatalf("x=%d out of domain", x)
+		}
+		if y := tu[yIdx].I; y < 1 || y > 20 {
+			t.Fatalf("y=%d out of domain", y)
+		}
+	}
+}
+
+func TestSkewedTableValidation(t *testing.T) {
+	if _, err := SkewedTable("t", -1, 1); err == nil {
+		t.Error("negative rows should fail")
+	}
+	if _, err := SkewedTable("t", 1, 1, ColumnSpec{Name: "x", Domain: 0}); err == nil {
+		t.Error("zero domain should fail")
+	}
+	if _, err := SkewedCustomer("c", 10, 0, 0, 1, 1); err == nil {
+		t.Error("zero domain customer should fail")
+	}
+}
+
+func TestNationTable(t *testing.T) {
+	tb := NationTable("nation", 100)
+	if tb.NumRows() != 100 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	idx := tb.Schema().MustResolve("nation", "nationkey")
+	rows := tb.Rows()
+	for i, r := range rows {
+		if r[idx].I != int64(i+1) {
+			t.Fatalf("row %d nationkey = %v", i, r[idx])
+		}
+		if r[1].Kind != data.KindString {
+			t.Fatal("name column not string")
+		}
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MustGenerate":    func() { MustGenerate(Config{SF: 0}) },
+		"MustSkewedTable": func() { MustSkewedTable("t", -1, 1) },
+		"MustSkewedCust":  func() { MustSkewedCustomer("c", 1, 0, 0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

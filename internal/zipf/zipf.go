@@ -1,0 +1,139 @@
+// Package zipf generates Zipfian-distributed integer attribute values,
+// mirroring the modified TPC-H data generator used in the paper's
+// evaluation (§5.1.1).
+//
+// A Generator draws values from the domain [1..N]. Rank r of the Zipf
+// distribution has probability proportional to 1/r^z (z = 0 is uniform).
+// Which *value* carries which rank is controlled by a seeded permutation,
+// so two generators with the same skew but different permutation seeds
+// model the paper's C^1, C^2, ... tables: same skew, different
+// high-frequency values — the worst case for join-size estimation.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generator draws Zipf(z) values over the domain [1..N].
+type Generator struct {
+	n    int
+	z    float64
+	cum  []float64 // cumulative probability by rank, len n
+	perm []int32   // rank (0-based) -> value-1
+	inv  []int32   // value-1 -> rank (0-based), built lazily by ValueProb
+	rng  *rand.Rand
+}
+
+// New creates a generator over [1..n] with skew z >= 0.
+//
+// seed drives the random draws; permSeed drives the rank→value permutation
+// (the paper's superscript). Two generators with equal (n, z) and different
+// permSeed produce identically-shaped but differently-aligned frequency
+// distributions. permSeed 0 means the identity permutation: value v has
+// rank v.
+func New(n int, z float64, seed, permSeed int64) (*Generator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: domain size %d must be positive", n)
+	}
+	if z < 0 {
+		return nil, fmt.Errorf("zipf: skew %g must be non-negative", z)
+	}
+	g := &Generator{n: n, z: z, rng: rand.New(rand.NewSource(seed))}
+	if z > 0 {
+		g.cum = make([]float64, n)
+		sum := 0.0
+		for r := 1; r <= n; r++ {
+			sum += 1 / math.Pow(float64(r), z)
+			g.cum[r-1] = sum
+		}
+		for i := range g.cum {
+			g.cum[i] /= sum
+		}
+	}
+	g.perm = make([]int32, n)
+	for i := range g.perm {
+		g.perm[i] = int32(i)
+	}
+	if permSeed != 0 {
+		prng := rand.New(rand.NewSource(permSeed))
+		prng.Shuffle(n, func(i, j int) { g.perm[i], g.perm[j] = g.perm[j], g.perm[i] })
+	}
+	return g, nil
+}
+
+// MustNew is New, panicking on invalid parameters.
+func MustNew(n int, z float64, seed, permSeed int64) *Generator {
+	g, err := New(n, z, seed, permSeed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the domain size.
+func (g *Generator) N() int { return g.n }
+
+// Skew returns the Zipf parameter z.
+func (g *Generator) Skew() float64 { return g.z }
+
+// Next draws one value in [1..N].
+func (g *Generator) Next() int64 {
+	var rank int
+	if g.z == 0 {
+		rank = g.rng.Intn(g.n)
+	} else {
+		u := g.rng.Float64()
+		rank = sort.SearchFloat64s(g.cum, u)
+		if rank >= g.n {
+			rank = g.n - 1
+		}
+	}
+	return int64(g.perm[rank]) + 1
+}
+
+// Draw fills out with count draws and returns it (allocating when out is
+// too small).
+func (g *Generator) Draw(count int, out []int64) []int64 {
+	if cap(out) < count {
+		out = make([]int64, count)
+	}
+	out = out[:count]
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// RankProb returns the probability of the value holding rank r (1-based).
+func (g *Generator) RankProb(r int) float64 {
+	if r < 1 || r > g.n {
+		return 0
+	}
+	if g.z == 0 {
+		return 1 / float64(g.n)
+	}
+	if r == 1 {
+		return g.cum[0]
+	}
+	return g.cum[r-1] - g.cum[r-2]
+}
+
+// ValueProb returns the probability of drawing value v in [1..N].
+func (g *Generator) ValueProb(v int64) float64 {
+	if v < 1 || v > int64(g.n) {
+		return 0
+	}
+	// perm maps rank -> value-1; invert lazily (domain sizes here are
+	// small enough that a linear scan would be fine, but keep it O(1)
+	// after first use).
+	if g.inv == nil {
+		g.inv = make([]int32, g.n)
+		for r, val := range g.perm {
+			g.inv[val] = int32(r)
+		}
+	}
+	return g.RankProb(int(g.inv[v-1]) + 1)
+}

@@ -1,0 +1,199 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 1, 0); err == nil {
+		t.Error("New(0, ...) should fail")
+	}
+	if _, err := New(-3, 1, 1, 0); err == nil {
+		t.Error("New(-3, ...) should fail")
+	}
+	if _, err := New(10, -0.5, 1, 0); err == nil {
+		t.Error("New(.., -0.5, ..) should fail")
+	}
+	if _, err := New(10, 0, 1, 0); err != nil {
+		t.Errorf("New uniform failed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,...) did not panic")
+		}
+	}()
+	MustNew(0, 1, 1, 0)
+}
+
+func TestDomainBounds(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1, 2} {
+		g := MustNew(50, z, 42, 7)
+		for i := 0; i < 5000; i++ {
+			v := g.Next()
+			if v < 1 || v > 50 {
+				t.Fatalf("z=%g: value %d out of [1,50]", z, v)
+			}
+		}
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	g := MustNew(10, 0, 1, 0)
+	counts := map[int64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for v := int64(1); v <= 10; v++ {
+		frac := float64(counts[v]) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("value %d frequency %.3f, want ~0.1", v, frac)
+		}
+	}
+}
+
+func TestSkewConcentratesMass(t *testing.T) {
+	// With z=2 over 1000 values and identity permutation, value 1 (rank 1)
+	// should carry p = 1/H ~ 0.61 of the mass.
+	g := MustNew(1000, 2, 3, 0)
+	const n = 50000
+	top := 0
+	for i := 0; i < n; i++ {
+		if g.Next() == 1 {
+			top++
+		}
+	}
+	frac := float64(top) / n
+	if frac < 0.55 || frac > 0.68 {
+		t.Errorf("rank-1 frequency %.3f, want ~0.61", frac)
+	}
+}
+
+func TestPermutationMovesHotValue(t *testing.T) {
+	a := MustNew(1000, 2, 3, 101)
+	b := MustNew(1000, 2, 3, 202)
+	hot := func(g *Generator) int64 {
+		counts := map[int64]int{}
+		for i := 0; i < 20000; i++ {
+			counts[g.Next()]++
+		}
+		var best int64
+		max := -1
+		for v, c := range counts {
+			if c > max {
+				best, max = v, c
+			}
+		}
+		return best
+	}
+	// With overwhelming probability the two permutations put rank 1 on
+	// different values.
+	if ha, hb := hot(a), hot(b); ha == hb {
+		t.Errorf("both permutations made value %d hot; expected different values", ha)
+	}
+}
+
+func TestSameSeedIsDeterministic(t *testing.T) {
+	a := MustNew(100, 1, 9, 5)
+	b := MustNew(100, 1, 9, 5)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("draw %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRankProbSumsToOne(t *testing.T) {
+	for _, z := range []float64{0, 1, 2} {
+		g := MustNew(200, z, 1, 0)
+		sum := 0.0
+		for r := 1; r <= 200; r++ {
+			p := g.RankProb(r)
+			if p < 0 {
+				t.Fatalf("z=%g rank %d: negative probability %g", z, r, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("z=%g: probabilities sum to %g", z, sum)
+		}
+	}
+	g := MustNew(10, 1, 1, 0)
+	if g.RankProb(0) != 0 || g.RankProb(11) != 0 {
+		t.Error("out-of-range ranks should have probability 0")
+	}
+}
+
+func TestRankProbMonotoneNonIncreasing(t *testing.T) {
+	g := MustNew(500, 1.5, 1, 0)
+	for r := 2; r <= 500; r++ {
+		if g.RankProb(r) > g.RankProb(r-1)+1e-15 {
+			t.Fatalf("RankProb(%d)=%g > RankProb(%d)=%g", r, g.RankProb(r), r-1, g.RankProb(r-1))
+		}
+	}
+}
+
+func TestValueProbMatchesEmpirical(t *testing.T) {
+	g := MustNew(20, 1, 77, 13)
+	const n = 200000
+	counts := map[int64]int{}
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for v := int64(1); v <= 20; v++ {
+		want := g.ValueProb(v)
+		got := float64(counts[v]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("value %d: empirical %.4f vs analytic %.4f", v, got, want)
+		}
+	}
+	if g.ValueProb(0) != 0 || g.ValueProb(21) != 0 {
+		t.Error("out-of-domain values should have probability 0")
+	}
+}
+
+func TestDrawReusesBuffer(t *testing.T) {
+	g := MustNew(10, 0, 1, 0)
+	buf := make([]int64, 8)
+	out := g.Draw(5, buf)
+	if len(out) != 5 {
+		t.Fatalf("len = %d, want 5", len(out))
+	}
+	if &out[0] != &buf[0] {
+		t.Error("Draw did not reuse the provided buffer")
+	}
+	out2 := g.Draw(100, buf)
+	if len(out2) != 100 {
+		t.Fatalf("len = %d, want 100", len(out2))
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := MustNew(42, 1.5, 1, 0)
+	if g.N() != 42 || g.Skew() != 1.5 {
+		t.Errorf("N=%d Skew=%g", g.N(), g.Skew())
+	}
+}
+
+func TestDomainBoundsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, zRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		z := float64(zRaw%30) / 10
+		g := MustNew(n, z, seed, seed+1)
+		for i := 0; i < 100; i++ {
+			v := g.Next()
+			if v < 1 || v > int64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,397 @@
+package qpi
+
+import (
+	"fmt"
+
+	"qpi/internal/core"
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/plan"
+	"qpi/internal/progress"
+	"qpi/internal/sql"
+)
+
+// Query parses a SQL SELECT statement, plans it against the engine's
+// catalog and compiles it with the online estimation framework attached.
+//
+// The supported SQL subset: SELECT with column/arithmetic projections and
+// aggregates (COUNT/SUM/MIN/MAX/AVG), FROM with comma lists and
+// INNER/LEFT/SEMI/ANTI/CROSS JOIN ... ON (including conjunctive
+// multi-column conditions), WHERE with comparisons, AND/OR/NOT, BETWEEN,
+// IN, IS [NOT] NULL, GROUP BY, HAVING, ORDER BY [ASC|DESC] and LIMIT.
+// The planner builds left-deep hash join chains probing the largest
+// input — the pipeline shape the paper's push-down estimation is
+// designed for.
+func (e *Engine) Query(query string, opts ...CompileOption) (*Query, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	root, err := sql.Plan(stmt, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compile(&Node{op: root, eng: e}, opts...)
+}
+
+// MustQuery is Query, panicking on error.
+func (e *Engine) MustQuery(query string, opts ...CompileOption) *Query {
+	q, err := e.Query(query, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// EstimatorMode selects how the progress monitor refines cardinalities of
+// running operators.
+type EstimatorMode int
+
+// Estimator modes.
+const (
+	// Once is the paper's online framework (default).
+	Once EstimatorMode = iota
+	// DNE is the driver-node estimator baseline.
+	DNE
+	// Byte is the Luo et al. byte-count baseline.
+	Byte
+)
+
+// CompileOption customizes Compile.
+type CompileOption func(*compileCfg)
+
+type compileCfg struct {
+	mode           EstimatorMode
+	sampleFraction float64
+	sampleSeed     int64
+	noEstimators   bool
+	memBudget      int64
+}
+
+// WithMode selects the estimator mode (default Once).
+func WithMode(m EstimatorMode) CompileOption {
+	return func(c *compileCfg) { c.mode = m }
+}
+
+// WithSampling makes every table scan deliver a block-level random sample
+// of the given fraction first (the paper's modified scans; §3, §5). The
+// online estimators freeze their estimates at the sample punctuation.
+func WithSampling(fraction float64, seed int64) CompileOption {
+	return func(c *compileCfg) {
+		c.sampleFraction = fraction
+		c.sampleSeed = seed
+	}
+}
+
+// WithoutEstimators compiles the plan without attaching any online
+// estimators — the no-overhead baseline the paper's Tables 3 and 4
+// compare against.
+func WithoutEstimators() CompileOption {
+	return func(c *compileCfg) { c.noEstimators = true }
+}
+
+// WithMemoryBudget caps the bytes each blocking operator (hash join
+// partition buffers, sorts) may hold in memory; overflow spills to
+// temporary files, like the engine the paper instrumented. 0 (the
+// default) keeps everything in memory.
+func WithMemoryBudget(bytes int64) CompileOption {
+	return func(c *compileCfg) { c.memBudget = bytes }
+}
+
+// Query is an executable plan with progress monitoring. Plans are
+// single-use: execute with Run, Rows, or Start exactly once.
+type Query struct {
+	root    exec.Operator
+	monitor *progress.Monitor
+	att     *core.Attachment
+	cfg     compileCfg
+	started bool
+}
+
+// execRun drives a query's plan to completion (shared by Run and Start).
+func execRun(q *Query) (int64, error) {
+	return exec.Run(q.root)
+}
+
+// Compile seeds optimizer estimates, attaches the online estimation
+// framework (unless disabled) and builds a progress monitor for the plan.
+func (e *Engine) Compile(n *Node, opts ...CompileOption) (*Query, error) {
+	if n == nil {
+		return nil, fmt.Errorf("qpi: nil plan")
+	}
+	cfg := compileCfg{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.sampleFraction < 0 || cfg.sampleFraction > 1 {
+		return nil, fmt.Errorf("qpi: sample fraction %g out of [0,1]", cfg.sampleFraction)
+	}
+	if cfg.sampleFraction > 0 {
+		exec.Walk(n.op, func(op exec.Operator) {
+			if sc, ok := op.(*exec.Scan); ok {
+				sc.SampleFraction = cfg.sampleFraction
+				sc.Seed = cfg.sampleSeed
+			}
+		})
+	}
+	if cfg.memBudget > 0 {
+		exec.Walk(n.op, func(op exec.Operator) {
+			switch o := op.(type) {
+			case *exec.HashJoin:
+				o.SetMemoryBudget(cfg.memBudget)
+			case *exec.Sort:
+				o.SetMemoryBudget(cfg.memBudget)
+			}
+		})
+	}
+	plan.EstimateCardinalities(n.op, e.cat)
+	q := &Query{root: n.op, cfg: cfg}
+	if !cfg.noEstimators && cfg.mode == Once {
+		q.att = core.Attach(n.op)
+	}
+	var pmode progress.Mode
+	switch cfg.mode {
+	case DNE:
+		pmode = progress.ModeDNE
+	case Byte:
+		pmode = progress.ModeByte
+	default:
+		pmode = progress.ModeOnce
+	}
+	q.monitor = progress.NewMonitorWith(n.op, pmode, q.att)
+	return q, nil
+}
+
+// ProgressInterval returns a two-sided confidence interval (confidence
+// alpha in (0,1), e.g. 0.95) around the progress estimate, derived from
+// the online estimators' cardinality confidence intervals. Outside the
+// default estimator mode it degenerates to the point estimate.
+func (q *Query) ProgressInterval(alpha float64) (lo, hi float64) {
+	return q.monitor.ProgressInterval(alpha)
+}
+
+// MustCompile is Compile, panicking on error.
+func (e *Engine) MustCompile(n *Node, opts ...CompileOption) *Query {
+	q, err := e.Compile(n, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Report is a point-in-time progress snapshot.
+type Report struct {
+	// Progress is the gnm estimate C(Q)/T(Q) in [0,1].
+	Progress float64
+	// C is the number of getnext() calls observed so far; T the current
+	// estimate of the total over the query's lifetime.
+	C, T float64
+	// Pipelines summarizes each pipeline: done / running / pending.
+	Pipelines []PipelineStatus
+}
+
+// PipelineStatus summarizes one pipeline.
+type PipelineStatus struct {
+	ID      int
+	Root    string
+	C, T    float64
+	Started bool
+	Done    bool
+}
+
+func toReport(r progress.Report) Report {
+	out := Report{Progress: r.Progress, C: r.C, T: r.T}
+	for _, p := range r.Pipelines {
+		out.Pipelines = append(out.Pipelines, PipelineStatus{
+			ID: p.ID, Root: p.Root, C: p.C, T: p.T, Started: p.Started, Done: p.Done,
+		})
+	}
+	return out
+}
+
+// Progress returns the current gnm progress estimate in [0,1].
+func (q *Query) Progress() float64 { return q.monitor.Progress() }
+
+// Report returns a full progress snapshot.
+func (q *Query) Report() Report { return toReport(q.monitor.Report()) }
+
+// Run executes the query to completion, discarding result rows, and
+// returns the output row count. If onProgress is non-nil it is invoked
+// approximately every `every` units of work (tuples moved anywhere in the
+// plan) with a progress snapshot, plus once at the end.
+func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
+	if onProgress != nil {
+		if every < 1 {
+			every = 1
+		}
+		progress.InstallTicker(q.root, every, func() {
+			onProgress(q.Report())
+		})
+	}
+	n, err := exec.Run(q.root)
+	if err != nil {
+		return n, err
+	}
+	if onProgress != nil {
+		onProgress(q.Report())
+	}
+	return n, nil
+}
+
+// Rows executes the query and materializes the results. Each row holds
+// int64, float64, string, or nil values.
+func (q *Query) Rows() ([][]any, error) {
+	if err := q.root.Open(); err != nil {
+		return nil, err
+	}
+	defer q.root.Close()
+	var out [][]any
+	for {
+		t, err := q.root.Next()
+		if err != nil {
+			return out, err
+		}
+		if t == nil {
+			return out, nil
+		}
+		row := make([]any, len(t))
+		for i, v := range t {
+			switch v.Kind {
+			case data.KindInt:
+				row[i] = v.I
+			case data.KindFloat:
+				row[i] = v.F
+			case data.KindString:
+				row[i] = v.S
+			default:
+				row[i] = nil
+			}
+		}
+		out = append(out, row)
+	}
+}
+
+// Columns returns the output column names.
+func (q *Query) Columns() []string {
+	cols := q.root.Schema().Cols
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Qualified()
+	}
+	return out
+}
+
+// Explain renders the plan tree with current estimates.
+func (q *Query) Explain() string { return plan.Explain(q.root) }
+
+// OperatorEstimate is a live view of one operator's counters.
+type OperatorEstimate struct {
+	// Operator is the EXPLAIN-style label ("HashJoin(a.k = b.k)").
+	Operator string
+	// Depth is the operator's depth in the plan tree (root = 0).
+	Depth int
+	// Emitted is the number of getnext() calls satisfied so far (K_i).
+	Emitted int64
+	// Estimate is the current belief about the operator's total output
+	// cardinality (N_i).
+	Estimate float64
+	// Source is the estimate's provenance: "optimizer", "once",
+	// "once-exact", "gee", "mle", "agg-pushdown", "exact".
+	Source string
+	// Done reports whether the operator has finished (Estimate exact).
+	Done bool
+}
+
+// Estimates returns a live snapshot of every operator's cardinality
+// estimate, in pre-order.
+func (q *Query) Estimates() []OperatorEstimate {
+	var out []OperatorEstimate
+	var rec func(op exec.Operator, depth int)
+	rec = func(op exec.Operator, depth int) {
+		st := op.Stats()
+		out = append(out, OperatorEstimate{
+			Operator: op.Name(),
+			Depth:    depth,
+			Emitted:  st.Emitted,
+			Estimate: st.Total(),
+			Source:   st.EstSource,
+			Done:     st.Done,
+		})
+		for _, c := range op.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(q.root, 0)
+	return out
+}
+
+// Drift describes one operator whose online cardinality estimate has
+// diverged from the optimizer's original belief — the signal the adaptive
+// query processing literature the paper discusses ([16, 20, 2]) uses to
+// trigger re-optimization.
+type Drift struct {
+	// Operator is the EXPLAIN-style label.
+	Operator string
+	// Optimizer is the estimate the plan was costed with.
+	Optimizer float64
+	// Current is the refined online estimate.
+	Current float64
+	// Factor is max(Current/Optimizer, Optimizer/Current) ≥ 1.
+	Factor float64
+}
+
+// DriftReport returns the operators whose refined estimates differ from
+// the optimizer's original estimates by at least factor (e.g. 2 means
+// 2× in either direction), sorted by descending factor. A non-empty
+// report on a running query is the classic re-optimization trigger: the
+// plan was chosen with cardinalities now known to be wrong.
+func (q *Query) DriftReport(factor float64) []Drift {
+	if factor < 1 {
+		factor = 1
+	}
+	var out []Drift
+	exec.Walk(q.root, func(op exec.Operator) {
+		st := op.Stats()
+		opt := q.monitor.OptimizerEstimate(op)
+		cur := st.Total()
+		if opt <= 0 || cur <= 0 {
+			return
+		}
+		// Only count beliefs actually refined by observation.
+		if st.EstSource == "optimizer" && !st.Done {
+			return
+		}
+		f := cur / opt
+		if f < 1 {
+			f = 1 / f
+		}
+		if f >= factor {
+			out = append(out, Drift{
+				Operator:  op.Name(),
+				Optimizer: opt,
+				Current:   cur,
+				Factor:    f,
+			})
+		}
+	})
+	sortDrifts(out)
+	return out
+}
+
+func sortDrifts(ds []Drift) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Factor > ds[j-1].Factor; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// EstimateOf returns the current cardinality estimate and its provenance
+// ("optimizer", "once", "once-exact", "gee", "mle", ...) for the operator
+// producing the named output column... it addresses the plan root when
+// the query has a single top operator. For inspection of intermediate
+// joins use Report and Explain.
+func (q *Query) EstimateOf() (float64, string) {
+	st := q.root.Stats()
+	return st.Total(), st.EstSource
+}

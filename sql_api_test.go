@@ -1,0 +1,143 @@
+package qpi
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sqlEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	e.MustLoadTPCH(TPCHConfig{SF: 0.002, Seed: 5})
+	return e
+}
+
+func TestSQLQueryBasics(t *testing.T) {
+	e := sqlEngine(t)
+	q, err := e.Query("SELECT custkey FROM customer WHERE custkey <= 3 ORDER BY custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := q.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0].(int64) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSQLJoinWithProgress(t *testing.T) {
+	e := sqlEngine(t)
+	q := e.MustQuery(`SELECT o.orderkey FROM orders o
+		JOIN customer c ON o.custkey = c.custkey`)
+	var final Report
+	n, err := q.Run(func(r Report) { final = r }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("join empty")
+	}
+	if math.Abs(final.Progress-1) > 1e-9 {
+		t.Errorf("final progress = %g", final.Progress)
+	}
+	// The join must carry a converged once estimate.
+	found := false
+	for _, est := range q.Estimates() {
+		if strings.HasPrefix(est.Operator, "HashJoin") {
+			found = true
+			if est.Source != "once-exact" {
+				t.Errorf("join source = %q", est.Source)
+			}
+		}
+	}
+	if !found {
+		t.Error("no hash join in plan")
+	}
+}
+
+func TestSQLAggregates(t *testing.T) {
+	e := sqlEngine(t)
+	q := e.MustQuery("SELECT COUNT(*) c FROM lineitem")
+	rows, err := q.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := e.TableRows("lineitem")
+	if rows[0][0].(int64) != int64(want) {
+		t.Errorf("count = %v, want %d", rows[0][0], want)
+	}
+}
+
+func TestSQLGroupByEstimation(t *testing.T) {
+	e := sqlEngine(t)
+	q := e.MustQuery("SELECT custkey, COUNT(*) c FROM orders GROUP BY custkey")
+	n, err := q.Run(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := q.Estimates()[0]
+	if agg.Estimate != float64(n) {
+		t.Errorf("agg estimate %g != %d groups", agg.Estimate, n)
+	}
+}
+
+func TestSQLSemiAntiJoins(t *testing.T) {
+	e := sqlEngine(t)
+	semi := e.MustQuery("SELECT custkey FROM customer SEMI JOIN orders ON orders.custkey = customer.custkey")
+	anti := e.MustQuery("SELECT custkey FROM customer ANTI JOIN orders ON orders.custkey = customer.custkey")
+	ns, err := semi.Run(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := anti.Run(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := e.TableRows("customer")
+	if ns+na != int64(total) {
+		t.Errorf("semi %d + anti %d != customers %d", ns, na, total)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	e := sqlEngine(t)
+	for _, q := range []string{
+		"SELEC x",
+		"SELECT x FROM nope",
+		"SELECT nope FROM customer",
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestSQLWithSamplingAndModes(t *testing.T) {
+	e := sqlEngine(t)
+	for _, m := range []EstimatorMode{Once, DNE, Byte} {
+		q, err := e.Query(
+			"SELECT o.orderkey FROM orders o JOIN customer c ON o.custkey = c.custkey",
+			WithMode(m), WithSampling(0.1, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Run(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		if p := q.Progress(); math.Abs(p-1) > 1e-9 {
+			t.Errorf("mode %v final progress %g", m, p)
+		}
+	}
+}
+
+func TestMustQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustQuery did not panic")
+		}
+	}()
+	sqlEngine(t).MustQuery("not sql")
+}
