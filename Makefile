@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench-join
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel grace partition passes run under the race detector here;
+# this is the gate CI runs (vet + plain tests + race tests).
+race:
+	$(GO) test -race ./...
+
+check: vet test race
+
+# Measure the join execution modes (tuple / batch / batch-parallel) and
+# write BENCH_join.json.
+bench-join:
+	$(GO) run ./cmd/qpi-bench -json

@@ -10,26 +10,41 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"qpi/internal/exec"
 	"qpi/internal/experiments"
+	"qpi/internal/plan"
+	"qpi/internal/tpch"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"experiment id: all, "+strings.Join(experiments.Names(), ", "))
-		paper  = flag.Bool("paper", false, "use the paper's original scale (slow, needs RAM)")
-		rows   = flag.Int("rows", 0, "override synthetic table row count")
-		sf     = flag.Float64("sf", 0, "override TPC-H scale factor")
-		sample = flag.Float64("sample", 0, "override block-sample fraction")
-		seed   = flag.Int64("seed", 0, "override random seed")
+		paper    = flag.Bool("paper", false, "use the paper's original scale (slow, needs RAM)")
+		rows     = flag.Int("rows", 0, "override synthetic table row count")
+		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
+		sample   = flag.Float64("sample", 0, "override block-sample fraction")
+		seed     = flag.Int64("seed", 0, "override random seed")
+		jsonOut  = flag.Bool("json", false, "benchmark join execution modes and write BENCH_join.json instead of running experiments")
+		jsonFile = flag.String("json-file", "BENCH_join.json", "output path for -json")
 	)
 	flag.Parse()
+
+	if *jsonOut {
+		if err := writeJoinBench(*jsonFile); err != nil {
+			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *paper {
@@ -67,3 +82,124 @@ func main() {
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }
+
+// seedBaseline is the recorded tuple-at-a-time BenchmarkJoinBaseline result
+// of the pre-batching engine on the reference machine (Intel Xeon 2.10GHz,
+// 1 CPU): the number the batch-execution speedups are measured against.
+var seedBaseline = modeResult{
+	Mode:       "seed-tuple (recorded reference)",
+	NsPerOp:    109566440,
+	BytesPerOp: 28398736,
+	AllocsOp:   75518,
+}
+
+// modeResult is one execution mode's measurement on the orders ⋈ lineitem
+// workload.
+type modeResult struct {
+	Mode         string  `json:"mode"`
+	Workers      int     `json:"workers,omitempty"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+	BytesPerOp   uint64  `json:"bytes_per_op,omitempty"`
+	AllocsOp     uint64  `json:"allocs_per_op"`
+	SpeedupSeed  float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// joinBenchReport is the BENCH_join.json document.
+type joinBenchReport struct {
+	Benchmark    string       `json:"benchmark"`
+	CPU          string       `json:"cpu"`
+	MaxProcs     int          `json:"gomaxprocs"`
+	Runs         int          `json:"runs_per_mode"`
+	SeedBaseline modeResult   `json:"seed_baseline"`
+	Modes        []modeResult `json:"modes"`
+}
+
+// writeJoinBench measures the grace hash join's execution modes on the
+// BenchmarkJoinBaseline workload (TPC-H SF 0.01 orders ⋈ lineitem) and
+// writes the results as JSON. Best-of-N timing, allocation deltas from
+// runtime.MemStats.
+func writeJoinBench(path string) error {
+	const runs = 7
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"tuple", 0},
+		{"batch", 1},
+		{"batch-parallel", runtime.GOMAXPROCS(0)},
+	}
+	report := joinBenchReport{
+		Benchmark:    "grace hash join, TPC-H SF=0.01 orders ⋈ lineitem (no estimators)",
+		CPU:          runtime.GOARCH,
+		MaxProcs:     runtime.GOMAXPROCS(0),
+		Runs:         runs,
+		SeedBaseline: seedBaseline,
+	}
+	for _, m := range modes {
+		var best modeResult
+		for r := 0; r < runs; r++ {
+			res, err := runJoinOnce(m.name, m.workers)
+			if err != nil {
+				return err
+			}
+			if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+				best = res
+			}
+		}
+		best.SpeedupSeed = round2(float64(seedBaseline.NsPerOp) / float64(best.NsPerOp))
+		report.Modes = append(report.Modes, best)
+		fmt.Printf("%-16s %12d ns/op %12.0f tuples/sec %8d allocs/op  %.2fx vs seed\n",
+			best.Mode, best.NsPerOp, best.TuplesPerSec, best.AllocsOp, best.SpeedupSeed)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runJoinOnce builds and runs the benchmark join in one mode.
+func runJoinOnce(mode string, workers int) (modeResult, error) {
+	cat, err := tpch.Generate(tpch.Config{SF: 0.01, Seed: 1, Tables: []string{"orders", "lineitem"}})
+	if err != nil {
+		return modeResult{}, err
+	}
+	orders := cat.MustLookup("orders").Table
+	lineitem := cat.MustLookup("lineitem").Table
+	bs := exec.NewScan(orders, "")
+	ps := exec.NewScan(lineitem, "")
+	j := exec.NewHashJoin(bs, ps,
+		bs.Schema().MustResolve("orders", "orderkey"),
+		ps.Schema().MustResolve("lineitem", "orderkey"))
+	plan.EstimateCardinalities(j, cat)
+	if workers > 0 {
+		j.SetParallelism(workers)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var n int64
+	if workers > 0 {
+		n, err = exec.RunBatch(j)
+	} else {
+		n, err = exec.Run(j)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return modeResult{}, err
+	}
+	tuples := n + j.BuildRows() + j.ProbeRows()
+	return modeResult{
+		Mode:         mode,
+		Workers:      workers,
+		NsPerOp:      elapsed.Nanoseconds(),
+		TuplesPerSec: round2(float64(tuples) / elapsed.Seconds()),
+		BytesPerOp:   after.TotalAlloc - before.TotalAlloc,
+		AllocsOp:     after.Mallocs - before.Mallocs,
+	}, nil
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -131,7 +131,6 @@ func (a *Attachment) attachHashChain(top *exec.HashJoin) {
 
 	links := make([]ChainLink, len(joins))
 	for i, j := range joins {
-		j := j
 		buildWidth := j.Build().Schema().Len()
 		if j.Type() == exec.SemiJoin || j.Type() == exec.AntiJoin {
 			buildWidth = 0 // semi/anti output is the probe schema alone
@@ -142,10 +141,8 @@ func (a *Attachment) attachHashChain(top *exec.HashJoin) {
 			BuildKeys:  j.BuildKeys(),
 			ProbeKeys:  j.ProbeKeys(),
 			Mult:       multFor(j.Type()),
-			SetBuildHook: func(f func(data.Tuple)) {
-				j.OnBuildTuple = compose(j.OnBuildTuple, f)
-			},
 		}
+		hashLinkHooks(&links[i], j)
 	}
 	pe, err := NewPipelineEstimatorHist(links, func() float64 {
 		return StreamSizeEstimate(bottomStream)
@@ -160,9 +157,41 @@ func (a *Attachment) attachHashChain(top *exec.HashJoin) {
 		}
 		return
 	}
+	wireHashProbe(pe, bottom)
+	a.record(pe, joinsToOps(joins))
+}
+
+// hashLinkHooks fills a ChainLink's hook setters for one hash join,
+// including the batched setters when the join runs batched partition
+// passes (the estimator shards only if every link of the chain does).
+func hashLinkHooks(l *ChainLink, j *exec.HashJoin) {
+	l.SetBuildHook = func(f func(data.Tuple)) {
+		j.OnBuildTuple = compose(j.OnBuildTuple, f)
+	}
+	if !j.Batched() {
+		return
+	}
+	l.Workers = j.Workers()
+	l.SetBuildBatchHook = func(f func(worker int, b data.Batch)) {
+		j.OnBuildBatch = composeBatch(j.OnBuildBatch, f)
+	}
+	l.SetBuildEndHook = func(f func()) {
+		j.OnBuildEnd = compose0(j.OnBuildEnd, f)
+	}
+}
+
+// wireHashProbe feeds the bottom probe stream to the estimator: sharded
+// batch observation when the whole chain is batched, per-tuple hooks
+// otherwise (per-tuple hooks fire on the reader goroutine even under a
+// batched pass, so a mixed chain stays correct, just unsharded).
+func wireHashProbe(pe *PipelineEstimator, bottom *exec.HashJoin) {
+	if pe.BatchAttached() {
+		bottom.OnProbeBatch = composeBatch(bottom.OnProbeBatch, pe.ObserveProbeBatch)
+		bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.FinishProbe)
+		return
+	}
 	bottom.OnProbeTuple = compose(bottom.OnProbeTuple, pe.ObserveProbe)
 	bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.MarkConverged)
-	a.record(pe, joinsToOps(joins))
 }
 
 // attachSingleHashJoin wires a length-1 chain estimator for one join.
@@ -177,10 +206,8 @@ func (a *Attachment) attachSingleHashJoin(j *exec.HashJoin) {
 		BuildKeys:  j.BuildKeys(),
 		ProbeKeys:  j.ProbeKeys(),
 		Mult:       multFor(j.Type()),
-		SetBuildHook: func(f func(data.Tuple)) {
-			j.OnBuildTuple = compose(j.OnBuildTuple, f)
-		},
 	}}
+	hashLinkHooks(&links[0], j)
 	probeStream := j.Probe()
 	pe, err := NewPipelineEstimatorHist(links, func() float64 {
 		return StreamSizeEstimate(probeStream)
@@ -188,8 +215,7 @@ func (a *Attachment) attachSingleHashJoin(j *exec.HashJoin) {
 	if err != nil {
 		return
 	}
-	j.OnProbeTuple = compose(j.OnProbeTuple, pe.ObserveProbe)
-	j.OnProbeEnd = compose0(j.OnProbeEnd, pe.MarkConverged)
+	wireHashProbe(pe, j)
 	a.record(pe, []exec.Operator{j})
 }
 
@@ -343,6 +369,12 @@ func (a *Attachment) attachAgg(agg exec.Operator, input exec.Operator, groupBy [
 					pe.OnProbeObserved = compose1(pe.OnProbeObserved, func(int64) {
 						est.pushdownTick()
 					})
+					if pe.BatchAttached() {
+						// Sharded probe observation publishes only at the
+						// pass barrier; publish the final aggregation
+						// estimate there too.
+						pe.afterConverge = append(pe.afterConverge, est.MarkInputEnd)
+					}
 					a.Aggs[agg] = est
 					return
 				}
@@ -385,7 +417,7 @@ func StreamSizeEstimate(op exec.Operator) float64 {
 		return DNEEstimate(o, o.Stats().EstTotal)
 	case *exec.Project, *exec.Limit:
 		if op.Stats().Done {
-			return float64(op.Stats().Emitted)
+			return float64(op.Stats().Emitted.Load())
 		}
 		return StreamSizeEstimate(op.Children()[0])
 	default:
@@ -418,6 +450,20 @@ func compose0(prev, next func()) func() {
 	return func() {
 		prev()
 		next()
+	}
+}
+
+// composeBatch chains two worker-batch hooks.
+func composeBatch(prev, next func(int, data.Batch)) func(int, data.Batch) {
+	if prev == nil {
+		return next
+	}
+	if next == nil {
+		return prev
+	}
+	return func(w int, b data.Batch) {
+		prev(w, b)
+		next(w, b)
 	}
 }
 

@@ -51,7 +51,7 @@ func DriverFraction(op exec.Operator) float64 {
 			return 1
 		}
 		if st.EstTotal > 0 {
-			return float64(st.Emitted) / st.EstTotal
+			return float64(st.Emitted.Load()) / st.EstTotal
 		}
 		return 0
 	case *exec.HashAgg, *exec.SortAgg:
@@ -60,7 +60,7 @@ func DriverFraction(op exec.Operator) float64 {
 			return 1
 		}
 		if st.EstTotal > 0 {
-			return float64(st.Emitted) / st.EstTotal
+			return float64(st.Emitted.Load()) / st.EstTotal
 		}
 		return 0
 	default:
@@ -70,7 +70,7 @@ func DriverFraction(op exec.Operator) float64 {
 		// Generic leaf (e.g. a disk scan): progress is emission over the
 		// known input size.
 		if st := op.Stats(); st.InputTotal > 0 {
-			return float64(st.Emitted) / float64(st.InputTotal)
+			return float64(st.Emitted.Load()) / float64(st.InputTotal)
 		}
 		return 0
 	}
@@ -82,7 +82,7 @@ func DriverFraction(op exec.Operator) float64 {
 func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
 	st := op.Stats()
 	if st.Done {
-		return float64(st.Emitted)
+		return float64(st.Emitted.Load())
 	}
 	f := DriverFraction(op)
 	if f <= 0 {
@@ -91,7 +91,7 @@ func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
 	if f > 1 {
 		f = 1
 	}
-	return float64(st.Emitted) / f
+	return float64(st.Emitted.Load()) / f
 }
 
 // ByteEstimate returns Luo et al.'s weighted-average estimate of op's
@@ -100,7 +100,7 @@ func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
 func ByteEstimate(op exec.Operator, optimizerEst float64) float64 {
 	st := op.Stats()
 	if st.Done {
-		return float64(st.Emitted)
+		return float64(st.Emitted.Load())
 	}
 	f := DriverFraction(op)
 	if f <= 0 {
@@ -109,5 +109,5 @@ func ByteEstimate(op exec.Operator, optimizerEst float64) float64 {
 	if f > 1 {
 		f = 1
 	}
-	return (1-f)*optimizerEst + float64(st.Emitted)
+	return (1-f)*optimizerEst + float64(st.Emitted.Load())
 }

@@ -316,7 +316,7 @@ func runChainAndCompare(t *testing.T, top *exec.HashJoin, att *Attachment) {
 		t.Fatal("estimator did not converge")
 	}
 	for k, j := range joins {
-		truth := float64(j.Stats().Emitted)
+		truth := float64(j.Stats().Emitted.Load())
 		if got := pe.Estimate(k); math.Abs(got-truth) > 1e-6 {
 			t.Errorf("level %d: converged estimate %g != true cardinality %g", k, got, truth)
 		}
@@ -764,7 +764,7 @@ func TestSortMergeJoinChainSameAttribute(t *testing.T) {
 	if got := pe.Estimate(0); math.Abs(got-float64(n)) > 1e-6 {
 		t.Errorf("upper estimate %g != %d", got, n)
 	}
-	if got := pe.Estimate(1); math.Abs(got-float64(lower.Stats().Emitted)) > 1e-6 {
-		t.Errorf("lower estimate %g != %d", got, lower.Stats().Emitted)
+	if got := pe.Estimate(1); math.Abs(got-float64(lower.Stats().Emitted.Load())) > 1e-6 {
+		t.Errorf("lower estimate %g != %d", got, lower.Stats().Emitted.Load())
 	}
 }

@@ -59,10 +59,10 @@ func TestSemiTopOfChainEstimatesExact(t *testing.T) {
 	if _, err := exec.Run(top); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := pe.Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+	if got, want := pe.Estimate(0), float64(top.Stats().Emitted.Load()); math.Abs(got-want) > 1e-6 {
 		t.Errorf("semi top estimate %g != %g", got, want)
 	}
-	if got, want := pe.Estimate(1), float64(lower.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+	if got, want := pe.Estimate(1), float64(lower.Stats().Emitted.Load()); math.Abs(got-want) > 1e-6 {
 		t.Errorf("inner lower estimate %g != %g", got, want)
 	}
 }
@@ -82,7 +82,7 @@ func TestOuterTopCase2EstimatesExact(t *testing.T) {
 	if _, err := exec.Run(top); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := pe.Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+	if got, want := pe.Estimate(0), float64(top.Stats().Emitted.Load()); math.Abs(got-want) > 1e-6 {
 		t.Errorf("outer Case 2 estimate %g != %g", got, want)
 	}
 }
@@ -106,10 +106,10 @@ func TestNonInnerChildTerminatesChain(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Both converge to their exact sizes regardless.
-	if got, want := att.ChainOf[lower].Estimate(0), float64(lower.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+	if got, want := att.ChainOf[lower].Estimate(0), float64(lower.Stats().Emitted.Load()); math.Abs(got-want) > 1e-6 {
 		t.Errorf("semi estimate %g != %g", got, want)
 	}
-	if got, want := att.ChainOf[top].Estimate(0), float64(top.Stats().Emitted); math.Abs(got-want) > 1e-6 {
+	if got, want := att.ChainOf[top].Estimate(0), float64(top.Stats().Emitted.Load()); math.Abs(got-want) > 1e-6 {
 		t.Errorf("upper estimate %g != %g", got, want)
 	}
 }

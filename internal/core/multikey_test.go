@@ -72,8 +72,8 @@ func TestMultiKeyChainSameSource(t *testing.T) {
 	if est := pe.Estimate(0); math.Abs(est-float64(n)) > 1e-6 {
 		t.Errorf("top estimate %g != %d", est, n)
 	}
-	if est := pe.Estimate(1); math.Abs(est-float64(lower.Stats().Emitted)) > 1e-6 {
-		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted)
+	if est := pe.Estimate(1); math.Abs(est-float64(lower.Stats().Emitted.Load())) > 1e-6 {
+		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted.Load())
 	}
 }
 
@@ -106,8 +106,8 @@ func TestMultiKeyMixedProvenanceFallsBack(t *testing.T) {
 	if est := peTop.Estimate(0); math.Abs(est-float64(n)) > 1e-6 {
 		t.Errorf("top estimate %g != %d", est, n)
 	}
-	if est := peLower.Estimate(0); math.Abs(est-float64(lower.Stats().Emitted)) > 1e-6 {
-		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted)
+	if est := peLower.Estimate(0); math.Abs(est-float64(lower.Stats().Emitted.Load())) > 1e-6 {
+		t.Errorf("lower estimate %g != %d", est, lower.Stats().Emitted.Load())
 	}
 }
 

@@ -55,6 +55,18 @@ type ChainLink struct {
 	// SetBuildHook installs f to run for every build-input tuple during
 	// the join's preprocessing pass.
 	SetBuildHook func(f func(data.Tuple))
+	// SetBuildBatchHook installs f to run once per build-input batch
+	// during a batched preprocessing pass, on the scatter worker that owns
+	// the batch. Nil when the physical operator has no batched pass.
+	SetBuildBatchHook func(f func(worker int, b data.Batch))
+	// SetBuildEndHook installs the build-pass barrier callback (fires on
+	// the reader goroutine after all batch hooks of the pass completed).
+	SetBuildEndHook func(f func())
+	// Workers is the number of scatter workers the batched pass uses
+	// (0 when the pass is tuple-at-a-time). When every link of a chain is
+	// batched, the estimator shards its histograms per worker instead of
+	// installing per-tuple hooks.
+	Workers int
 	// Mult transforms the matched build count N into the number of output
 	// tuples per probe tuple (§4.1.1's note on semijoins and outerjoins):
 	// nil means the inner-join identity; semi joins use 1 if N>0, anti
@@ -124,6 +136,16 @@ type PipelineEstimator struct {
 	// distribution of the top join's output on that column.
 	outDistCol  int
 	outDistHist *FreqHistogram
+
+	// Batched (sharded) attachment state — see shard.go. batchInstalled
+	// reports that build observation runs through per-worker histogram
+	// shards and probe observation through ObserveProbeBatch/FinishProbe;
+	// afterConverge hooks fire after the probe-end merge has frozen the
+	// estimator (aggregation push-down publishes its final estimate
+	// there).
+	batchInstalled bool
+	probeShards    []probeShard
+	afterConverge  []func()
 }
 
 // keySource locates the origin of a join's probe key. For multi-column
@@ -261,45 +283,76 @@ func (p *PipelineEstimator) levelsEqual(k, k2, j int) bool {
 	return true
 }
 
-// installHooks attaches the build-pass observers.
-func (p *PipelineEstimator) installHooks() {
-	for j := 0; j < p.m; j++ {
-		j := j
-		// Deduplicate shared histograms: collect the distinct ones with
-		// their lowest level (folds depend on the level).
-		type upd struct {
-			hist  Histogram
-			level int
+// histUpdate names one distinct histogram a relation's build pass must
+// update, with the lowest level sharing it (folds depend on the level).
+type histUpdate struct {
+	hist  Histogram
+	level int
+}
+
+// updateTargets deduplicates the histograms relation j's build pass feeds:
+// shared levels collapse to one update at their lowest level.
+func (p *PipelineEstimator) updateTargets(j int) []histUpdate {
+	var updates []histUpdate
+	seen := map[Histogram]bool{}
+	for k := j; k >= 0; k-- {
+		h := p.hists[k][j]
+		if !seen[h] {
+			seen[h] = true
+			updates = append(updates, histUpdate{h, k})
 		}
-		var updates []upd
-		seen := map[Histogram]bool{}
-		for k := j; k >= 0; k-- {
-			h := p.hists[k][j]
-			if !seen[h] {
-				seen[h] = true
-				updates = append(updates, upd{h, k})
+	}
+	return updates
+}
+
+// buildWeight computes the fold weight of one build tuple of relation j
+// for the histogram at the given level: the product over all folded-in
+// joins at or above that level of their (Mult-transformed) match counts.
+func (p *PipelineEstimator) buildWeight(tu data.Tuple, j, level int) int64 {
+	w := int64(1)
+	for _, f := range p.folds[j] {
+		if f.join >= level {
+			n := p.hists[level][f.join].Count(exec.JoinKeyOf(tu, f.cols))
+			if m := p.links[f.join].Mult; m != nil {
+				w *= int64(m(n))
+			} else {
+				w *= n
 			}
 		}
+	}
+	return w
+}
+
+// installHooks attaches the build-pass observers: per-tuple hooks in the
+// default mode, per-worker sharded batch hooks (see shard.go) when every
+// link runs a batched preprocessing pass.
+func (p *PipelineEstimator) installHooks() {
+	if p.chainBatched() {
+		p.installBatchHooks()
+		return
+	}
+	for j := 0; j < p.m; j++ {
+		j := j
+		updates := p.updateTargets(j)
 		buildKeys := p.links[j].BuildKeys
-		folds := p.folds[j]
 		p.links[j].SetBuildHook(func(tu data.Tuple) {
 			key := exec.JoinKeyOf(tu, buildKeys)
 			for _, u := range updates {
-				w := int64(1)
-				for _, f := range folds {
-					if f.join >= u.level {
-						n := p.hists[u.level][f.join].Count(exec.JoinKeyOf(tu, f.cols))
-						if m := p.links[f.join].Mult; m != nil {
-							w *= int64(m(n))
-						} else {
-							w *= n
-						}
-					}
-				}
-				p.hists[u.level][j].AddN(key, w)
+				p.hists[u.level][j].AddN(key, p.buildWeight(tu, j, u.level))
 			}
 		})
 	}
+}
+
+// chainBatched reports whether every link of the chain runs a batched
+// preprocessing pass (and therefore supports sharded observation).
+func (p *PipelineEstimator) chainBatched() bool {
+	for _, l := range p.links {
+		if l.Workers < 1 || l.SetBuildBatchHook == nil || l.SetBuildEndHook == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // ObserveProbe processes one bottom-stream tuple, refreshing every join's
@@ -308,17 +361,7 @@ func (p *PipelineEstimator) installHooks() {
 func (p *PipelineEstimator) ObserveProbe(c data.Tuple) {
 	p.t++
 	for k := 0; k < p.m; k++ {
-		delta := 1.0
-		for j := k; j < p.m; j++ {
-			if p.srcs[j].fromBottom {
-				n := p.hists[k][j].Count(exec.JoinKeyOf(c, p.srcs[j].cols))
-				if m := p.links[j].Mult; m != nil {
-					delta *= m(n)
-				} else {
-					delta *= float64(n)
-				}
-			}
-		}
+		delta := p.probeDelta(c, k)
 		p.sums[k] += delta
 		p.sumSqs[k] += delta * delta
 		if k == 0 && p.outDistHist != nil {
@@ -331,6 +374,23 @@ func (p *PipelineEstimator) ObserveProbe(c data.Tuple) {
 	if p.OnProbeObserved != nil {
 		p.OnProbeObserved(p.t)
 	}
+}
+
+// probeDelta computes out_k(c): the contribution of one bottom-stream
+// tuple to join level k's estimate.
+func (p *PipelineEstimator) probeDelta(c data.Tuple, k int) float64 {
+	delta := 1.0
+	for j := k; j < p.m; j++ {
+		if p.srcs[j].fromBottom {
+			n := p.hists[k][j].Count(exec.JoinKeyOf(c, p.srcs[j].cols))
+			if m := p.links[j].Mult; m != nil {
+				delta *= m(n)
+			} else {
+				delta *= float64(n)
+			}
+		}
+	}
+	return delta
 }
 
 // SetPublishInterval overrides how often (in probe tuples) estimates are

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"qpi/internal/data"
+	"qpi/internal/exec"
+)
+
+// This file is the batched (sharded) attachment mode of the pipeline
+// estimator, backing the executor's parallel grace partition passes.
+//
+// In the default mode the estimator observes one tuple per hook call on
+// the execution goroutine. Under a batched pass the hash/scatter work of
+// a join's partition passes runs on K workers, so the estimator instead
+// installs batch hooks (ChainLink.SetBuildBatchHook, HashJoin.OnProbeBatch)
+// and gives every worker a private shard — per-relation frequency-
+// histogram shards for the build passes, {t, sums, sumSqs, outDist}
+// shards for the bottom probe pass. Shards merge into the shared state at
+// the pass barriers (OnBuildEnd / OnProbeEnd), which the executor fires
+// on the reader goroutine after its workers have joined.
+//
+// Correctness of lock-free shard updates rests on the chain's execution
+// order: relation R_0 is built first, then R_1, ..., R_{m-1}, then the
+// bottom stream C is observed. A build-pass worker for relation j folds
+// in histogram counts only of relations f.join < j — all fully built and
+// merged at earlier barriers — and a probe-pass worker reads only the
+// finished build histograms. Every mutation goes to worker-private state;
+// the merges happen single-threaded at the barriers. The §4.1.1
+// convergence guarantee is preserved: after the probe-end merge the
+// estimator has observed exactly the same multiset of tuples as the
+// serial mode, so MarkConverged publishes the same exact cardinalities.
+//
+// Estimates are published only at barriers in this mode (the serial mode
+// publishes every publishEvery probe tuples): Stats writes stay on the
+// execution goroutine, never on workers.
+
+// probeShard is one worker's private share of the probe-pass moments.
+type probeShard struct {
+	t       int64
+	sums    []float64
+	sumSqs  []float64
+	outDist *FreqHistogram
+}
+
+// installBatchHooks wires the sharded build observers (batched mode's
+// installHooks). For every relation j each of the pass's workers gets one
+// FreqHistogram shard per distinct update target; the barrier hook merges
+// them into the shared derived histograms.
+func (p *PipelineEstimator) installBatchHooks() {
+	p.batchInstalled = true
+	for j := 0; j < p.m; j++ {
+		j := j
+		updates := p.updateTargets(j)
+		buildKeys := p.links[j].BuildKeys
+		shards := make([][]*FreqHistogram, p.links[j].Workers)
+		for w := range shards {
+			shards[w] = make([]*FreqHistogram, len(updates))
+			for u := range shards[w] {
+				shards[w][u] = NewFreqHistogram()
+			}
+		}
+		p.links[j].SetBuildBatchHook(func(worker int, b data.Batch) {
+			sh := shards[worker]
+			for _, tu := range b {
+				key := exec.JoinKeyOf(tu, buildKeys)
+				for ui, u := range updates {
+					sh[ui].AddN(key, p.buildWeight(tu, j, u.level))
+				}
+			}
+		})
+		p.links[j].SetBuildEndHook(func() {
+			for _, sh := range shards {
+				for ui, u := range updates {
+					dst := p.hists[u.level][j]
+					sh[ui].Each(func(v data.Value, n int64) bool {
+						dst.AddN(v, n)
+						return true
+					})
+				}
+			}
+		})
+	}
+	p.probeShards = make([]probeShard, p.links[p.m-1].Workers)
+	for i := range p.probeShards {
+		p.probeShards[i] = probeShard{
+			sums:   make([]float64, p.m),
+			sumSqs: make([]float64, p.m),
+		}
+	}
+}
+
+// BatchAttached reports whether the estimator observes through sharded
+// batch hooks instead of per-tuple hooks.
+func (p *PipelineEstimator) BatchAttached() bool { return p.batchInstalled }
+
+// ObserveProbeBatch processes one bottom-stream batch on behalf of worker
+// w: the batched counterpart of ObserveProbe, accumulating into the
+// worker's private shard. No estimate is published until FinishProbe.
+func (p *PipelineEstimator) ObserveProbeBatch(w int, b data.Batch) {
+	sh := &p.probeShards[w]
+	for _, c := range b {
+		sh.t++
+		for k := 0; k < p.m; k++ {
+			delta := p.probeDelta(c, k)
+			sh.sums[k] += delta
+			sh.sumSqs[k] += delta * delta
+			if k == 0 && p.outDistHist != nil {
+				if sh.outDist == nil {
+					sh.outDist = NewFreqHistogram()
+				}
+				sh.outDist.AddN(c[p.outDistCol], int64(delta))
+			}
+		}
+	}
+}
+
+// FinishProbe merges the per-worker probe shards and freezes the
+// estimator — the batched mode's MarkConverged, composed onto the bottom
+// join's OnProbeEnd. It runs on the execution goroutine after the pass
+// barrier.
+func (p *PipelineEstimator) FinishProbe() {
+	for i := range p.probeShards {
+		sh := &p.probeShards[i]
+		p.t += sh.t
+		for k := 0; k < p.m; k++ {
+			p.sums[k] += sh.sums[k]
+			p.sumSqs[k] += sh.sumSqs[k]
+		}
+		if sh.outDist != nil && p.outDistHist != nil {
+			sh.outDist.Each(func(v data.Value, n int64) bool {
+				p.outDistHist.AddN(v, n)
+				return true
+			})
+		}
+	}
+	p.probeShards = nil
+	if p.OnProbeObserved != nil {
+		p.OnProbeObserved(p.t)
+	}
+	p.MarkConverged()
+	for _, f := range p.afterConverge {
+		f()
+	}
+}

@@ -1,0 +1,16 @@
+package data
+
+// DefaultBatchSize is the number of tuples moved per NextBatch call in the
+// batch-at-a-time executor. 1024 keeps a batch of slice headers around
+// 24 KiB — small enough to stay cache-resident, large enough to amortize
+// the per-call interface dispatch the tuple-at-a-time path pays per row.
+const DefaultBatchSize = 1024
+
+// Batch is a slice of tuples moved through the executor in one step.
+//
+// Ownership contract: a Batch returned by NextBatch (and the slice header
+// only, not the tuples it references) is valid until the next NextBatch
+// call on the same operator — producers reuse the backing array. Consumers
+// that need the batch beyond that point must copy the slice (the tuples
+// themselves are immutable and may be retained).
+type Batch []Tuple

@@ -118,7 +118,7 @@ func (s *Scan) Next() (data.Tuple, error) {
 					}
 				}
 			}
-			s.stats.Emitted++
+			s.stats.Emitted.Add(1)
 			return t, nil
 		}
 		if s.orderPos >= len(s.order) {

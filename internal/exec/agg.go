@@ -157,6 +157,7 @@ type HashAgg struct {
 	pos       int
 	computed  bool
 	inputRows int64
+	buf       data.Batch
 }
 
 // groupState is one group's accumulators plus its observation count.
@@ -213,30 +214,31 @@ func (a *HashAgg) consume() error {
 		if t == nil {
 			break
 		}
-		a.inputRows++
-		if a.OnInput != nil {
-			a.OnInput(t)
+		a.observe(t)
+	}
+	if a.OnInputEnd != nil {
+		a.OnInputEnd()
+	}
+	a.computed = true
+	return nil
+}
+
+// consumeBatched is consume driven through the child's batch path. The
+// per-tuple hooks still fire for every input tuple, on this goroutine, so
+// estimator behaviour is identical in both modes.
+func (a *HashAgg) consumeBatched() error {
+	a.groups = map[data.Value]*groupState{}
+	in := AsBatch(a.child)
+	for {
+		b, err := in.NextBatch()
+		if err != nil {
+			return err
 		}
-		k := GroupKey(t, a.groupBy)
-		gs, ok := a.groups[k]
-		if !ok {
-			gs = &groupState{states: make([]*aggState, len(a.aggs)), repr: t}
-			for i := range gs.states {
-				gs.states[i] = &aggState{}
-			}
-			a.groups[k] = gs
-			a.order = append(a.order, k)
+		if len(b) == 0 {
+			break
 		}
-		gs.n++
-		if a.OnInputGroupCount != nil {
-			a.OnInputGroupCount(gs.n)
-		}
-		for i, spec := range a.aggs {
-			var v data.Value
-			if spec.Func != CountStar {
-				v = t[spec.Col]
-			}
-			gs.states[i].add(spec.Func, v)
+		for _, t := range b {
+			a.observe(t)
 		}
 	}
 	if a.OnInputEnd != nil {
@@ -244,6 +246,56 @@ func (a *HashAgg) consume() error {
 	}
 	a.computed = true
 	return nil
+}
+
+// observe folds one input tuple into its group, firing the input hooks.
+func (a *HashAgg) observe(t data.Tuple) {
+	a.inputRows++
+	if a.OnInput != nil {
+		a.OnInput(t)
+	}
+	k := GroupKey(t, a.groupBy)
+	gs, ok := a.groups[k]
+	if !ok {
+		gs = &groupState{states: make([]*aggState, len(a.aggs)), repr: t}
+		for i := range gs.states {
+			gs.states[i] = &aggState{}
+		}
+		a.groups[k] = gs
+		a.order = append(a.order, k)
+	}
+	gs.n++
+	if a.OnInputGroupCount != nil {
+		a.OnInputGroupCount(gs.n)
+	}
+	for i, spec := range a.aggs {
+		var v data.Value
+		if spec.Func != CountStar {
+			v = t[spec.Col]
+		}
+		gs.states[i].add(spec.Func, v)
+	}
+}
+
+// NextBatch implements BatchOperator: the blocking input read pulls whole
+// batches from the child and the group emission phase fills whole output
+// batches.
+func (a *HashAgg) NextBatch() (data.Batch, error) {
+	if !a.computed {
+		if err := a.consumeBatched(); err != nil {
+			return nil, err
+		}
+	}
+	if a.buf == nil {
+		a.buf = make(data.Batch, 0, data.DefaultBatchSize)
+	}
+	out := a.buf[:0]
+	for len(out) < cap(out) && a.pos < len(a.order) {
+		out = append(out, a.groupTuple(a.order[a.pos]))
+		a.pos++
+	}
+	a.buf = out
+	return a.emitBatch(out)
 }
 
 // GroupsSeen returns the number of distinct groups observed so far during

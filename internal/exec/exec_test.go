@@ -62,7 +62,7 @@ func TestScanSequential(t *testing.T) {
 	if got := firstInts(rows, 0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Errorf("rows = %v", got)
 	}
-	if sc.Stats().Emitted != 3 || !sc.Stats().Done {
+	if sc.Stats().Emitted.Load() != 3 || !sc.Stats().Done {
 		t.Errorf("stats = %+v", sc.Stats())
 	}
 	if sc.Stats().InputTotal != 3 {
@@ -142,8 +142,8 @@ func TestFilter(t *testing.T) {
 	if got := firstInts(rows, 0); len(got) != 2 || got[0] != 4 || got[1] != 5 {
 		t.Errorf("rows = %v", got)
 	}
-	if f.Stats().Emitted != 2 {
-		t.Errorf("Emitted = %d", f.Stats().Emitted)
+	if f.Stats().Emitted.Load() != 2 {
+		t.Errorf("Emitted = %d", f.Stats().Emitted.Load())
 	}
 }
 
@@ -595,11 +595,11 @@ func TestEmittedCountsEqualGetnextCalls(t *testing.T) {
 		}
 		n++
 	}
-	if int64(n) != f.Stats().Emitted {
-		t.Errorf("parent saw %d, Emitted = %d", n, f.Stats().Emitted)
+	if int64(n) != f.Stats().Emitted.Load() {
+		t.Errorf("parent saw %d, Emitted = %d", n, f.Stats().Emitted.Load())
 	}
-	if sc.Stats().Emitted != 3 {
-		t.Errorf("scan Emitted = %d", sc.Stats().Emitted)
+	if sc.Stats().Emitted.Load() != 3 {
+		t.Errorf("scan Emitted = %d", sc.Stats().Emitted.Load())
 	}
 }
 
@@ -719,7 +719,7 @@ func TestSortTuplesByKey(t *testing.T) {
 
 func TestStatsTotalFloors(t *testing.T) {
 	var s Stats
-	s.Emitted = 10
+	s.Emitted.Store(10)
 	s.SetEstimate(5, "optimizer") // estimate below observed: floor at emitted
 	if s.Total() != 10 {
 		t.Errorf("Total = %g", s.Total())

@@ -12,6 +12,9 @@ type Filter struct {
 	base
 	child Operator
 	pred  expr.Expr
+
+	bchild BatchOperator
+	buf    data.Batch
 }
 
 // NewFilter creates a selection over child.
@@ -49,6 +52,34 @@ func (f *Filter) Next() (data.Tuple, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: it evaluates the predicate over
+// whole input batches, skipping fully filtered batches without returning.
+func (f *Filter) NextBatch() (data.Batch, error) {
+	if f.bchild == nil {
+		f.bchild = AsBatch(f.child)
+		f.buf = make(data.Batch, 0, data.DefaultBatchSize)
+	}
+	for {
+		in, err := f.bchild.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if len(in) == 0 {
+			return f.emitBatch(nil)
+		}
+		out := f.buf[:0]
+		for _, t := range in {
+			if f.pred.Eval(t).IsTrue() {
+				out = append(out, t)
+			}
+		}
+		if len(out) > 0 {
+			f.buf = out
+			return f.emitBatch(out)
+		}
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error { return f.child.Close() }
 
@@ -57,6 +88,9 @@ type Project struct {
 	base
 	child Operator
 	exprs []expr.Expr
+
+	bchild BatchOperator
+	buf    data.Batch
 }
 
 // NewProject creates a projection. names supplies the output column names
@@ -115,14 +149,44 @@ func (p *Project) Next() (data.Tuple, error) {
 	return p.emit(out)
 }
 
+// NextBatch implements BatchOperator: output tuples for a whole batch are
+// carved out of one arena allocation instead of one make per row.
+func (p *Project) NextBatch() (data.Batch, error) {
+	if p.bchild == nil {
+		p.bchild = AsBatch(p.child)
+		p.buf = make(data.Batch, 0, data.DefaultBatchSize)
+	}
+	in, err := p.bchild.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if len(in) == 0 {
+		return p.emitBatch(nil)
+	}
+	width := len(p.exprs)
+	arena := make([]data.Value, len(in)*width)
+	out := p.buf[:0]
+	for _, t := range in {
+		row := arena[:width:width]
+		arena = arena[width:]
+		for i, e := range p.exprs {
+			row[i] = e.Eval(t)
+		}
+		out = append(out, data.Tuple(row))
+	}
+	p.buf = out
+	return p.emitBatch(out)
+}
+
 // Close implements Operator.
 func (p *Project) Close() error { return p.child.Close() }
 
 // Limit emits at most n tuples.
 type Limit struct {
 	base
-	child Operator
-	n     int64
+	child  Operator
+	n      int64
+	bchild BatchOperator
 }
 
 // NewLimit creates a LIMIT n operator.
@@ -143,7 +207,7 @@ func (l *Limit) Open() error { return l.child.Open() }
 
 // Next implements Operator.
 func (l *Limit) Next() (data.Tuple, error) {
-	if l.stats.Emitted >= l.n {
+	if l.stats.Emitted.Load() >= l.n {
 		return l.finish()
 	}
 	t, err := l.child.Next()
@@ -154,6 +218,26 @@ func (l *Limit) Next() (data.Tuple, error) {
 		return l.finish()
 	}
 	return l.emit(t)
+}
+
+// NextBatch implements BatchOperator, truncating the final batch at the
+// limit.
+func (l *Limit) NextBatch() (data.Batch, error) {
+	rem := l.n - l.stats.Emitted.Load()
+	if rem <= 0 {
+		return l.emitBatch(nil)
+	}
+	if l.bchild == nil {
+		l.bchild = AsBatch(l.child)
+	}
+	in, err := l.bchild.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(in)) > rem {
+		in = in[:rem]
+	}
+	return l.emitBatch(in)
 }
 
 // Close implements Operator.

@@ -3,7 +3,7 @@ package exec
 import (
 	"fmt"
 	"hash/maphash"
-	"math"
+	"runtime"
 
 	"qpi/internal/data"
 )
@@ -11,33 +11,16 @@ import (
 // hashSeed is the process-wide seed for partitioning hashes.
 var hashSeed = maphash.MakeSeed()
 
-// hashValue hashes a join key for partitioning.
+// hashValue hashes a join key for partitioning. maphash.Comparable hashes
+// the Value struct directly with the runtime's AES-backed hash — no
+// per-tuple maphash.Hash state, no re-seeding, no hand-rolled kind-tagged
+// byte serialization, and partition assignment agrees with map-key
+// equality by construction (the join tables key maps on the same struct).
+// BenchmarkHashValue compares it against the seed implementation;
+// BenchmarkJoinTable measures the companion win, keying integer join keys
+// by bare int64 instead of the 40-byte struct.
 func hashValue(v data.Value) uint64 {
-	var h maphash.Hash
-	h.SetSeed(hashSeed)
-	switch v.Kind {
-	case data.KindInt:
-		var b [9]byte
-		b[0] = 1
-		for i := 0; i < 8; i++ {
-			b[i+1] = byte(v.I >> (8 * i))
-		}
-		h.Write(b[:])
-	case data.KindFloat:
-		var b [9]byte
-		b[0] = 2
-		bits := math.Float64bits(v.F)
-		for i := 0; i < 8; i++ {
-			b[i+1] = byte(bits >> (8 * i))
-		}
-		h.Write(b[:])
-	case data.KindString:
-		h.WriteByte(3)
-		h.WriteString(v.S)
-	default:
-		h.WriteByte(0)
-	}
-	return h.Sum64()
+	return maphash.Comparable(hashSeed, v)
 }
 
 // HashJoin is a grace hash join: it fully partitions the build input, then
@@ -68,6 +51,23 @@ type HashJoin struct {
 	// letting progress monitors sample during long emission phases.
 	OnOutput func(data.Tuple)
 
+	// Batched-pass hooks (set alongside, not instead of, the per-tuple
+	// hooks above). During a batched partition pass OnBuildBatch /
+	// OnProbeBatch fire once per input batch on the scatter worker that
+	// owns the batch (worker index in [0, Workers())), while the per-tuple
+	// hooks keep firing on the reader goroutine — so estimators can shard
+	// per worker and monitors keep their single-threaded view. OnBuildEnd
+	// fires on the reader after the build pass barrier, before any probe
+	// input is pulled; shards merge there.
+	OnBuildBatch func(worker int, b data.Batch)
+	OnProbeBatch func(worker int, b data.Batch)
+	OnBuildEnd   func()
+
+	// workers > 0 selects the batch-at-a-time partition passes with that
+	// many scatter workers (see SetParallelism); 0 is the legacy
+	// tuple-at-a-time pass.
+	workers int
+
 	state      hjState
 	buildParts [][]data.Tuple
 	probeParts [][]data.Tuple
@@ -87,15 +87,59 @@ type HashJoin struct {
 	spilled    int        // partition buffers that went to disk
 
 	curPart      int
-	ht           map[data.Value][]data.Tuple
+	ht           joinTable
 	curProbe     int
 	matches      []data.Tuple
 	matchPos     int
 	probeTup     data.Tuple
 	joinedProbes int64 // probe tuples consumed in the join (second) pass
 
+	// Batch output state: outBuf is the reused output batch, arena the
+	// bump allocator backing concatenated output tuples in batch mode.
+	outBuf data.Batch
+	arena  []data.Value
+
 	joinType  JoinType
 	nullBuild data.Tuple // all-NULL build-side padding for ProbeOuterJoin
+}
+
+// joinTable is the per-partition build hash table. Integer join keys —
+// the dominant case — index a map keyed by the bare int64, which hashes
+// an 8-byte word instead of the full 40-byte Value struct; everything
+// else falls back to a Value-keyed map.
+type joinTable struct {
+	ints  map[int64][]data.Tuple
+	other map[data.Value][]data.Tuple
+}
+
+func (jt *joinTable) init(n int) {
+	jt.ints = make(map[int64][]data.Tuple, n)
+	jt.other = nil
+}
+
+func (jt *joinTable) add(k data.Value, t data.Tuple) {
+	if k.Kind == data.KindInt {
+		jt.ints[k.I] = append(jt.ints[k.I], t)
+		return
+	}
+	if jt.other == nil {
+		jt.other = make(map[data.Value][]data.Tuple)
+	}
+	jt.other[k] = append(jt.other[k], t)
+}
+
+func (jt *joinTable) lookup(k data.Value) []data.Tuple {
+	if k.Kind == data.KindInt {
+		return jt.ints[k.I]
+	}
+	if jt.other == nil {
+		return nil
+	}
+	return jt.other[k]
+}
+
+func (jt *joinTable) clear() {
+	jt.ints, jt.other = nil, nil
 }
 
 type hjState uint8
@@ -225,6 +269,36 @@ func (j *HashJoin) SetMemoryBudget(bytes int64) *HashJoin {
 // Spilled reports how many partition buffers went to disk (both sides).
 func (j *HashJoin) Spilled() int { return j.spilled }
 
+// SetParallelism selects the batch-at-a-time grace partition passes with
+// k scatter workers. k is capped at GOMAXPROCS when the passes run; k=1
+// runs the batched passes serially (still batch-at-a-time, no extra
+// goroutines); k=0 restores the default tuple-at-a-time passes. When a
+// memory budget is set, the passes run batched but serial regardless of k
+// so spill accounting stays single-threaded.
+func (j *HashJoin) SetParallelism(k int) *HashJoin {
+	if k < 0 {
+		k = 0
+	}
+	j.workers = k
+	return j
+}
+
+// Batched reports whether the partition passes run batch-at-a-time.
+func (j *HashJoin) Batched() bool { return j.workers > 0 }
+
+// Workers returns the number of scatter workers the batched partition
+// passes will use (≥ 1, GOMAXPROCS-capped; 1 when batching is off).
+func (j *HashJoin) Workers() int {
+	k := j.workers
+	if max := runtime.GOMAXPROCS(0); k > max {
+		k = max
+	}
+	if j.memBudget > 0 || k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // partitionAppend buffers a tuple for partition p on one side, spilling
 // the buffer when it exceeds its budget share.
 func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
@@ -305,18 +379,92 @@ func (j *HashJoin) Open() error {
 
 // Next implements Operator.
 func (j *HashJoin) Next() (data.Tuple, error) {
-	if j.state == hjInit {
-		if err := j.partitionPhases(); err != nil {
+	if err := j.ensurePartitioned(); err != nil {
+		return nil, err
+	}
+	t, err := j.advance(data.Tuple.Concat)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return j.finish()
+	}
+	return j.emitOut(t)
+}
+
+// NextBatch implements BatchOperator: the join (second) pass fills whole
+// output batches, bump-allocating the concatenated tuples out of a shared
+// arena instead of one make per output row. Hooks and counters behave as
+// in Next.
+func (j *HashJoin) NextBatch() (data.Batch, error) {
+	if err := j.ensurePartitioned(); err != nil {
+		return nil, err
+	}
+	if j.outBuf == nil {
+		j.outBuf = make(data.Batch, 0, data.DefaultBatchSize)
+	}
+	out := j.outBuf[:0]
+	for len(out) < cap(out) {
+		t, err := j.advance(j.arenaConcat)
+		if err != nil {
 			return nil, err
 		}
-		j.state = hjJoin
+		if t == nil {
+			break
+		}
+		if j.OnOutput != nil {
+			j.OnOutput(t)
+		}
+		out = append(out, t)
 	}
+	j.outBuf = out
+	return j.emitBatch(out)
+}
+
+// ensurePartitioned runs the partition phases once, choosing the batched
+// passes when parallelism is enabled.
+func (j *HashJoin) ensurePartitioned() error {
+	if j.state != hjInit {
+		return nil
+	}
+	var err error
+	if j.workers > 0 {
+		err = j.partitionPhasesBatched()
+	} else {
+		err = j.partitionPhases()
+	}
+	if err != nil {
+		return err
+	}
+	j.state = hjJoin
+	return nil
+}
+
+// arenaConcat concatenates two tuples into the join's output arena,
+// amortizing the allocation across a whole batch of output rows.
+func (j *HashJoin) arenaConcat(a, b data.Tuple) data.Tuple {
+	n := len(a) + len(b)
+	if len(j.arena) < n {
+		j.arena = make([]data.Value, n*data.DefaultBatchSize)
+	}
+	out := j.arena[:n:n]
+	j.arena = j.arena[n:]
+	copy(out, a)
+	copy(out[len(a):], b)
+	return data.Tuple(out)
+}
+
+// advance produces the next join output tuple of the second pass, or nil
+// when the join is exhausted. concat builds build⧺probe output rows, so
+// Next and NextBatch can allocate differently. The OnOutput hook and the
+// emission count are the caller's responsibility.
+func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple, error) {
 	for j.state == hjJoin {
 		// Emit pending matches for the current probe tuple.
 		if j.matchPos < len(j.matches) {
 			m := j.matches[j.matchPos]
 			j.matchPos++
-			return j.emitOut(m.Concat(j.probeTup))
+			return concat(m, j.probeTup), nil
 		}
 		// Advance to the next probe tuple in the current partition.
 		probeTup, err := j.nextProbeInPartition()
@@ -329,22 +477,22 @@ func (j *HashJoin) Next() (data.Tuple, error) {
 			key := JoinKeyOf(j.probeTup, j.probeKeys)
 			var matches []data.Tuple
 			if !key.IsNull() {
-				matches = j.ht[key]
+				matches = j.ht.lookup(key)
 			}
 			switch j.joinType {
 			case SemiJoin:
 				if len(matches) > 0 {
-					return j.emitOut(j.probeTup)
+					return j.probeTup, nil
 				}
 				continue
 			case AntiJoin:
 				if len(matches) == 0 {
-					return j.emitOut(j.probeTup)
+					return j.probeTup, nil
 				}
 				continue
 			case ProbeOuterJoin:
 				if len(matches) == 0 {
-					return j.emitOut(j.nullBuild.Concat(j.probeTup))
+					return concat(j.nullBuild, j.probeTup), nil
 				}
 			}
 			j.matches = matches
@@ -366,17 +514,23 @@ func (j *HashJoin) Next() (data.Tuple, error) {
 			return nil, err
 		}
 	}
-	return j.finish()
+	return nil, nil
 }
 
-// partitionPhases runs the build and probe partition passes.
-func (j *HashJoin) partitionPhases() error {
+// initPartitions allocates the per-partition buffers for both sides.
+func (j *HashJoin) initPartitions() {
 	j.buildParts = make([][]data.Tuple, j.parts)
 	j.probeParts = make([][]data.Tuple, j.parts)
 	j.buildSpill = make([]*spillFile, j.parts)
 	j.probeSpill = make([]*spillFile, j.parts)
 	j.buildBytes = make([]int64, j.parts)
 	j.probeBytes = make([]int64, j.parts)
+}
+
+// partitionPhases runs the tuple-at-a-time build and probe partition
+// passes (the default mode).
+func (j *HashJoin) partitionPhases() error {
+	j.initPartitions()
 	buildWidth := j.build.Schema().Len()
 	probeWidth := j.probe.Schema().Len()
 	for {
@@ -457,10 +611,9 @@ func (j *HashJoin) loadPartition(p int) error {
 		f.close()
 		j.buildSpill[p] = nil
 	}
-	j.ht = make(map[data.Value][]data.Tuple, len(buildTuples))
+	j.ht.init(len(buildTuples))
 	for _, t := range buildTuples {
-		k := JoinKeyOf(t, j.buildKeys)
-		j.ht[k] = append(j.ht[k], t)
+		j.ht.add(JoinKeyOf(t, j.buildKeys), t)
 	}
 	j.buildParts[p] = nil // partition consumed
 	j.probeFile = nil
@@ -492,7 +645,8 @@ func (j *HashJoin) nextProbeInPartition() (data.Tuple, error) {
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	j.buildParts, j.probeParts, j.ht, j.matches = nil, nil, nil, nil
+	j.buildParts, j.probeParts, j.matches = nil, nil, nil
+	j.ht.clear()
 	for _, f := range j.buildSpill {
 		if f != nil {
 			f.close()

@@ -11,6 +11,8 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"qpi/internal/data"
 )
 
@@ -37,15 +39,18 @@ type Operator interface {
 // Stats carries the live execution counters of one operator.
 //
 // Emitted is the K_i of the gnm model: the number of getnext() calls this
-// operator has satisfied. EstTotal is the current estimate of N_i, the
-// total number of getnext() calls over the operator's lifetime; it starts
-// as the optimizer estimate and is refined online by the estimators.
+// operator has satisfied. It is atomic so progress monitors and tickers
+// can read it from other goroutines while batch workers run (and so the
+// race detector stays quiet under the parallel partition pass). EstTotal
+// is the current estimate of N_i, the total number of getnext() calls
+// over the operator's lifetime; it starts as the optimizer estimate and
+// is refined online by the estimators.
 type Stats struct {
-	Emitted    int64   // K_i: tuples emitted so far
-	EstTotal   float64 // current estimate of N_i
-	EstSource  string  // provenance: "optimizer", "once", "dne", "byte", "exact"
-	Done       bool    // operator exhausted (Emitted is exact N_i)
-	InputTotal int64   // leaf scans: total rows in the underlying table
+	Emitted    atomic.Int64 // K_i: tuples emitted so far
+	EstTotal   float64      // current estimate of N_i
+	EstSource  string       // provenance: "optimizer", "once", "dne", "byte", "exact"
+	Done       bool         // operator exhausted (Emitted is exact N_i)
+	InputTotal int64        // leaf scans: total rows in the underlying table
 	// GroupsHint preserves an aggregation's distinct-count belief before
 	// it is capped at the (possibly misestimated) input cardinality, so
 	// progress refinement can re-cap when the input belief changes.
@@ -62,11 +67,12 @@ func (s *Stats) SetEstimate(total float64, source string) {
 // the refined estimate otherwise (never below what has already been
 // emitted).
 func (s *Stats) Total() float64 {
+	emitted := float64(s.Emitted.Load())
 	if s.Done {
-		return float64(s.Emitted)
+		return emitted
 	}
-	if s.EstTotal < float64(s.Emitted) {
-		return float64(s.Emitted)
+	if s.EstTotal < emitted {
+		return emitted
 	}
 	return s.EstTotal
 }
@@ -82,8 +88,19 @@ func (b *base) Schema() *data.Schema { return b.schema }
 
 // emit counts an emitted tuple and returns it, keeping Next bodies terse.
 func (b *base) emit(t data.Tuple) (data.Tuple, error) {
-	b.stats.Emitted++
+	b.stats.Emitted.Add(1)
 	return t, nil
+}
+
+// emitBatch counts an emitted batch and returns it; empty batches mark the
+// operator done, keeping NextBatch bodies terse.
+func (b *base) emitBatch(bt data.Batch) (data.Batch, error) {
+	if len(bt) == 0 {
+		b.stats.Done = true
+		return nil, nil
+	}
+	b.stats.Emitted.Add(int64(len(bt)))
+	return bt, nil
 }
 
 // finish marks the operator done.

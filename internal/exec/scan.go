@@ -31,6 +31,7 @@ type Scan struct {
 	it         *storage.Iterator
 	sampleLeft int
 	punctuated bool
+	batch      data.Batch
 }
 
 // NewScan creates a sequential scan over a table. alias renames the output
@@ -105,6 +106,45 @@ func (s *Scan) Next() (data.Tuple, error) {
 	return s.emit(t)
 }
 
+// NextBatch implements BatchOperator: it moves up to a batch of tuples
+// per call with identical hook semantics to Next — OnTuple fires per
+// tuple and the sample punctuation fires mid-batch at exactly the sample
+// boundary, so estimators observe the same stream in either mode.
+func (s *Scan) NextBatch() (data.Batch, error) {
+	if s.batch == nil {
+		s.batch = make(data.Batch, 0, data.DefaultBatchSize)
+	}
+	b := s.batch[:0]
+	for len(b) < cap(b) {
+		t := s.it.Next()
+		if t == nil {
+			if !s.punctuated {
+				s.punctuated = true
+				if s.OnSampleEnd != nil {
+					s.OnSampleEnd()
+				}
+			}
+			s.stats.Done = true
+			break
+		}
+		if s.OnTuple != nil {
+			s.OnTuple(t)
+		}
+		if !s.punctuated {
+			s.sampleLeft--
+			if s.sampleLeft == 0 {
+				s.punctuated = true
+				if s.OnSampleEnd != nil {
+					s.OnSampleEnd()
+				}
+			}
+		}
+		b = append(b, t)
+	}
+	s.batch = b
+	return s.emitBatch(b)
+}
+
 // Close implements Operator.
 func (s *Scan) Close() error {
 	s.it = nil
@@ -117,5 +157,5 @@ func (s *Scan) Fraction() float64 {
 	if s.stats.InputTotal == 0 {
 		return 1
 	}
-	return float64(s.stats.Emitted) / float64(s.stats.InputTotal)
+	return float64(s.stats.Emitted.Load()) / float64(s.stats.InputTotal)
 }

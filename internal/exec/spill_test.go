@@ -188,6 +188,73 @@ func TestBudgetedSortMergeJoinMatches(t *testing.T) {
 	}
 }
 
+// TestSpilledJoinBatchedMatchesTuple runs the same budgeted join in tuple
+// mode and batch mode (SetParallelism forces the batched passes; the
+// budget forces them serial so spill accounting stays single-threaded) and
+// demands identical results, stats and hook counts.
+func TestSpilledJoinBatchedMatchesTuple(t *testing.T) {
+	a := randTable("a", 3000, 100, 31)
+	b := randTable("b", 4000, 100, 32)
+	type result struct {
+		rows            []data.Tuple
+		emitted         int64
+		spilled         int
+		builds, probes  int
+		buildEnd, probe bool
+	}
+	run := func(workers int) result {
+		j := NewHashJoinOn(
+			NewScan(makeTable("a", a), ""),
+			NewScan(makeTable("b", b), ""),
+			"a", "k", "b", "k")
+		j.SetMemoryBudget(16 * 1024)
+		j.SetParallelism(workers)
+		var r result
+		j.OnBuildTuple = func(data.Tuple) { r.builds++ }
+		j.OnProbeTuple = func(data.Tuple) { r.probes++ }
+		j.OnBuildEnd = func() { r.buildEnd = true }
+		j.OnProbeEnd = func() { r.probe = true }
+		if err := j.Open(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if workers > 0 {
+			r.rows, err = DrainBatch(j)
+		} else {
+			r.rows, err = Drain(j)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r.emitted = j.Stats().Emitted.Load()
+		r.spilled = j.Spilled()
+		return r
+	}
+	tup := run(0)
+	// workers=4 still runs serial because of the budget (Workers() == 1),
+	// exercising the batched spill path.
+	bat := run(4)
+	if bat.spilled == 0 || tup.spilled == 0 {
+		t.Fatalf("expected spills in both modes (tuple %d, batch %d)", tup.spilled, bat.spilled)
+	}
+	requireSameRows(t, tup.rows, bat.rows, true, "spilled join")
+	if tup.emitted != bat.emitted {
+		t.Errorf("Emitted %d vs %d", tup.emitted, bat.emitted)
+	}
+	if bat.builds != len(a) || bat.probes != len(b) || !bat.probe {
+		t.Errorf("batched hooks: builds=%d probes=%d end=%v", bat.builds, bat.probes, bat.probe)
+	}
+	if !bat.buildEnd {
+		t.Error("OnBuildEnd did not fire in batched mode")
+	}
+	if tup.buildEnd {
+		t.Error("OnBuildEnd fired in tuple mode (batched-only barrier)")
+	}
+}
+
 func TestSpilledJoinHooksStillFire(t *testing.T) {
 	a := randTable("a", 800, 30, 9)
 	b := randTable("b", 900, 30, 10)

@@ -56,7 +56,7 @@ func chainTrajectories(cat *catalog.Catalog, top *exec.HashJoin, samples int) ([
 	truths := make([]int64, m)
 	cur := top
 	for k := 0; k < m; k++ {
-		truths[k] = cur.Stats().Emitted
+		truths[k] = cur.Stats().Emitted.Load()
 		if next, ok := cur.Probe().(*exec.HashJoin); ok {
 			cur = next
 		}

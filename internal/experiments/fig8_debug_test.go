@@ -34,7 +34,7 @@ func TestFigure8OptimizerMisestimatesPipeline(t *testing.T) {
 		if !ok {
 			return
 		}
-		truth := float64(j.Stats().Emitted)
+		truth := float64(j.Stats().Emitted.Load())
 		if j.Stats().EstSource != "once-exact" {
 			t.Errorf("%s: source %q", j.Name(), j.Stats().EstSource)
 		}

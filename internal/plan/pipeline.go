@@ -50,7 +50,7 @@ func (p *Pipeline) Contains(op exec.Operator) bool {
 func (p *Pipeline) Emitted() int64 {
 	var c int64
 	for _, o := range p.Ops {
-		c += o.Stats().Emitted
+		c += o.Stats().Emitted.Load()
 	}
 	return c
 }
@@ -78,7 +78,7 @@ func (p *Pipeline) Done() bool {
 // Started reports whether any operator in the pipeline has produced output.
 func (p *Pipeline) Started() bool {
 	for _, o := range p.Ops {
-		if o.Stats().Emitted > 0 || o.Stats().Done {
+		if o.Stats().Emitted.Load() > 0 || o.Stats().Done {
 			return true
 		}
 	}
@@ -173,7 +173,7 @@ func Explain(root exec.Operator) string {
 	rec = func(op exec.Operator, depth int) {
 		st := op.Stats()
 		fmt.Fprintf(&b, "%s%s  (est=%.0f src=%s emitted=%d)\n",
-			strings.Repeat("  ", depth), op.Name(), st.EstTotal, st.EstSource, st.Emitted)
+			strings.Repeat("  ", depth), op.Name(), st.EstTotal, st.EstSource, st.Emitted.Load())
 		for _, c := range op.Children() {
 			rec(c, depth+1)
 		}

@@ -102,7 +102,7 @@ func (m *Monitor) Mode() Mode { return m.mode }
 func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 	st := op.Stats()
 	if st.Done {
-		return float64(st.Emitted)
+		return float64(st.Emitted.Load())
 	}
 	if !pipelineStarted {
 		// Future pipeline: optimizer estimate refined by propagating the
@@ -112,16 +112,16 @@ func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 	}
 	switch m.mode {
 	case ModeDNE:
-		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted))
+		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
 	case ModeByte:
-		return floorAt(core.ByteEstimate(op, m.optimizer[op]), float64(st.Emitted))
+		return floorAt(core.ByteEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
 	default:
 		if strings.HasPrefix(st.EstSource, "once") || st.EstSource == "gee" ||
 			st.EstSource == "mle" || st.EstSource == "agg-pushdown" || st.EstSource == "exact" {
 			return st.Total()
 		}
 		// §4.3/§4.4: operators without a push-down estimator use dne.
-		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted))
+		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
 	}
 }
 
@@ -133,11 +133,11 @@ func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 func (m *Monitor) refineFuture(op exec.Operator) float64 {
 	st := op.Stats()
 	if st.Done {
-		return float64(st.Emitted)
+		return float64(st.Emitted.Load())
 	}
 	// An operator that has already produced output (its own pipeline is
 	// running or done) carries a live estimate.
-	if st.Emitted > 0 {
+	if st.Emitted.Load() > 0 {
 		return m.opTotal(op, true)
 	}
 	// Already refined by an online estimator (e.g. a converged chain
@@ -246,7 +246,7 @@ func (m *Monitor) Totals() (c float64, t float64) {
 	for _, p := range m.pipelines {
 		started := p.Started()
 		for _, op := range p.Ops {
-			c += float64(op.Stats().Emitted)
+			c += float64(op.Stats().Emitted.Load())
 			t += m.opTotal(op, started)
 		}
 	}
@@ -291,7 +291,7 @@ func (m *Monitor) Report() Report {
 		started := p.Started()
 		pr := PipelineReport{ID: p.ID, Started: started, Done: p.Done(), Root: p.Root.Name()}
 		for _, op := range p.Ops {
-			pr.C += float64(op.Stats().Emitted)
+			pr.C += float64(op.Stats().Emitted.Load())
 			pr.T += m.opTotal(op, started)
 		}
 		r.C += pr.C

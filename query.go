@@ -66,6 +66,7 @@ type compileCfg struct {
 	sampleSeed     int64
 	noEstimators   bool
 	memBudget      int64
+	batchWorkers   int
 }
 
 // WithMode selects the estimator mode (default Once).
@@ -98,6 +99,22 @@ func WithMemoryBudget(bytes int64) CompileOption {
 	return func(c *compileCfg) { c.memBudget = bytes }
 }
 
+// WithBatchExecution switches the plan to batch-at-a-time execution:
+// operators move ~1024-tuple batches per call, hash joins run their grace
+// partition passes over whole batches with `workers` parallel scatter
+// workers (capped at GOMAXPROCS; 1 = batched but serial), and the online
+// estimators observe through per-worker histogram shards merged at the
+// pass barriers. Results and converged estimates are identical to the
+// default tuple-at-a-time mode; under a memory budget the passes stay
+// serial so spill accounting is single-threaded. workers < 1 is treated
+// as 1.
+func WithBatchExecution(workers int) CompileOption {
+	if workers < 1 {
+		workers = 1
+	}
+	return func(c *compileCfg) { c.batchWorkers = workers }
+}
+
 // Query is an executable plan with progress monitoring. Plans are
 // single-use: execute with Run, Rows, or Start exactly once.
 type Query struct {
@@ -108,8 +125,12 @@ type Query struct {
 	started bool
 }
 
-// execRun drives a query's plan to completion (shared by Run and Start).
+// execRun drives a query's plan to completion (shared by Run and Start),
+// through the batch path when batch execution was compiled in.
 func execRun(q *Query) (int64, error) {
+	if q.cfg.batchWorkers > 0 {
+		return exec.RunBatch(exec.AsBatch(q.root))
+	}
 	return exec.Run(q.root)
 }
 
@@ -141,6 +162,15 @@ func (e *Engine) Compile(n *Node, opts ...CompileOption) (*Query, error) {
 				o.SetMemoryBudget(cfg.memBudget)
 			case *exec.Sort:
 				o.SetMemoryBudget(cfg.memBudget)
+			}
+		})
+	}
+	if cfg.batchWorkers > 0 {
+		// Before Attach, so the estimators see the batched joins and
+		// install sharded batch hooks instead of per-tuple hooks.
+		exec.Walk(n.op, func(op exec.Operator) {
+			if j, ok := op.(*exec.HashJoin); ok {
+				j.SetParallelism(cfg.batchWorkers)
 			}
 		})
 	}
@@ -228,7 +258,7 @@ func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
 			onProgress(q.Report())
 		})
 	}
-	n, err := exec.Run(q.root)
+	n, err := execRun(q)
 	if err != nil {
 		return n, err
 	}
@@ -312,7 +342,7 @@ func (q *Query) Estimates() []OperatorEstimate {
 		out = append(out, OperatorEstimate{
 			Operator: op.Name(),
 			Depth:    depth,
-			Emitted:  st.Emitted,
+			Emitted:  st.Emitted.Load(),
 			Estimate: st.Total(),
 			Source:   st.EstSource,
 			Done:     st.Done,
