@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet race check bench-join
+.PHONY: build test vet race check leakcheck bench-join
 
 build:
 	$(GO) build ./...
 
+# A hung cancellation path would otherwise stall CI forever; every test
+# invocation gets a hard timeout.
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 120s ./...
 
 vet:
 	$(GO) vet ./...
@@ -14,7 +16,15 @@ vet:
 # The parallel grace partition passes run under the race detector here;
 # this is the gate CI runs (vet + plain tests + race tests).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 120s ./...
+
+# Repeatedly run the cancellation / fault-injection / lifecycle suite
+# under the race detector: leaked goroutines, unreleased spill
+# descriptors and claim races show up here before they flake elsewhere.
+leakcheck:
+	$(GO) test -race -count=3 -timeout 120s \
+		-run 'Cancel|SpillFault|FaultFS|CloseErrors|StartRace|Leak' \
+		./internal/exec/ ./internal/vfs/ .
 
 check: vet test race
 

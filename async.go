@@ -1,7 +1,7 @@
 package qpi
 
 import (
-	"fmt"
+	"context"
 	"sync"
 	"time"
 
@@ -17,6 +17,7 @@ type Running struct {
 	report progress.Report
 	start  time.Time
 	done   chan struct{}
+	cancel context.CancelFunc
 	rows   int64
 	err    error
 }
@@ -24,16 +25,29 @@ type Running struct {
 // Start launches the query on a new goroutine, publishing a progress
 // snapshot approximately every `every` units of work (tuples moved
 // anywhere in the plan; every < 1 defaults to 4096). A Query can be
-// started (or run) only once.
+// started (or run) only once, even under concurrent Start calls.
 func (q *Query) Start(every int64) (*Running, error) {
-	if q.started {
-		return nil, fmt.Errorf("qpi: query already started")
+	return q.StartContext(context.Background(), every)
+}
+
+// StartContext is Start bound to ctx: cancelling ctx (or calling
+// Running.Cancel, which cancels a derived context) stops the query within
+// one batch of work. The execution goroutine then unwinds every operator
+// via Close — releasing spill files and buffered state — publishes a
+// final snapshot whose State is "cancelled", and Wait returns
+// context.Canceled (or context.DeadlineExceeded on an expired deadline).
+func (q *Query) StartContext(ctx context.Context, every int64) (*Running, error) {
+	if err := q.claim(); err != nil {
+		return nil, err
 	}
-	q.started = true
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if every < 1 {
 		every = 4096
 	}
-	r := &Running{done: make(chan struct{}), start: time.Now()}
+	ctx, cancel := context.WithCancel(ctx)
+	r := &Running{done: make(chan struct{}), start: time.Now(), cancel: cancel}
 	// The snapshot is taken on the execution goroutine (the monitor reads
 	// operator counters that only that goroutine writes) and published
 	// under the mutex.
@@ -46,14 +60,20 @@ func (q *Query) Start(every int64) (*Running, error) {
 	progress.InstallTicker(q.root, every, publish)
 	go func() {
 		defer close(r.done)
-		rows, err := execRun(q)
-		publish()
+		defer cancel() // release the derived context's resources
+		rows, err := execRun(ctx, q)
+		publish() // terminal snapshot: State is done/cancelled/failed
 		r.mu.Lock()
 		r.rows, r.err = rows, err
 		r.mu.Unlock()
 	}()
 	return r, nil
 }
+
+// Cancel stops the running query: execution returns context.Canceled
+// within one batch of work and all operators unwind via Close. Idempotent
+// and safe after completion.
+func (r *Running) Cancel() { r.cancel() }
 
 // Progress returns the latest published progress estimate in [0,1].
 func (r *Running) Progress() float64 {
@@ -62,7 +82,8 @@ func (r *Running) Progress() float64 {
 	return r.report.Progress
 }
 
-// Report returns the latest published snapshot.
+// Report returns the latest published snapshot. Once the query finishes,
+// the snapshot's State is terminal: "done", "cancelled" or "failed".
 func (r *Running) Report() Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -95,7 +116,9 @@ func (r *Running) ETA() (time.Duration, bool) {
 // Done returns a channel closed when execution finishes.
 func (r *Running) Done() <-chan struct{} { return r.done }
 
-// Wait blocks until the query completes and returns its row count.
+// Wait blocks until the query completes and returns its row count. A
+// cancelled query returns context.Canceled; an expired deadline returns
+// context.DeadlineExceeded.
 func (r *Running) Wait() (int64, error) {
 	<-r.done
 	r.mu.Lock()

@@ -31,6 +31,9 @@ type QueryStatus struct {
 	Progress float64
 	C, T     float64
 	Done     bool
+	// State is "running", "done", "cancelled" or "failed"; cancelled and
+	// failed queries are distinguishable from merely stalled ones.
+	State string
 }
 
 // Snapshot reports every registered query's progress, in registration
@@ -39,7 +42,10 @@ func (d *Dashboard) Snapshot() []QueryStatus {
 	snap := d.reg.Snapshot()
 	out := make([]QueryStatus, len(snap))
 	for i, s := range snap {
-		out[i] = QueryStatus{Label: s.Label, Progress: s.Progress, C: s.C, T: s.T, Done: s.Done}
+		out[i] = QueryStatus{
+			Label: s.Label, Progress: s.Progress, C: s.C, T: s.T,
+			Done: s.Done, State: s.State.String(),
+		}
 	}
 	return out
 }

@@ -207,6 +207,9 @@ func (a *HashAgg) Next() (data.Tuple, error) {
 func (a *HashAgg) consume() error {
 	a.groups = map[data.Value]*groupState{}
 	for {
+		if err := a.pollCtx(); err != nil {
+			return err
+		}
 		t, err := a.child.Next()
 		if err != nil {
 			return err
@@ -230,6 +233,9 @@ func (a *HashAgg) consumeBatched() error {
 	a.groups = map[data.Value]*groupState{}
 	in := AsBatch(a.child)
 	for {
+		if err := a.ctxErr(); err != nil {
+			return err
+		}
 		b, err := in.NextBatch()
 		if err != nil {
 			return err

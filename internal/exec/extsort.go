@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"qpi/internal/data"
+	"qpi/internal/vfs"
 )
 
 // External sorting support for the Sort operator: when a memory budget is
@@ -23,6 +24,13 @@ func (s *Sort) SetMemoryBudget(bytes int64) *Sort {
 
 // Runs reports how many sorted runs spilled to disk.
 func (s *Sort) Runs() int { return len(s.runs) }
+
+// SetSpillFS routes the sort's run I/O through fs (nil restores the real
+// filesystem); tests inject a vfs.FaultFS here.
+func (s *Sort) SetSpillFS(fs vfs.FS) *Sort {
+	s.spillFS = fs
+	return s
+}
 
 // less orders two tuples by the sort keys and directions.
 func (s *Sort) less(a, b data.Tuple) bool {
@@ -43,7 +51,7 @@ func (s *Sort) spillRun() error {
 		return nil
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
-	f, err := newSpillFile(s.schema.Len())
+	f, err := newSpillFile(s.spillFS, s.schema.Len())
 	if err != nil {
 		return err
 	}
@@ -91,7 +99,9 @@ func (s *Sort) startMerge() error {
 			return err
 		}
 		if t == nil {
-			f.close()
+			if err := f.close(); err != nil {
+				return err
+			}
 			continue
 		}
 		m.sources = append(m.sources, f)
@@ -116,8 +126,11 @@ func (s *Sort) mergeNext() (data.Tuple, error) {
 		return nil, err
 	}
 	if t == nil {
-		m.sources[src].close()
+		err := m.sources[src].close()
 		heap.Pop(m)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		m.heads[src] = t
 		heap.Fix(m, 0)

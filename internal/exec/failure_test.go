@@ -98,3 +98,60 @@ type alwaysTrueExpr struct{}
 
 func (alwaysTrueExpr) Eval(data.Tuple) data.Value { return data.Bool(true) }
 func (alwaysTrueExpr) String() string             { return "true" }
+
+// closeFaultOp scans a small table but fails Close with its own error.
+type closeFaultOp struct {
+	*Scan
+	err error
+}
+
+func (c *closeFaultOp) Close() error {
+	c.Scan.Close()
+	return c.err
+}
+
+func newCloseFaultOp(name string, err error) *closeFaultOp {
+	return &closeFaultOp{
+		Scan: NewScan(makeTable(name, []int64{1, 2, 3}), ""),
+		err:  err,
+	}
+}
+
+// TestCloseErrorsJoined: when both children of a binary operator fail
+// Close, neither error may be dropped — both must surface from the
+// parent's Close (via errors.Join).
+func TestCloseErrorsJoined(t *testing.T) {
+	errL := errors.New("left close failure")
+	errR := errors.New("right close failure")
+	cases := map[string]func() Operator{
+		"hashjoin": func() Operator {
+			return NewHashJoin(newCloseFaultOp("a", errL), newCloseFaultOp("b", errR), 0, 0)
+		},
+		"mergejoin": func() Operator {
+			return NewMergeJoin(newCloseFaultOp("a", errL), newCloseFaultOp("b", errR), 0, 0)
+		},
+		"nljoin": func() Operator {
+			return NewIndexedNLJoin(newCloseFaultOp("a", errL), newCloseFaultOp("b", errR), 0, 0)
+		},
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) {
+			op := mk()
+			if _, err := Run(op); err == nil {
+				t.Fatal("Run reported no error despite both children failing Close")
+			} else if !errors.Is(err, errL) || !errors.Is(err, errR) {
+				t.Fatalf("Close dropped a child error: %v", err)
+			}
+		})
+	}
+}
+
+// TestSortCloseChildError: Sort.Close must close its child and report the
+// child's error even when run files are also being released.
+func TestSortCloseChildError(t *testing.T) {
+	errC := errors.New("child close failure")
+	s := NewSort(newCloseFaultOp("t", errC), 0)
+	if _, err := Run(s); !errors.Is(err, errC) {
+		t.Fatalf("Sort.Close dropped the child error: %v", err)
+	}
+}

@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"hash/maphash"
 	"runtime"
 
 	"qpi/internal/data"
+	"qpi/internal/vfs"
 )
 
 // hashSeed is the process-wide seed for partitioning hashes.
@@ -79,6 +81,7 @@ type HashJoin struct {
 	// files — the grace hash join's actual on-disk behaviour. The hash
 	// table for the partition being joined is still built in memory.
 	memBudget  int64
+	spillFS    vfs.FS // injectable spill I/O (nil = real filesystem)
 	buildSpill []*spillFile
 	probeSpill []*spillFile
 	buildBytes []int64
@@ -269,6 +272,13 @@ func (j *HashJoin) SetMemoryBudget(bytes int64) *HashJoin {
 // Spilled reports how many partition buffers went to disk (both sides).
 func (j *HashJoin) Spilled() int { return j.spilled }
 
+// SetSpillFS routes the join's spill I/O through fs (nil restores the
+// real filesystem); tests inject a vfs.FaultFS here.
+func (j *HashJoin) SetSpillFS(fs vfs.FS) *HashJoin {
+	j.spillFS = fs
+	return j
+}
+
 // SetParallelism selects the batch-at-a-time grace partition passes with
 // k scatter workers. k is capped at GOMAXPROCS when the passes run; k=1
 // runs the batched passes serially (still batch-at-a-time, no extra
@@ -315,7 +325,7 @@ func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
 		return nil
 	}
 	// Overflow: dump this partition's buffer and switch it to disk.
-	f, err := newSpillFile(width)
+	f, err := newSpillFile(j.spillFS, width)
 	if err != nil {
 		return err
 	}
@@ -460,6 +470,9 @@ func (j *HashJoin) arenaConcat(a, b data.Tuple) data.Tuple {
 // emission count are the caller's responsibility.
 func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple, error) {
 	for j.state == hjJoin {
+		if err := j.pollCtx(); err != nil {
+			return nil, err
+		}
 		// Emit pending matches for the current probe tuple.
 		if j.matchPos < len(j.matches) {
 			m := j.matches[j.matchPos]
@@ -501,9 +514,12 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 		}
 		// Advance to the next partition.
 		if j.probeFile != nil {
-			j.probeFile.close()
+			err := j.probeFile.close()
 			j.probeSpill[j.curPart] = nil
 			j.probeFile = nil
+			if err != nil {
+				return nil, err
+			}
 		}
 		j.curPart++
 		if j.curPart >= j.parts {
@@ -534,6 +550,9 @@ func (j *HashJoin) partitionPhases() error {
 	buildWidth := j.build.Schema().Len()
 	probeWidth := j.probe.Schema().Len()
 	for {
+		if err := j.pollCtx(); err != nil {
+			return err
+		}
 		t, err := j.build.Next()
 		if err != nil {
 			return err
@@ -555,6 +574,9 @@ func (j *HashJoin) partitionPhases() error {
 		}
 	}
 	for {
+		if err := j.pollCtx(); err != nil {
+			return err
+		}
 		t, err := j.probe.Next()
 		if err != nil {
 			return err
@@ -601,6 +623,9 @@ func (j *HashJoin) emitOut(out data.Tuple) (data.Tuple, error) {
 // reading spilled build tuples back from disk, and positions the probe
 // cursor (in-memory slice or spilled stream).
 func (j *HashJoin) loadPartition(p int) error {
+	if err := j.ctxErr(); err != nil {
+		return err
+	}
 	buildTuples := j.buildParts[p]
 	if f := j.buildSpill[p]; f != nil {
 		var err error
@@ -608,8 +633,10 @@ func (j *HashJoin) loadPartition(p int) error {
 		if err != nil {
 			return err
 		}
-		f.close()
 		j.buildSpill[p] = nil
+		if err := f.close(); err != nil {
+			return err
+		}
 	}
 	j.ht.init(len(buildTuples))
 	for _, t := range buildTuples {
@@ -643,26 +670,25 @@ func (j *HashJoin) nextProbeInPartition() (data.Tuple, error) {
 	return nil, nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Both children are always closed and every
+// spill file released; all errors are reported via errors.Join.
 func (j *HashJoin) Close() error {
 	j.buildParts, j.probeParts, j.matches = nil, nil, nil
 	j.ht.clear()
+	var errs []error
 	for _, f := range j.buildSpill {
 		if f != nil {
-			f.close()
+			errs = append(errs, f.close())
 		}
 	}
 	for _, f := range j.probeSpill {
 		if f != nil {
-			f.close()
+			errs = append(errs, f.close())
 		}
 	}
 	j.buildSpill, j.probeSpill, j.probeFile = nil, nil, nil
-	if err := j.build.Close(); err != nil {
-		j.probe.Close()
-		return err
-	}
-	return j.probe.Close()
+	errs = append(errs, j.build.Close(), j.probe.Close())
+	return errors.Join(errs...)
 }
 
 // BuildRows returns the number of build tuples read (available after the

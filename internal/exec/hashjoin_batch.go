@@ -82,6 +82,9 @@ func (j *HashJoin) partitionPassBatched(cfg *passConfig) error {
 	}
 	in := AsBatch(cfg.child)
 	for {
+		if err := j.ctxErr(); err != nil {
+			return err
+		}
 		b, err := in.NextBatch()
 		if err != nil {
 			return err
@@ -160,6 +163,14 @@ func (j *HashJoin) partitionPassParallel(cfg *passConfig) error {
 	in := AsBatch(cfg.child)
 	var readErr error
 	for {
+		// The reader is the single cancellation point of the parallel
+		// pass: on ctx expiry it stops pulling and closes the work
+		// channel, so the scatter workers finish their in-flight batch
+		// and exit — no leaked goroutines, at most one extra batch of
+		// work per worker.
+		if readErr = j.ctxErr(); readErr != nil {
+			break
+		}
 		b, err := in.NextBatch()
 		if err != nil {
 			readErr = err

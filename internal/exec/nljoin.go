@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"qpi/internal/data"
@@ -107,6 +108,9 @@ func (j *NestedLoopsJoin) Next() (data.Tuple, error) {
 		}
 	}
 	for {
+		if err := j.pollCtx(); err != nil {
+			return nil, err
+		}
 		if j.matchPos < len(j.matches) {
 			m := j.matches[j.matchPos]
 			j.matchPos++
@@ -148,6 +152,9 @@ func (j *NestedLoopsJoin) loadInner() error {
 		j.index = map[data.Value][]data.Tuple{}
 	}
 	for {
+		if err := j.pollCtx(); err != nil {
+			return err
+		}
 		t, err := j.inner.Next()
 		if err != nil {
 			return err
@@ -172,12 +179,9 @@ func (j *NestedLoopsJoin) loadInner() error {
 	return nil
 }
 
-// Close implements Operator.
+// Close implements Operator. Both children are always closed; errors
+// from either side are reported via errors.Join.
 func (j *NestedLoopsJoin) Close() error {
 	j.innerRows, j.index, j.matches = nil, nil, nil
-	if err := j.outer.Close(); err != nil {
-		j.inner.Close()
-		return err
-	}
-	return j.inner.Close()
+	return errors.Join(j.outer.Close(), j.inner.Close())
 }

@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"sync/atomic"
 
 	"qpi/internal/data"
@@ -81,10 +82,66 @@ func (s *Stats) Total() float64 {
 type base struct {
 	stats  Stats
 	schema *data.Schema
+
+	// ctx is the plan's cancellation token, installed by Bind before
+	// execution (nil = never cancelled). Operators poll it in their
+	// Next/NextBatch loops so a cancelled or expired context unwinds the
+	// whole plan within a bounded amount of work.
+	ctx     context.Context
+	ctxTick uint32
 }
 
 func (b *base) Stats() *Stats        { return &b.stats }
 func (b *base) Schema() *data.Schema { return b.schema }
+
+// BindContext installs the plan's cancellation context (see Bind).
+func (b *base) BindContext(ctx context.Context) { b.ctx = ctx }
+
+// pollCtx is the amortized per-tuple cancellation check: one increment
+// and branch per call, a real ctx.Err() every 128th call, so the hot
+// loops stay cheap while cancellation is still observed well within one
+// batch of work.
+func (b *base) pollCtx() error {
+	if b.ctx == nil {
+		return nil
+	}
+	if b.ctxTick++; b.ctxTick&127 != 0 {
+		return nil
+	}
+	return b.ctx.Err()
+}
+
+// ctxErr checks cancellation directly; used at batch and phase
+// boundaries where the check is already amortized over many tuples.
+func (b *base) ctxErr() error {
+	if b.ctx == nil {
+		return nil
+	}
+	return b.ctx.Err()
+}
+
+// ContextBinder is implemented by every operator embedding base; Bind
+// uses it to thread a cancellation context through a plan.
+type ContextBinder interface {
+	BindContext(ctx context.Context)
+}
+
+// Bind installs ctx as the cancellation token of every operator in the
+// plan. Once bound, a cancelled (or deadline-expired) context makes
+// Next/NextBatch return ctx.Err() within a bounded amount of work; the
+// caller then unwinds via Close as with any other execution error, which
+// releases spill files and buffered state. Bind must be called before
+// Open; a nil ctx is a no-op.
+func Bind(root Operator, ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	Walk(root, func(op Operator) {
+		if b, ok := op.(ContextBinder); ok {
+			b.BindContext(ctx)
+		}
+	})
+}
 
 // emit counts an emitted tuple and returns it, keeping Next bodies terse.
 func (b *base) emit(t data.Tuple) (data.Tuple, error) {

@@ -81,6 +81,9 @@ func (s *Scan) Open() error {
 
 // Next implements Operator.
 func (s *Scan) Next() (data.Tuple, error) {
+	if err := s.pollCtx(); err != nil {
+		return nil, err
+	}
 	t := s.it.Next()
 	if t == nil {
 		if !s.punctuated {
@@ -111,6 +114,9 @@ func (s *Scan) Next() (data.Tuple, error) {
 // tuple and the sample punctuation fires mid-batch at exactly the sample
 // boundary, so estimators observe the same stream in either mode.
 func (s *Scan) NextBatch() (data.Batch, error) {
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	if s.batch == nil {
 		s.batch = make(data.Batch, 0, data.DefaultBatchSize)
 	}

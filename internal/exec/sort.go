@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"qpi/internal/data"
+	"qpi/internal/vfs"
 )
 
 // Sort is a blocking operator that materializes and sorts its input by one
@@ -30,6 +32,7 @@ type Sort struct {
 	// External sorting (see extsort.go).
 	memBudget int64
 	bufBytes  int64
+	spillFS   vfs.FS // injectable spill I/O (nil = real filesystem)
 	runs      []*spillFile
 	merge     *mergeState
 }
@@ -63,8 +66,14 @@ func (s *Sort) Open() error { return s.child.Open() }
 
 // Next implements Operator.
 func (s *Sort) Next() (data.Tuple, error) {
+	if err := s.pollCtx(); err != nil {
+		return nil, err
+	}
 	if !s.sorted {
 		for {
+			if err := s.pollCtx(); err != nil {
+				return nil, err
+			}
 			t, err := s.child.Next()
 			if err != nil {
 				return nil, err
@@ -119,14 +128,17 @@ func (s *Sort) Next() (data.Tuple, error) {
 	return s.emit(t)
 }
 
-// Close implements Operator.
+// Close implements Operator. The child is always closed and every run
+// file released; all errors are reported via errors.Join.
 func (s *Sort) Close() error {
 	s.rows = nil
+	var errs []error
 	for _, f := range s.runs {
-		f.close()
+		errs = append(errs, f.close())
 	}
 	s.runs, s.merge = nil, nil
-	return s.child.Close()
+	errs = append(errs, s.child.Close())
+	return errors.Join(errs...)
 }
 
 // MergeJoin merges two inputs that are sorted on the join keys, emitting
@@ -252,6 +264,9 @@ func (j *MergeJoin) Next() (data.Tuple, error) {
 		j.started = true
 	}
 	for {
+		if err := j.pollCtx(); err != nil {
+			return nil, err
+		}
 		// Emit pending pairs for the current left tuple and group.
 		if j.groupPos < len(j.group) {
 			out := j.leftTup.Concat(j.group[j.groupPos])
@@ -316,12 +331,9 @@ func (j *MergeJoin) Next() (data.Tuple, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. Both children are always closed; errors
+// from either side are reported via errors.Join.
 func (j *MergeJoin) Close() error {
 	j.group = nil
-	if err := j.left.Close(); err != nil {
-		j.right.Close()
-		return err
-	}
-	return j.right.Close()
+	return errors.Join(j.left.Close(), j.right.Close())
 }

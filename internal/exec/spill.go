@@ -3,32 +3,37 @@ package exec
 import (
 	"bufio"
 	"io"
-	"os"
 
 	"qpi/internal/data"
+	"qpi/internal/vfs"
 )
 
 // spillFile is a temporary on-disk run of tuples used by the
 // memory-budgeted operators (grace hash join partitions, external sort
 // runs). Write everything first, then iterate; the file is deleted on
-// close.
+// close. All I/O goes through an injectable vfs.FS so tests can force
+// failures at every phase and count descriptors.
 type spillFile struct {
-	f     *os.File
+	f     vfs.File
 	w     *bufio.Writer
 	r     *bufio.Reader
 	ncols int
 	rows  int64
 }
 
-// newSpillFile creates a spill file in the default temp directory.
-func newSpillFile(ncols int) (*spillFile, error) {
-	f, err := os.CreateTemp("", "qpi-spill-*")
+// newSpillFile creates a spill file in the default temp directory via fs
+// (nil = the real filesystem).
+func newSpillFile(fs vfs.FS, ncols int) (*spillFile, error) {
+	if fs == nil {
+		fs = vfs.OS{}
+	}
+	f, err := fs.CreateTemp("qpi-spill-*")
 	if err != nil {
 		return nil, err
 	}
 	// Unlink immediately: the file lives until the descriptor closes,
 	// and crashes can't leak it.
-	os.Remove(f.Name())
+	fs.Remove(f.Name())
 	return &spillFile{f: f, w: bufio.NewWriterSize(f, 1<<16), ncols: ncols}, nil
 }
 
@@ -80,7 +85,7 @@ func (s *spillFile) readAll() ([]data.Tuple, error) {
 	}
 }
 
-// close deletes the spill file.
+// close deletes the spill file. Idempotent.
 func (s *spillFile) close() error {
 	if s.f == nil {
 		return nil

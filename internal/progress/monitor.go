@@ -13,8 +13,11 @@
 package progress
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"qpi/internal/core"
 	"qpi/internal/data"
@@ -49,11 +52,39 @@ func (m Mode) String() string {
 	}
 }
 
+// State is the lifecycle state of a monitored query. It starts as
+// StateRunning and becomes terminal when the executor calls Finish, so a
+// consumer polling a cancelled or failed query sees an explicit terminal
+// state rather than a frozen progress value.
+type State int32
+
+// Query lifecycle states.
+const (
+	StateRunning State = iota
+	StateDone
+	StateCancelled
+	StateFailed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
 // Monitor tracks the progress of one executing plan.
 type Monitor struct {
 	root      exec.Operator
 	pipelines []*plan.Pipeline
 	mode      Mode
+	state     atomic.Int32 // State; written by Finish, read by snapshots
 
 	// optimizer estimates captured at construction, per operator, so that
 	// the dne/byte baselines always blend against the original optimizer
@@ -97,6 +128,24 @@ func (m *Monitor) OptimizerEstimate(op exec.Operator) float64 { return m.optimiz
 
 // Mode returns the estimation mode.
 func (m *Monitor) Mode() Mode { return m.mode }
+
+// Finish records the query's terminal state from its execution error:
+// nil is done, context cancellation or deadline expiry is cancelled,
+// anything else is failed. Safe to call from the execution goroutine
+// while other goroutines snapshot the monitor.
+func (m *Monitor) Finish(err error) {
+	switch {
+	case err == nil:
+		m.state.Store(int32(StateDone))
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		m.state.Store(int32(StateCancelled))
+	default:
+		m.state.Store(int32(StateFailed))
+	}
+}
+
+// State returns the query's lifecycle state.
+func (m *Monitor) State() State { return State(m.state.Load()) }
 
 // opTotal returns the monitor's belief about one operator's N_i.
 func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
@@ -281,12 +330,13 @@ type Report struct {
 	Progress  float64
 	C, T      float64
 	Mode      Mode
+	State     State
 	Pipelines []PipelineReport
 }
 
 // Report captures a full snapshot.
 func (m *Monitor) Report() Report {
-	r := Report{Mode: m.mode}
+	r := Report{Mode: m.mode, State: m.State()}
 	for _, p := range m.pipelines {
 		started := p.Started()
 		pr := PipelineReport{ID: p.ID, Started: started, Done: p.Done(), Root: p.Root.Name()}
@@ -311,8 +361,8 @@ func (m *Monitor) Report() Report {
 // per pipeline.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "progress %5.1f%%  (C=%.0f T=%.0f, mode=%s)\n",
-		100*r.Progress, r.C, r.T, r.Mode)
+	fmt.Fprintf(&b, "progress %5.1f%%  (C=%.0f T=%.0f, mode=%s, %s)\n",
+		100*r.Progress, r.C, r.T, r.Mode, r.State)
 	for _, p := range r.Pipelines {
 		state := "pending"
 		if p.Done {

@@ -57,6 +57,9 @@ type QueryProgress struct {
 	Progress float64
 	C, T     float64
 	Done     bool
+	// State is the query's lifecycle state; cancelled and failed queries
+	// stay distinguishable from merely stalled ones.
+	State State
 }
 
 // Snapshot reports every registered query's progress, in registration
@@ -86,6 +89,7 @@ func (r *Registry) Snapshot() []QueryProgress {
 			C:        rep.C,
 			T:        rep.T,
 			Done:     done,
+			State:    rep.State,
 		}
 	}
 	return out
@@ -119,7 +123,10 @@ func (r *Registry) String() string {
 	fmt.Fprintf(&b, "%-24s %8s %12s %12s\n", "query", "progress", "C", "T")
 	for _, q := range snap {
 		state := ""
-		if q.Done {
+		switch {
+		case q.State == StateCancelled, q.State == StateFailed:
+			state = " (" + q.State.String() + ")"
+		case q.Done:
 			state = " (done)"
 		}
 		fmt.Fprintf(&b, "%-24s %7.1f%% %12.0f %12.0f%s\n",

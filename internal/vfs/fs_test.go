@@ -1,0 +1,114 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+func TestOSCreateTempRoundTrip(t *testing.T) {
+	f, err := OS{}.CreateTemp("qpi-vfs-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := f.Name()
+	defer OS{}.Remove(name)
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(f, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("read back %q, %v", buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (OS{}).Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("file still exists after Remove: %v", err)
+	}
+}
+
+func TestFaultFSFailsNthOp(t *testing.T) {
+	fs := NewFaultFS(nil).FailAt(OpWrite, 2)
+	f, err := fs.CreateTemp("qpi-vfs-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Remove(f.Name())
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: want ErrInjected, got %v", err)
+	}
+	// The trigger is one-shot: only the exact n-th op fails.
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+	if fs.Count(OpWrite) != 3 {
+		t.Fatalf("write count = %d, want 3", fs.Count(OpWrite))
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSFailsCreate(t *testing.T) {
+	fs := NewFaultFS(nil).FailAt(OpCreate, 1)
+	if _, err := fs.CreateTemp("qpi-vfs-test-*"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if fs.OpenFiles() != 0 {
+		t.Fatalf("open files after failed create: %d", fs.OpenFiles())
+	}
+}
+
+func TestFaultFSOpenCounting(t *testing.T) {
+	fs := NewFaultFS(nil)
+	var files []File
+	for i := 0; i < 3; i++ {
+		f, err := fs.CreateTemp("qpi-vfs-test-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Remove(f.Name())
+		files = append(files, f)
+	}
+	if fs.OpenFiles() != 3 || fs.MaxOpenFiles() != 3 {
+		t.Fatalf("open=%d max=%d, want 3/3", fs.OpenFiles(), fs.MaxOpenFiles())
+	}
+	for _, f := range files {
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.OpenFiles() != 0 {
+		t.Fatalf("open files after close: %d", fs.OpenFiles())
+	}
+	if fs.MaxOpenFiles() != 3 {
+		t.Fatalf("high-water mark changed: %d", fs.MaxOpenFiles())
+	}
+}
+
+func TestFaultFSInjectedCloseStillReleases(t *testing.T) {
+	fs := NewFaultFS(nil).FailAt(OpClose, 1)
+	f, err := fs.CreateTemp("qpi-vfs-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Remove(f.Name())
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// As with a real failed close(2), the descriptor is gone either way.
+	if fs.OpenFiles() != 0 {
+		t.Fatalf("open files after injected close: %d", fs.OpenFiles())
+	}
+}

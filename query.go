@@ -1,7 +1,9 @@
 package qpi
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"qpi/internal/core"
 	"qpi/internal/data"
@@ -122,16 +124,39 @@ type Query struct {
 	monitor *progress.Monitor
 	att     *core.Attachment
 	cfg     compileCfg
-	started bool
+	started atomic.Bool
+}
+
+// claim marks the single-use query as started; exactly one of the
+// possibly concurrent Run/Rows/Start calls wins.
+func (q *Query) claim() error {
+	if !q.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("qpi: query already started")
+	}
+	return nil
 }
 
 // execRun drives a query's plan to completion (shared by Run and Start),
-// through the batch path when batch execution was compiled in.
-func execRun(q *Query) (int64, error) {
-	if q.cfg.batchWorkers > 0 {
-		return exec.RunBatch(exec.AsBatch(q.root))
+// through the batch path when batch execution was compiled in. The
+// context is bound to every operator before Open, so cancellation or
+// deadline expiry unwinds the plan within one batch of work; the monitor
+// is left in the matching terminal state.
+func execRun(ctx context.Context, q *Query) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return exec.Run(q.root)
+	exec.Bind(q.root, ctx)
+	var n int64
+	err := ctx.Err()
+	if err == nil {
+		if q.cfg.batchWorkers > 0 {
+			n, err = exec.RunBatch(exec.AsBatch(q.root))
+		} else {
+			n, err = exec.Run(q.root)
+		}
+	}
+	q.monitor.Finish(err)
+	return n, err
 }
 
 // Compile seeds optimizer estimates, attaches the online estimation
@@ -216,6 +241,11 @@ type Report struct {
 	// C is the number of getnext() calls observed so far; T the current
 	// estimate of the total over the query's lifetime.
 	C, T float64
+	// State is the query's lifecycle state: "running" until execution
+	// finishes, then "done", "cancelled" (context cancelled or deadline
+	// expired) or "failed". A cancelled query's progress value freezes,
+	// but its state makes the outcome explicit.
+	State string
 	// Pipelines summarizes each pipeline: done / running / pending.
 	Pipelines []PipelineStatus
 }
@@ -230,7 +260,7 @@ type PipelineStatus struct {
 }
 
 func toReport(r progress.Report) Report {
-	out := Report{Progress: r.Progress, C: r.C, T: r.T}
+	out := Report{Progress: r.Progress, C: r.C, T: r.T, State: r.State.String()}
 	for _, p := range r.Pipelines {
 		out.Pipelines = append(out.Pipelines, PipelineStatus{
 			ID: p.ID, Root: p.Root, C: p.C, T: p.T, Started: p.Started, Done: p.Done,
@@ -250,6 +280,18 @@ func (q *Query) Report() Report { return toReport(q.monitor.Report()) }
 // approximately every `every` units of work (tuples moved anywhere in the
 // plan) with a progress snapshot, plus once at the end.
 func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
+	return q.RunContext(context.Background(), onProgress, every)
+}
+
+// RunContext is Run bound to ctx: when the context is cancelled or its
+// deadline expires, execution stops within one batch of work, every
+// operator unwinds via Close (releasing spill files and buffers), and
+// the call returns ctx's error. The final progress report carries the
+// terminal state ("done", "cancelled" or "failed").
+func (q *Query) RunContext(ctx context.Context, onProgress func(Report), every int64) (int64, error) {
+	if err := q.claim(); err != nil {
+		return 0, err
+	}
 	if onProgress != nil {
 		if every < 1 {
 			every = 1
@@ -258,7 +300,7 @@ func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
 			onProgress(q.Report())
 		})
 	}
-	n, err := execRun(q)
+	n, err := execRun(ctx, q)
 	if err != nil {
 		return n, err
 	}
@@ -271,6 +313,25 @@ func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
 // Rows executes the query and materializes the results. Each row holds
 // int64, float64, string, or nil values.
 func (q *Query) Rows() ([][]any, error) {
+	return q.RowsContext(context.Background())
+}
+
+// RowsContext is Rows bound to ctx; cancellation and deadline behaviour
+// match RunContext.
+func (q *Query) RowsContext(ctx context.Context) ([][]any, error) {
+	if err := q.claim(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	exec.Bind(q.root, ctx)
+	out, err := q.collectRows()
+	q.monitor.Finish(err)
+	return out, err
+}
+
+func (q *Query) collectRows() ([][]any, error) {
 	if err := q.root.Open(); err != nil {
 		return nil, err
 	}
