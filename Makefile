@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck bench-join
+.PHONY: build test vet race check leakcheck bench-join lint-deprecated
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,18 @@ leakcheck:
 		-run 'Cancel|SpillFault|FaultFS|CloseErrors|StartRace|Leak' \
 		./internal/exec/ ./internal/vfs/ .
 
-check: vet test race
+# Examples and commands must not use the deprecated pre-option-style
+# entry points (RunContext/StartContext); they exist only as migration
+# wrappers and tests of wrapper behaviour.
+lint-deprecated:
+	@bad=$$(grep -rn --include='*.go' -E '\.(RunContext|StartContext)\(' examples cmd || true); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated Run/Start signatures in examples or commands:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
+check: vet lint-deprecated test race
 
 # Measure the join execution modes (tuple / batch / batch-parallel) and
 # write BENCH_join.json.

@@ -4,70 +4,98 @@ import (
 	"context"
 	"sync"
 	"time"
-
-	"qpi/internal/progress"
 )
 
-// Running is a query executing on a background goroutine. The execution
-// goroutine publishes progress snapshots at work-based intervals; Progress
-// and Report read the latest snapshot without racing the executor —
-// exactly how an interactive progress indicator consumes the gnm model.
+// Running is a query executing on a background goroutine. It is a thin
+// consumer of the query's Subscribe stream: the execution goroutine
+// publishes snapshots at work-based intervals into the bounded
+// subscription channel, and Progress/Report/ETA drain it on demand,
+// retaining the freshest snapshot. Draining on read (rather than on a
+// background goroutine) keeps mid-flight progress deterministically
+// visible: whatever the executor has published is observable
+// immediately, regardless of scheduling.
 type Running struct {
-	mu     sync.Mutex
-	report progress.Report
-	start  time.Time
-	done   chan struct{}
-	cancel context.CancelFunc
-	rows   int64
-	err    error
+	mu      sync.Mutex
+	sub     <-chan Report
+	subOpen bool
+	report  Report
+	start   time.Time
+	done    chan struct{}
+	cancel  context.CancelFunc
+	rows    int64
+	err     error
 }
 
-// Start launches the query on a new goroutine, publishing a progress
-// snapshot approximately every `every` units of work (tuples moved
-// anywhere in the plan; every < 1 defaults to 4096). A Query can be
-// started (or run) only once, even under concurrent Start calls.
-func (q *Query) Start(every int64) (*Running, error) {
-	return q.StartContext(context.Background(), every)
-}
-
-// StartContext is Start bound to ctx: cancelling ctx (or calling
-// Running.Cancel, which cancels a derived context) stops the query within
-// one batch of work. The execution goroutine then unwinds every operator
-// via Close — releasing spill files and buffered state — publishes a
-// final snapshot whose State is "cancelled", and Wait returns
-// context.Canceled (or context.DeadlineExceeded on an expired deadline).
-func (q *Query) StartContext(ctx context.Context, every int64) (*Running, error) {
+// Start launches the query on a new goroutine. Options compose exactly
+// as in Run: WithProgress, WithInterval, WithTrace, WithMetrics.
+// Cancelling ctx (or calling Running.Cancel, which cancels a derived
+// context) stops the query within one batch of work; the execution
+// goroutine then unwinds every operator via Close — releasing spill
+// files and buffered state — publishes a final snapshot whose State is
+// "cancelled", and Wait returns context.Canceled (or
+// context.DeadlineExceeded on an expired deadline). A Query can be
+// started (or run) only once, even under concurrent Start calls. A nil
+// ctx means context.Background().
+func (q *Query) Start(ctx context.Context, opts ...RunOption) (*Running, error) {
 	if err := q.claim(); err != nil {
 		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if every < 1 {
-		every = 4096
-	}
 	ctx, cancel := context.WithCancel(ctx)
-	r := &Running{done: make(chan struct{}), start: time.Now(), cancel: cancel}
-	// The snapshot is taken on the execution goroutine (the monitor reads
-	// operator counters that only that goroutine writes) and published
-	// under the mutex.
-	publish := func() {
-		rep := q.monitor.Report()
-		r.mu.Lock()
-		r.report = rep
-		r.mu.Unlock()
+	r := &Running{
+		sub:     q.Subscribe(),
+		subOpen: true,
+		done:    make(chan struct{}),
+		start:   time.Now(),
+		cancel:  cancel,
 	}
-	progress.InstallTicker(q.root, every, publish)
+	cfg := newRunCfg(opts)
+	q.installObservability(&cfg)
 	go func() {
 		defer close(r.done)
 		defer cancel() // release the derived context's resources
 		rows, err := execRun(ctx, q)
-		publish() // terminal snapshot: State is done/cancelled/failed
 		r.mu.Lock()
 		r.rows, r.err = rows, err
 		r.mu.Unlock()
+		// Terminal snapshot: published to the subscription (and any other
+		// subscribers) before done closes, so Wait-then-Report always sees
+		// the terminal state.
+		q.finishRun(&cfg)
 	}()
 	return r, nil
+}
+
+// StartContext is the pre-option-style Start signature, publishing a
+// snapshot approximately every `every` units of work (every < 1 defaults
+// to 4096).
+//
+// Deprecated: use Start(ctx, WithInterval(every)).
+func (q *Query) StartContext(ctx context.Context, every int64) (*Running, error) {
+	if every < 1 {
+		every = defaultEvery
+	}
+	return q.Start(ctx, WithInterval(every))
+}
+
+// latest drains every snapshot buffered in the subscription and returns
+// the freshest one. Caller holds r.mu.
+func (r *Running) latest() Report {
+	for r.subOpen {
+		select {
+		case rep, ok := <-r.sub:
+			if !ok {
+				r.subOpen = false
+			} else {
+				r.report = rep
+			}
+		default:
+			return r.report
+		}
+	}
+	return r.report
 }
 
 // Cancel stops the running query: execution returns context.Canceled
@@ -79,7 +107,7 @@ func (r *Running) Cancel() { r.cancel() }
 func (r *Running) Progress() float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.report.Progress
+	return r.latest().Progress
 }
 
 // Report returns the latest published snapshot. Once the query finishes,
@@ -87,7 +115,7 @@ func (r *Running) Progress() float64 {
 func (r *Running) Report() Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return toReport(r.report)
+	return r.latest()
 }
 
 // ETA estimates the remaining execution time by combining the gnm work
@@ -101,8 +129,9 @@ func (r *Running) ETA() (time.Duration, bool) {
 	default:
 	}
 	r.mu.Lock()
-	c, t := r.report.C, r.report.T
+	rep := r.latest()
 	r.mu.Unlock()
+	c, t := rep.C, rep.T
 	if c <= 0 || t <= c {
 		if c > 0 && t <= c {
 			return 0, true
@@ -113,7 +142,8 @@ func (r *Running) ETA() (time.Duration, bool) {
 	return time.Duration(float64(elapsed) * (t - c) / c), true
 }
 
-// Done returns a channel closed when execution finishes.
+// Done returns a channel closed when execution finishes and the terminal
+// snapshot has been published.
 func (r *Running) Done() <-chan struct{} { return r.done }
 
 // Wait blocks until the query completes and returns its row count. A

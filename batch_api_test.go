@@ -41,7 +41,8 @@ func TestWithBatchExecutionMatchesDefault(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		est, src := q.EstimateOf()
+		oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 		return rows, est, src, int64(len(rows))
 	}
 	rows0, est0, src0, n0 := run()
@@ -74,7 +75,7 @@ func TestWithBatchExecutionRunAndProgress(t *testing.T) {
 	j := HashJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	q := e.MustCompile(j, WithBatchExecution(4))
 	var last Report
-	n, err := q.Run(func(r Report) { last = r }, 500)
+	n, err := q.Run(nil, WithProgress(func(r Report) { last = r }, 500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,8 @@ func TestWithBatchExecutionRunAndProgress(t *testing.T) {
 	if math.Abs(last.Progress-1) > 1e-9 {
 		t.Errorf("final progress = %g", last.Progress)
 	}
-	est, src := q.EstimateOf()
+	oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 	if est != float64(n) || src != "once-exact" {
 		t.Errorf("estimate %g (%q) != rows %d", est, src, n)
 	}
@@ -98,7 +100,7 @@ func TestWithBatchExecutionUnderMemoryBudget(t *testing.T) {
 		e := testEngine(t)
 		j := HashJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 		q := e.MustCompile(j, opts...)
-		n, err := q.Run(nil, 0)
+		n, err := q.Run(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,21 +120,22 @@ func TestNodeParallel(t *testing.T) {
 	e := testEngine(t)
 	j := HashJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k")).Parallel(4)
 	q := e.MustCompile(j)
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	e2 := testEngine(t)
 	j2 := HashJoin(e2.MustScan("r"), e2.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	q2 := e2.MustCompile(j2)
-	n2, err := q2.Run(nil, 0)
+	n2, err := q2.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != n2 {
 		t.Errorf("Parallel plan: %d rows vs %d", n, n2)
 	}
-	est, src := q.EstimateOf()
+	oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 	if src != "once-exact" || est != float64(n) {
 		t.Errorf("estimate %g (%q) != %d", est, src, n)
 	}

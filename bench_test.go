@@ -355,7 +355,7 @@ func BenchmarkProgressSnapshot(b *testing.B) {
 	j3 := HashJoin(ordersSub, eng.MustScan("lineitem"),
 		Col("orders", "orderkey"), Col("lineitem", "orderkey"))
 	q := eng.MustCompile(j3)
-	if _, err := q.Run(nil, 0); err != nil {
+	if _, err := q.Run(nil); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

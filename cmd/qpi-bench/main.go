@@ -103,6 +103,13 @@ type modeResult struct {
 	BytesPerOp   uint64  `json:"bytes_per_op,omitempty"`
 	AllocsOp     uint64  `json:"allocs_per_op"`
 	SpeedupSeed  float64 `json:"speedup_vs_seed,omitempty"`
+	// Observability counters (qpi.Metrics roll-up of the measured run):
+	// absolute work moved per op, so throughput regressions from the
+	// tracing/metrics instrumentation are attributable across PRs.
+	TuplesMoved int64 `json:"tuples_moved,omitempty"`
+	Batches     int64 `json:"batches,omitempty"`
+	SpillFiles  int64 `json:"spill_files,omitempty"`
+	SpillBytes  int64 `json:"spill_bytes,omitempty"`
 }
 
 // joinBenchReport is the BENCH_join.json document.
@@ -192,14 +199,22 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 		return modeResult{}, err
 	}
 	tuples := n + j.BuildRows() + j.ProbeRows()
-	return modeResult{
+	res := modeResult{
 		Mode:         mode,
 		Workers:      workers,
 		NsPerOp:      elapsed.Nanoseconds(),
 		TuplesPerSec: round2(float64(tuples) / elapsed.Seconds()),
 		BytesPerOp:   after.TotalAlloc - before.TotalAlloc,
 		AllocsOp:     after.Mallocs - before.Mallocs,
-	}, nil
+	}
+	exec.Walk(j, func(op exec.Operator) {
+		st := op.Stats()
+		res.TuplesMoved += st.Emitted.Load()
+		res.Batches += st.Batches.Load()
+		res.SpillFiles += st.SpillFiles.Load()
+		res.SpillBytes += st.SpillBytes.Load()
+	})
+	return res, nil
 }
 
 func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -17,6 +17,8 @@ func main() {
 		domain = flag.Int("domain", 5000, "join key domain size")
 		z      = flag.Float64("z", 1, "Zipf skew of the join keys")
 		mode   = flag.String("mode", "once", "progress estimator: once, dne, byte")
+		serve  = flag.String("serve", "", "serve /metrics, /dashboard, /debug/vars on this address while the query runs")
+		trace  = flag.Bool("trace", false, "dump the execution event stream after the run")
 	)
 	flag.Parse()
 
@@ -44,12 +46,32 @@ func main() {
 	}
 	q := eng.MustCompile(root, qpi.WithMode(m), qpi.WithSampling(0.1, 7))
 
-	fmt.Println(q.Explain())
-	n, err := q.Run(func(r qpi.Report) {
+	opts := []qpi.RunOption{qpi.WithProgress(func(r qpi.Report) {
 		bar := int(50 * r.Progress)
 		fmt.Printf("\r[%-50s] %5.1f%%  (C=%.0f / T=%.0f)",
 			strings.Repeat("#", bar), 100*r.Progress, r.C, r.T)
-	}, int64(*rows/20))
+	}, int64(*rows/20))}
+	var tr *qpi.Tracer
+	if *trace {
+		tr = qpi.NewTracer()
+		opts = append(opts, qpi.WithTrace(tr))
+	}
+	if *serve != "" {
+		if err := qpi.DefaultDashboard.Register("qpi-demo", q); err != nil {
+			fmt.Println("register:", err)
+			return
+		}
+		srv, err := qpi.Serve(*serve)
+		if err != nil {
+			fmt.Println("serve:", err)
+			return
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /dashboard /debug/vars\n", srv.Addr())
+	}
+
+	fmt.Println(q.Explain())
+	n, err := q.Run(nil, opts...)
 	fmt.Println()
 	if err != nil {
 		fmt.Println("error:", err)
@@ -60,5 +82,11 @@ func main() {
 	for _, e := range q.Estimates() {
 		fmt.Printf("  %s%-40s emitted=%-10d est=%-12.0f src=%s\n",
 			strings.Repeat("  ", e.Depth), e.Operator, e.Emitted, e.Estimate, e.Source)
+	}
+	if tr != nil {
+		m := q.Metrics()
+		fmt.Printf("\nmetrics: tuples=%d batches=%d spill=%d files/%d bytes recomputes=%d probes=%d\n",
+			m.Tuples, m.Batches, m.SpillFiles, m.SpillBytes, m.EstimatorRecomputes, m.HistogramProbes)
+		fmt.Printf("\nexecution trace (%d events):\n%s", tr.Len(), tr.Dump())
 	}
 }

@@ -26,8 +26,20 @@ func main() {
 		mode   = flag.String("mode", "once", "progress estimator: once, dne, byte")
 		db     = flag.String("db", "", "load a saved database directory instead of generating TPC-H")
 		saveDB = flag.String("save", "", "persist the loaded/generated tables to this directory on startup")
+		serve  = flag.String("serve", "", "serve /metrics, /dashboard, /debug/vars on this address; every executed query is registered")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		srv, err := qpi.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qpi-sql:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		serving = true
+		fmt.Printf("observability: http://%s/metrics /dashboard /debug/vars\n", srv.Addr())
+	}
 
 	eng := qpi.New()
 	if *db != "" {
@@ -93,6 +105,25 @@ func main() {
 	}
 }
 
+// serving is set when -serve is active; every executed query then lands
+// on the default dashboard so scrapers see the shell's whole session.
+var (
+	serving      bool
+	queryCounter int
+)
+
+func registerOnDashboard(q *qpi.Query, sql string) {
+	if !serving {
+		return
+	}
+	queryCounter++
+	label := strings.Join(strings.Fields(sql), " ")
+	if len(label) > 60 {
+		label = label[:60] + "..."
+	}
+	_ = qpi.DefaultDashboard.Register(fmt.Sprintf("q%d: %s", queryCounter, label), q)
+}
+
 func explain(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64) {
 	q, err := eng.Query(query, qpi.WithMode(m), qpi.WithSampling(sample, 7))
 	if err != nil {
@@ -110,8 +141,9 @@ func analyze(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64)
 		fmt.Println("error:", err)
 		return
 	}
+	registerOnDashboard(q, query)
 	start := time.Now()
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -130,15 +162,16 @@ func run(eng *qpi.Engine, query string, m qpi.EstimatorMode, sample float64) {
 		fmt.Println("error:", err)
 		return
 	}
+	registerOnDashboard(q, query)
 	// Progress bar on stderr; results buffered.
 	done := false
-	n, err := q.Run(func(r qpi.Report) {
+	n, err := q.Run(nil, qpi.WithProgress(func(r qpi.Report) {
 		if done {
 			return
 		}
 		bar := int(40 * r.Progress)
 		fmt.Fprintf(os.Stderr, "\r[%-40s] %5.1f%% ", strings.Repeat("#", bar), 100*r.Progress)
-	}, 50000)
+	}, 50000))
 	done = true
 	fmt.Fprint(os.Stderr, "\r"+strings.Repeat(" ", 60)+"\r")
 	if err != nil {

@@ -75,7 +75,7 @@ func TestLoadCSVJoinsWithGeneratedData(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := e.MustQuery("SELECT s.k FROM s JOIN c ON s.k = c.k")
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestSaveAndLoadDatabase(t *testing.T) {
 	if len(loaded) != 2 || loaded[0] != "aa" || loaded[1] != "bb" {
 		t.Fatalf("loaded = %v", loaded)
 	}
-	n, err := e2.MustQuery("SELECT aa.k FROM aa JOIN bb ON aa.k = bb.k").Run(nil, 0)
+	n, err := e2.MustQuery("SELECT aa.k FROM aa JOIN bb ON aa.k = bb.k").Run(nil)
 	if err != nil || n == 0 {
 		t.Fatalf("join over reloaded db: %d, %v", n, err)
 	}

@@ -1,39 +1,74 @@
 package qpi
 
 import (
+	"sync"
+
 	"qpi/internal/progress"
 )
 
 // Dashboard tracks the progress of several queries at once (the
 // multi-query extension of Luo et al. [19] the paper cites): register
 // each compiled query under a label and poll Snapshot/Overall while they
-// execute.
+// execute, or expose the registry over HTTP with Serve.
 type Dashboard struct {
 	reg *progress.Registry
+
+	mu      sync.Mutex
+	queries map[string]*Query
+	order   []string
 }
 
 // NewDashboard creates an empty dashboard.
 func NewDashboard() *Dashboard {
-	return &Dashboard{reg: progress.NewRegistry()}
+	return &Dashboard{reg: progress.NewRegistry(), queries: map[string]*Query{}}
 }
 
 // Register adds a query under a unique label.
 func (d *Dashboard) Register(label string, q *Query) error {
-	return d.reg.Register(label, q.monitor)
+	if err := d.reg.Register(label, q.monitor); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.queries[label] = q
+	d.order = append(d.order, label)
+	d.mu.Unlock()
+	return nil
 }
 
 // Unregister removes a query.
-func (d *Dashboard) Unregister(label string) { d.reg.Unregister(label) }
+func (d *Dashboard) Unregister(label string) {
+	d.reg.Unregister(label)
+	d.mu.Lock()
+	delete(d.queries, label)
+	for i, l := range d.order {
+		if l == label {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.mu.Unlock()
+}
 
-// QueryStatus is one query's row in a dashboard snapshot.
+// queriesSnapshot returns the registered labels and queries in
+// registration order.
+func (d *Dashboard) queriesSnapshot() ([]string, []*Query) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	labels := make([]string, len(d.order))
+	copy(labels, d.order)
+	qs := make([]*Query, len(labels))
+	for i, l := range labels {
+		qs[i] = d.queries[l]
+	}
+	return labels, qs
+}
+
+// QueryStatus is one query's row in a dashboard snapshot. State
+// distinguishes cancelled and failed queries from merely stalled ones.
 type QueryStatus struct {
-	Label    string
-	Progress float64
-	C, T     float64
-	Done     bool
-	// State is "running", "done", "cancelled" or "failed"; cancelled and
-	// failed queries are distinguishable from merely stalled ones.
-	State string
+	Label string
+	Status
+	Done bool
 }
 
 // Snapshot reports every registered query's progress, in registration
@@ -43,8 +78,9 @@ func (d *Dashboard) Snapshot() []QueryStatus {
 	out := make([]QueryStatus, len(snap))
 	for i, s := range snap {
 		out[i] = QueryStatus{
-			Label: s.Label, Progress: s.Progress, C: s.C, T: s.T,
-			Done: s.Done, State: s.State.String(),
+			Label:  s.Label,
+			Status: Status{Progress: s.Progress, C: s.C, T: s.T, State: s.State.String()},
+			Done:   s.Done,
 		}
 	}
 	return out

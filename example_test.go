@@ -34,11 +34,12 @@ func ExampleQuery_Run() {
 	eng.MustCreateSkewedTable("s", 5000, 2,
 		qpi.SkewedColumn{Name: "k", Domain: 100, Zipf: 1, PermSeed: 22})
 	q := eng.MustQuery("SELECT * FROM r JOIN s ON r.k = s.k")
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		panic(err)
 	}
-	est, src := q.EstimateOf()
+	oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 	fmt.Println(int64(est) == n, src)
 	// Output:
 	// true once-exact
@@ -70,7 +71,7 @@ func ExampleQuery_ProgressInterval() {
 	eng.MustCreateSkewedTable("r", 2000, 1,
 		qpi.SkewedColumn{Name: "k", Domain: 50, Zipf: 0, PermSeed: 1})
 	q := eng.MustQuery("SELECT k, COUNT(*) c FROM r GROUP BY k")
-	if _, err := q.Run(nil, 0); err != nil {
+	if _, err := q.Run(nil); err != nil {
 		panic(err)
 	}
 	lo, hi := q.ProgressInterval(0.95)

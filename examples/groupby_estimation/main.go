@@ -20,7 +20,7 @@ func runGroupBy(z float64) {
 
 	fmt.Printf("Zipf z=%g over 20000 possible groups:\n", z)
 	var lastSource string
-	_, err := q.Run(func(rep qpi.Report) {
+	_, err := q.Run(nil, qpi.WithProgress(func(rep qpi.Report) {
 		for _, e := range q.Estimates() {
 			if e.Depth == 0 { // the aggregation
 				if e.Source != lastSource && e.Source != "optimizer" {
@@ -29,7 +29,7 @@ func runGroupBy(z float64) {
 				}
 			}
 		}
-	}, 20000)
+	}, 20000))
 	if err != nil {
 		panic(err)
 	}

@@ -34,7 +34,7 @@ func main() {
 	fmt.Println(dash.String())
 
 	for label, q := range compiled {
-		n, err := q.Run(nil, 0)
+		n, err := q.Run(nil)
 		if err != nil {
 			panic(err)
 		}

@@ -39,7 +39,7 @@ func main() {
 		qpi.Agg{Func: qpi.CountStar, As: "cnt"})
 
 	q := eng.MustCompile(root, qpi.WithSampling(0.1, 7))
-	groups, err := q.Run(func(r qpi.Report) {
+	groups, err := q.Run(nil, qpi.WithProgress(func(r qpi.Report) {
 		bar := int(40 * r.Progress)
 		running := 0
 		for _, p := range r.Pipelines {
@@ -49,7 +49,7 @@ func main() {
 		}
 		fmt.Printf("\r[%-40s] %5.1f%%  pipeline P%d active ",
 			strings.Repeat("=", bar), 100*r.Progress, running)
-	}, 20000)
+	}, 20000))
 	fmt.Println()
 	if err != nil {
 		panic(err)

@@ -26,15 +26,16 @@ func main() {
 	fmt.Println("plan before execution:")
 	fmt.Println(q.Explain())
 
-	rows, err := q.Run(func(rep qpi.Report) {
+	rows, err := q.Run(nil, qpi.WithProgress(func(rep qpi.Report) {
 		fmt.Printf("progress %5.1f%%  (C=%.0f of estimated T=%.0f)\n",
 			100*rep.Progress, rep.C, rep.T)
-	}, 40000)
+	}, 40000))
 	if err != nil {
 		panic(err)
 	}
 
-	est, source := q.EstimateOf()
+	oe, _ := q.EstimateOf("HashJoin")
+	est, source := oe.Estimate, oe.Source
 	fmt.Printf("\njoin produced %d rows; final estimate %.0f (source %q)\n",
 		rows, est, source)
 	fmt.Println("\nThe 'once' estimate converged to the exact join size during the")

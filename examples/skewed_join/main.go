@@ -22,9 +22,9 @@ func run(mode qpi.EstimatorMode) []float64 {
 		qpi.Col("r", "k"), qpi.Col("s", "k"))
 	q := eng.MustCompile(join, qpi.WithMode(mode))
 	var samples []float64
-	if _, err := q.Run(func(rep qpi.Report) {
+	if _, err := q.Run(nil, qpi.WithProgress(func(rep qpi.Report) {
 		samples = append(samples, rep.Progress)
-	}, 5000); err != nil {
+	}, 5000)); err != nil {
 		panic(err)
 	}
 	return samples

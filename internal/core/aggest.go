@@ -4,6 +4,7 @@ import (
 	"qpi/internal/data"
 	"qpi/internal/distinct"
 	"qpi/internal/exec"
+	"qpi/internal/obs"
 )
 
 // AggEstimator refines the output-cardinality (number of groups) estimate
@@ -34,6 +35,17 @@ type AggEstimator struct {
 	outHist  *FreqHistogram
 	joinSize func() float64
 	tau      float64
+
+	// Observability: publish boundaries emit EstimateRefined events and
+	// SourceTransition events for gee↔mle chooser flips (with the γ² skew
+	// measure that crossed τ).
+	refineTrace
+}
+
+// SetTracer routes the estimator's refinement events into tr (nil
+// disables), caching the aggregation's label.
+func (a *AggEstimator) SetTracer(tr *obs.Tracer) {
+	a.bindTracer(tr, a.agg.Name(), "agg")
 }
 
 // newStreamAggEstimator attaches a chooser-based estimator fed by the
@@ -119,7 +131,7 @@ func (a *AggEstimator) Estimate() float64 {
 	// Push-down: profile of the estimated output distribution.
 	t := a.outHist.Total()
 	if t == 0 {
-		return a.agg.Stats().EstTotal
+		return a.agg.Stats().Estimate()
 	}
 	total := a.joinSize()
 	if total < float64(t) {
@@ -160,7 +172,13 @@ func (a *AggEstimator) Gamma2() float64 {
 }
 
 func (a *AggEstimator) publish() {
-	a.agg.Stats().SetEstimate(a.Estimate(), a.Source())
+	est, src := a.Estimate(), a.Source()
+	a.agg.Stats().SetEstimate(est, src)
+	var g2 float64
+	if a.tr != nil && src != a.lastSrc {
+		g2 = a.Gamma2() // only computed when a transition event will carry it
+	}
+	a.tracePublish(est, src, g2)
 }
 
 // Chooser exposes the stream-mode chooser (nil in tracker and push-down

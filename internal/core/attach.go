@@ -3,6 +3,7 @@ package core
 import (
 	"qpi/internal/data"
 	"qpi/internal/exec"
+	"qpi/internal/obs"
 )
 
 // Attachment is the result of wiring the online estimation framework into
@@ -414,9 +415,9 @@ func StreamSizeEstimate(op exec.Operator) float64 {
 	case *exec.Scan:
 		return float64(o.Stats().InputTotal)
 	case *exec.Filter:
-		return DNEEstimate(o, o.Stats().EstTotal)
+		return DNEEstimate(o, o.Stats().Estimate())
 	case *exec.Project, *exec.Limit:
-		if op.Stats().Done {
+		if op.Stats().IsDone() {
 			return float64(op.Stats().Emitted.Load())
 		}
 		return StreamSizeEstimate(op.Children()[0])
@@ -479,4 +480,58 @@ func compose1(prev, next func(int64)) func(int64) {
 		prev(v)
 		next(v)
 	}
+}
+
+// SetTracer routes every attached estimator's refinement events into tr
+// (nil disables). Call it after Attach and before execution starts; it
+// caches operator labels so publish boundaries stay allocation-free.
+func (a *Attachment) SetTracer(tr *obs.Tracer) {
+	for _, pe := range a.Chains {
+		pe.SetTracer(tr)
+	}
+	for _, ae := range a.Aggs {
+		ae.SetTracer(tr)
+	}
+	for _, e := range a.Ineq {
+		e.SetTracer(tr)
+	}
+	for _, e := range a.Disjunct {
+		e.SetTracer(tr)
+	}
+}
+
+// Recomputes totals the estimator recomputations across every attached
+// estimator: chain/inequality/disjunctive republishes plus the distinct-
+// value choosers' MLE recomputations (Algorithm 3).
+func (a *Attachment) Recomputes() int64 {
+	var n int64
+	for _, pe := range a.Chains {
+		n += pe.Recomputes()
+	}
+	for _, ae := range a.Aggs {
+		n += ae.Recomputes()
+		if c := ae.Chooser(); c != nil {
+			n += c.Recomputes()
+		}
+		if t := ae.Tracker(); t != nil {
+			n += t.Recomputes()
+		}
+	}
+	for _, e := range a.Ineq {
+		n += e.Recomputes()
+	}
+	for _, e := range a.Disjunct {
+		n += e.Recomputes()
+	}
+	return n
+}
+
+// HistogramProbes totals the histogram lookups performed by the chain
+// estimators' probe passes (refreshed at publish boundaries).
+func (a *Attachment) HistogramProbes() int64 {
+	var n int64
+	for _, pe := range a.Chains {
+		n += pe.HistogramProbes()
+	}
+	return n
 }

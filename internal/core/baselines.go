@@ -47,20 +47,20 @@ func DriverFraction(op exec.Operator) float64 {
 		// During the input pass the sort has emitted nothing; once
 		// sorted, progress is its own emission fraction.
 		st := op.Stats()
-		if st.Done {
+		if st.IsDone() {
 			return 1
 		}
-		if st.EstTotal > 0 {
-			return float64(st.Emitted.Load()) / st.EstTotal
+		if st.Estimate() > 0 {
+			return float64(st.Emitted.Load()) / st.Estimate()
 		}
 		return 0
 	case *exec.HashAgg, *exec.SortAgg:
 		st := op.Stats()
-		if st.Done {
+		if st.IsDone() {
 			return 1
 		}
-		if st.EstTotal > 0 {
-			return float64(st.Emitted.Load()) / st.EstTotal
+		if st.Estimate() > 0 {
+			return float64(st.Emitted.Load()) / st.Estimate()
 		}
 		return 0
 	default:
@@ -81,7 +81,7 @@ func DriverFraction(op exec.Operator) float64 {
 // optimizer estimate before, the exact count when done.
 func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
 	st := op.Stats()
-	if st.Done {
+	if st.IsDone() {
 		return float64(st.Emitted.Load())
 	}
 	f := DriverFraction(op)
@@ -99,7 +99,7 @@ func DNEEstimate(op exec.Operator, optimizerEst float64) float64 {
 // per-tuple counts under our fixed-width tuples).
 func ByteEstimate(op exec.Operator, optimizerEst float64) float64 {
 	st := op.Stats()
-	if st.Done {
+	if st.IsDone() {
 		return float64(st.Emitted.Load())
 	}
 	f := DriverFraction(op)

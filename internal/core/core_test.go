@@ -320,11 +320,11 @@ func runChainAndCompare(t *testing.T, top *exec.HashJoin, att *Attachment) {
 		if got := pe.Estimate(k); math.Abs(got-truth) > 1e-6 {
 			t.Errorf("level %d: converged estimate %g != true cardinality %g", k, got, truth)
 		}
-		if j.Stats().EstSource != "once-exact" {
-			t.Errorf("level %d: est source = %q", k, j.Stats().EstSource)
+		if j.Stats().Source() != "once-exact" {
+			t.Errorf("level %d: est source = %q", k, j.Stats().Source())
 		}
-		if math.Abs(j.Stats().EstTotal-truth) > 1e-6 {
-			t.Errorf("level %d: stats estimate %g != %g", k, j.Stats().EstTotal, truth)
+		if math.Abs(j.Stats().Estimate()-truth) > 1e-6 {
+			t.Errorf("level %d: stats estimate %g != %g", k, j.Stats().Estimate(), truth)
 		}
 	}
 }
@@ -586,8 +586,8 @@ func TestAttachAggStreamMode(t *testing.T) {
 	if got := est.Estimate(); got != float64(rows) {
 		t.Errorf("stream estimate %g != %d groups", got, rows)
 	}
-	if agg.Stats().EstTotal != float64(rows) {
-		t.Errorf("agg stats estimate %g", agg.Stats().EstTotal)
+	if agg.Stats().Estimate() != float64(rows) {
+		t.Errorf("agg stats estimate %g", agg.Stats().Estimate())
 	}
 }
 
@@ -632,8 +632,8 @@ func TestAttachMergeJoinChain(t *testing.T) {
 	}
 	// Crucially, the estimate converged during the SORT pass, before any
 	// join output: the paper's §4.1.2 claim.
-	if mj.Stats().EstSource != "once-exact" {
-		t.Errorf("source = %q", mj.Stats().EstSource)
+	if mj.Stats().Source() != "once-exact" {
+		t.Errorf("source = %q", mj.Stats().Source())
 	}
 }
 

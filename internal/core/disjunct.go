@@ -4,6 +4,7 @@ import (
 	"qpi/internal/data"
 	"qpi/internal/exec"
 	"qpi/internal/expr"
+	"qpi/internal/obs"
 )
 
 // DisjunctiveEstimator estimates joins whose condition is a disjunction
@@ -40,6 +41,13 @@ type DisjunctiveEstimator struct {
 	t          int64
 	sum        float64
 	frozen     bool
+
+	refineTrace
+}
+
+// SetTracer routes the estimator's refinement events into tr.
+func (e *DisjunctiveEstimator) SetTracer(tr *obs.Tracer) {
+	e.bindTracer(tr, e.join.Name(), "disjunct")
 }
 
 // maxDisjuncts bounds the inclusion–exclusion blowup.
@@ -121,7 +129,7 @@ func (e *DisjunctiveEstimator) Converged() bool { return e.frozen }
 // Estimate returns the current disjunctive-join size estimate.
 func (e *DisjunctiveEstimator) Estimate() float64 {
 	if e.t == 0 {
-		return e.join.Stats().EstTotal
+		return e.join.Stats().Estimate()
 	}
 	total := e.outerTotal()
 	if e.frozen {
@@ -135,7 +143,9 @@ func (e *DisjunctiveEstimator) publish() {
 	if e.frozen {
 		src = "once-exact"
 	}
-	e.join.Stats().SetEstimate(e.Estimate(), src)
+	est := e.Estimate()
+	e.join.Stats().SetEstimate(est, src)
+	e.tracePublish(est, src, 0)
 }
 
 // attachSortedOuterDisjunctNL wires disjunctive estimation for a theta

@@ -6,6 +6,7 @@ import (
 	"qpi/internal/data"
 	"qpi/internal/exec"
 	"qpi/internal/expr"
+	"qpi/internal/obs"
 )
 
 // InequalityEstimator estimates the size of a non-equi (theta) join
@@ -32,6 +33,13 @@ type InequalityEstimator struct {
 	t          int64
 	sum        float64
 	frozen     bool
+
+	refineTrace
+}
+
+// SetTracer routes the estimator's refinement events into tr.
+func (e *InequalityEstimator) SetTracer(tr *obs.Tracer) {
+	e.bindTracer(tr, e.join.Name(), "ineq")
 }
 
 // NewInequalityEstimator creates an estimator for join with comparison op
@@ -105,7 +113,7 @@ func (e *InequalityEstimator) Converged() bool { return e.frozen }
 // Estimate returns the current theta-join size estimate.
 func (e *InequalityEstimator) Estimate() float64 {
 	if e.t == 0 {
-		return e.join.Stats().EstTotal
+		return e.join.Stats().Estimate()
 	}
 	total := e.outerTotal()
 	if e.frozen {
@@ -119,7 +127,9 @@ func (e *InequalityEstimator) publish() {
 	if e.frozen {
 		src = "once-exact"
 	}
-	e.join.Stats().SetEstimate(e.Estimate(), src)
+	est := e.Estimate()
+	e.join.Stats().SetEstimate(est, src)
+	e.tracePublish(est, src, 0)
 }
 
 // attachSortedOuterThetaNL wires inequality estimation for a theta

@@ -44,8 +44,8 @@ func TestInequalityEstimatorExactAllOps(t *testing.T) {
 		if got := est.Estimate(); math.Abs(got-float64(n)) > 1e-6 {
 			t.Errorf("op %v: estimate %g != true size %d", op, got, n)
 		}
-		if j.Stats().EstSource != "once-exact" {
-			t.Errorf("op %v: source %q", op, j.Stats().EstSource)
+		if j.Stats().Source() != "once-exact" {
+			t.Errorf("op %v: source %q", op, j.Stats().Source())
 		}
 	}
 }
@@ -140,8 +140,8 @@ func TestDisjunctiveEstimatorExact(t *testing.T) {
 	if got := est.Estimate(); math.Abs(got-float64(n)) > 1e-6 {
 		t.Errorf("disjunctive estimate %g != true size %d", got, n)
 	}
-	if j.Stats().EstSource != "once-exact" {
-		t.Errorf("source = %q", j.Stats().EstSource)
+	if j.Stats().Source() != "once-exact" {
+		t.Errorf("source = %q", j.Stats().Source())
 	}
 }
 

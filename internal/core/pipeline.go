@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"qpi/internal/data"
 	"qpi/internal/exec"
+	"qpi/internal/obs"
 )
 
 // This file implements the paper's Algorithm 1 (§4.1.4): push-down
@@ -146,6 +148,18 @@ type PipelineEstimator struct {
 	batchInstalled bool
 	probeShards    []probeShard
 	afterConverge  []func()
+
+	// Observability (see internal/obs): the tracer receives one
+	// EstimateRefined event per level at every publish boundary plus
+	// SourceTransition events on optimizer→once→once-exact; counters are
+	// refreshed at the same boundaries so tracing never touches the
+	// per-tuple path. trLabels caches the joins' Name() strings.
+	tr             *obs.Tracer
+	trLabels       []string
+	lastSrc        string
+	probesPerTuple int64 // histogram Count() calls per probe tuple
+	recomputes     atomic.Int64
+	histProbes     atomic.Int64
 }
 
 // keySource locates the origin of a join's probe key. For multi-column
@@ -202,8 +216,36 @@ func NewPipelineEstimatorHist(links []ChainLink, probeTotal func() float64, fact
 	}
 	p.planHistograms()
 	p.installHooks()
+	for k := 0; k < m; k++ {
+		for j := k; j < m; j++ {
+			if p.srcs[j].fromBottom {
+				p.probesPerTuple++
+			}
+		}
+	}
 	return p, nil
 }
+
+// SetTracer routes estimator refinement events into tr (nil disables).
+// Safe to call between Attach and execution; join labels are cached here
+// so publish boundaries never re-render operator names.
+func (p *PipelineEstimator) SetTracer(tr *obs.Tracer) {
+	p.tr = tr
+	if tr != nil && p.trLabels == nil {
+		p.trLabels = make([]string, p.m)
+		for k := range p.links {
+			p.trLabels[k] = p.links[k].Join.Name()
+		}
+	}
+}
+
+// Recomputes returns how many times the estimator has republished its
+// estimates into the joins' Stats.
+func (p *PipelineEstimator) Recomputes() int64 { return p.recomputes.Load() }
+
+// HistogramProbes returns the number of histogram Count() lookups the
+// probe pass has performed, refreshed at publish boundaries.
+func (p *PipelineEstimator) HistogramProbes() int64 { return p.histProbes.Load() }
 
 // resolveProvenance maps every join's probe key to a bottom-stream column
 // or a build relation column.
@@ -402,22 +444,40 @@ func (p *PipelineEstimator) SetPublishInterval(n int64) {
 	p.publishEvery = n
 }
 
-// publish writes the current estimates into the joins' Stats.
+// publish writes the current estimates into the joins' Stats. It runs
+// only on the execution goroutine (every publishEvery probe tuples in
+// serial mode, at the probe-end barrier in sharded mode), which is why
+// the tracer emission and counter refresh live here and not on the
+// per-tuple path.
 func (p *PipelineEstimator) publish() {
 	src := "once"
 	if p.frozen {
 		src = "once-exact"
 	}
+	p.recomputes.Add(1)
+	p.histProbes.Store(p.t * p.probesPerTuple)
 	for k := 0; k < p.m; k++ {
-		p.links[k].Join.Stats().SetEstimate(p.Estimate(k), src)
+		est := p.Estimate(k)
+		p.links[k].Join.Stats().SetEstimate(est, src)
+		if p.tr != nil {
+			if src != p.lastSrc {
+				from := p.lastSrc
+				if from == "" {
+					from = "optimizer"
+				}
+				p.tr.Transition(p.trLabels[k], "pipeline", from, src, 0)
+			}
+			p.tr.Refine(p.trLabels[k], "pipeline", est, src)
+		}
 	}
+	p.lastSrc = src
 }
 
 // Estimate returns the current cardinality estimate D_k for join level k
 // (0 = top).
 func (p *PipelineEstimator) Estimate(k int) float64 {
 	if p.t == 0 {
-		return p.links[k].Join.Stats().EstTotal
+		return p.links[k].Join.Stats().Estimate()
 	}
 	total := p.probeTotal()
 	if p.frozen {

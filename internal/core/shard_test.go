@@ -66,11 +66,11 @@ func runBatchedChainAndCompare(t *testing.T, top *exec.HashJoin, wantSharded boo
 		if got := pe.Estimate(k); math.Abs(got-truth) > 1e-6 {
 			t.Errorf("level %d: converged estimate %g != true cardinality %g", k, got, truth)
 		}
-		if j.Stats().EstSource != "once-exact" {
-			t.Errorf("level %d: est source = %q", k, j.Stats().EstSource)
+		if j.Stats().Source() != "once-exact" {
+			t.Errorf("level %d: est source = %q", k, j.Stats().Source())
 		}
-		if math.Abs(j.Stats().EstTotal-truth) > 1e-6 {
-			t.Errorf("level %d: stats estimate %g != %g", k, j.Stats().EstTotal, truth)
+		if math.Abs(j.Stats().Estimate()-truth) > 1e-6 {
+			t.Errorf("level %d: stats estimate %g != %g", k, j.Stats().Estimate(), truth)
 		}
 	}
 }
@@ -261,7 +261,7 @@ func TestBatchedAggPushdownExact(t *testing.T) {
 		if got := est.Estimate(); math.Abs(got-float64(rows)) > 1e-6 {
 			t.Errorf("workers %d: pushdown estimate %g != true group count %d", workers, got, rows)
 		}
-		if got := agg.Stats().EstTotal; math.Abs(got-float64(rows)) > 1e-6 {
+		if got := agg.Stats().Estimate(); math.Abs(got-float64(rows)) > 1e-6 {
 			t.Errorf("workers %d: published agg estimate %g != %d", workers, got, rows)
 		}
 	}

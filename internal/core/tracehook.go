@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"qpi/internal/obs"
+)
+
+// refineTrace is the embeddable observability hookup shared by the
+// single-operator estimators (aggregation, inequality, disjunctive): it
+// forwards publish boundaries as EstimateRefined events, emits a
+// SourceTransition event whenever the estimate's provenance changes, and
+// counts republishes. All calls happen on the execution goroutine at
+// publish boundaries; Recomputes is atomic so metrics scrapes can read
+// it concurrently.
+type refineTrace struct {
+	tr         *obs.Tracer
+	trLabel    string
+	trDetail   string
+	lastSrc    string
+	recomputes atomic.Int64
+}
+
+// bindTracer installs the sink and the operator's cached label (nil tr
+// disables event emission but republishes are still counted).
+func (r *refineTrace) bindTracer(tr *obs.Tracer, label, detail string) {
+	r.tr = tr
+	r.trLabel = label
+	r.trDetail = detail
+}
+
+// tracePublish records one publish: est/src were just written to the
+// operator's Stats; gamma2 annotates chooser flips (0 when irrelevant).
+func (r *refineTrace) tracePublish(est float64, src string, gamma2 float64) {
+	r.recomputes.Add(1)
+	if r.tr == nil {
+		r.lastSrc = src
+		return
+	}
+	if src != r.lastSrc {
+		from := r.lastSrc
+		if from == "" {
+			from = "optimizer"
+		}
+		r.tr.Transition(r.trLabel, r.trDetail, from, src, gamma2)
+	}
+	r.lastSrc = src
+	r.tr.Refine(r.trLabel, r.trDetail, est, src)
+}
+
+// Recomputes returns how many times the estimator has republished its
+// estimate into the operator's Stats.
+func (r *refineTrace) Recomputes() int64 { return r.recomputes.Load() }

@@ -141,7 +141,7 @@ func TestDiskScanStreamsAll(t *testing.T) {
 		}
 		n++
 	}
-	if n != 700 || !sc.Stats().Done || sc.Stats().Emitted.Load() != 700 {
+	if n != 700 || !sc.Stats().IsDone() || sc.Stats().Emitted.Load() != 700 {
 		t.Fatalf("emitted %d, stats %+v", n, sc.Stats())
 	}
 	sc.Close()

@@ -122,7 +122,7 @@ func (s *Scan) Next() (data.Tuple, error) {
 			return t, nil
 		}
 		if s.orderPos >= len(s.order) {
-			s.stats.Done = true
+			s.stats.MarkDone()
 			return nil, nil
 		}
 		blk, err := s.file.ReadBlock(s.order[s.orderPos])

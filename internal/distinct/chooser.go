@@ -2,6 +2,7 @@ package distinct
 
 import (
 	"math"
+	"sync/atomic"
 
 	"qpi/internal/data"
 )
@@ -41,7 +42,8 @@ type Chooser struct {
 	mleCached    float64
 	haveCache    bool
 
-	exhausted bool
+	exhausted  bool
+	recomputes atomic.Int64 // MLE recomputations performed (Algorithm 3)
 }
 
 // NewChooser creates a chooser with threshold tau (use DefaultTau) over a
@@ -95,6 +97,7 @@ func (c *Chooser) Observe(v data.Value) {
 // Algorithm 3.
 func (c *Chooser) recomputeMLE() {
 	old := c.mleCached
+	c.recomputes.Add(1)
 	c.mleCached = MLEFromProfile(c.freqs, c.t, c.total)
 	c.haveCache = true
 	c.sinceRecomp = 0
@@ -180,3 +183,6 @@ var (
 	_ Estimator = (*MLE)(nil)
 	_ Estimator = (*Chooser)(nil)
 )
+
+// Recomputes returns how many MLE recomputations (Algorithm 3) have run.
+func (c *Chooser) Recomputes() int64 { return c.recomputes.Load() }

@@ -1,6 +1,9 @@
 package distinct
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // ProfileTracker is the zero-hashing variant of the chooser: instead of
 // maintaining its own value→count map, it consumes the per-tuple group
@@ -27,7 +30,8 @@ type ProfileTracker struct {
 	mleCached    float64
 	haveCache    bool
 
-	exhausted bool
+	exhausted  bool
+	recomputes atomic.Int64 // MLE recomputations performed (Algorithm 3)
 }
 
 // NewProfileTracker creates a tracker for a stream of (estimated) length
@@ -79,6 +83,7 @@ func (p *ProfileTracker) ObserveCount(n int64) {
 
 func (p *ProfileTracker) recomputeMLE() {
 	old := p.mleCached
+	p.recomputes.Add(1)
 	p.mleCached = MLEFromProfile(p.freqs, p.t, p.total)
 	p.haveCache = true
 	p.sinceRecomp = 0
@@ -162,3 +167,6 @@ func (p *ProfileTracker) Seen() int64 { return p.t }
 
 // DistinctSeen returns the number of groups observed.
 func (p *ProfileTracker) DistinctSeen() int64 { return p.g }
+
+// Recomputes returns how many MLE recomputations (Algorithm 3) have run.
+func (p *ProfileTracker) Recomputes() int64 { return p.recomputes.Load() }

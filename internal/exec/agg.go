@@ -158,6 +158,15 @@ type HashAgg struct {
 	computed  bool
 	inputRows int64
 	buf       data.Batch
+	spanEnded bool
+}
+
+// endEmitSpan closes the emit span exactly once, when all groups are out.
+func (a *HashAgg) endEmitSpan() {
+	if !a.spanEnded {
+		a.spanEnded = true
+		a.traceEnd("emit", a.stats.Emitted.Load(), 0, 0)
+	}
 }
 
 // groupState is one group's accumulators plus its observation count.
@@ -197,6 +206,7 @@ func (a *HashAgg) Next() (data.Tuple, error) {
 		}
 	}
 	if a.pos >= len(a.order) {
+		a.endEmitSpan()
 		return a.finish()
 	}
 	k := a.order[a.pos]
@@ -206,6 +216,7 @@ func (a *HashAgg) Next() (data.Tuple, error) {
 
 func (a *HashAgg) consume() error {
 	a.groups = map[data.Value]*groupState{}
+	a.traceBegin("input")
 	for {
 		if err := a.pollCtx(); err != nil {
 			return err
@@ -219,6 +230,8 @@ func (a *HashAgg) consume() error {
 		}
 		a.observe(t)
 	}
+	a.traceEnd("input", a.inputRows, 0, 0)
+	a.traceBegin("emit")
 	if a.OnInputEnd != nil {
 		a.OnInputEnd()
 	}
@@ -231,6 +244,7 @@ func (a *HashAgg) consume() error {
 // estimator behaviour is identical in both modes.
 func (a *HashAgg) consumeBatched() error {
 	a.groups = map[data.Value]*groupState{}
+	a.traceBegin("input")
 	in := AsBatch(a.child)
 	for {
 		if err := a.ctxErr(); err != nil {
@@ -247,6 +261,8 @@ func (a *HashAgg) consumeBatched() error {
 			a.observe(t)
 		}
 	}
+	a.traceEnd("input", a.inputRows, 0, 0)
+	a.traceBegin("emit")
 	if a.OnInputEnd != nil {
 		a.OnInputEnd()
 	}
@@ -301,7 +317,11 @@ func (a *HashAgg) NextBatch() (data.Batch, error) {
 		a.pos++
 	}
 	a.buf = out
-	return a.emitBatch(out)
+	bt, err := a.emitBatch(out)
+	if bt == nil && err == nil {
+		a.endEmitSpan()
+	}
+	return bt, err
 }
 
 // GroupsSeen returns the number of distinct groups observed so far during
@@ -378,6 +398,7 @@ func (a *SortAgg) Next() (data.Tuple, error) {
 		return a.finish()
 	}
 	if !a.started {
+		a.traceBegin("aggregate")
 		t, err := a.sorter.Next()
 		if err != nil {
 			return nil, err
@@ -387,6 +408,7 @@ func (a *SortAgg) Next() (data.Tuple, error) {
 	}
 	if a.cur == nil {
 		a.done = true
+		a.traceEnd("aggregate", a.stats.Emitted.Load(), 0, 0)
 		return a.finish()
 	}
 	states := make([]*aggState, len(a.aggs))

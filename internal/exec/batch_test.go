@@ -93,8 +93,8 @@ func requireSameStats(t *testing.T, a, b Operator, label string) {
 	if sa.Emitted.Load() != sb.Emitted.Load() {
 		t.Errorf("%s: Emitted %d vs %d", label, sa.Emitted.Load(), sb.Emitted.Load())
 	}
-	if sa.Done != sb.Done {
-		t.Errorf("%s: Done %v vs %v", label, sa.Done, sb.Done)
+	if sa.IsDone() != sb.IsDone() {
+		t.Errorf("%s: Done %v vs %v", label, sa.IsDone(), sb.IsDone())
 	}
 }
 

@@ -62,7 +62,7 @@ func TestScanSequential(t *testing.T) {
 	if got := firstInts(rows, 0); len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Errorf("rows = %v", got)
 	}
-	if sc.Stats().Emitted.Load() != 3 || !sc.Stats().Done {
+	if sc.Stats().Emitted.Load() != 3 || !sc.Stats().IsDone() {
 		t.Errorf("stats = %+v", sc.Stats())
 	}
 	if sc.Stats().InputTotal != 3 {
@@ -728,7 +728,7 @@ func TestStatsTotalFloors(t *testing.T) {
 	if s.Total() != 20 {
 		t.Errorf("Total = %g", s.Total())
 	}
-	s.Done = true
+	s.MarkDone()
 	if s.Total() != 10 {
 		t.Errorf("done Total = %g", s.Total())
 	}

@@ -62,6 +62,9 @@ func (s *Sort) spillRun() error {
 		}
 	}
 	s.runs = append(s.runs, f)
+	s.stats.SpillFiles.Add(1)
+	s.stats.SpillBytes.Add(s.bufBytes)
+	s.traceMark("spill-run", int64(len(s.rows)), s.bufBytes)
 	s.rows = s.rows[:0]
 	s.bufBytes = 0
 	return nil

@@ -96,6 +96,7 @@ type HashJoin struct {
 	matchPos     int
 	probeTup     data.Tuple
 	joinedProbes int64 // probe tuples consumed in the join (second) pass
+	partProbes   int64 // joinedProbes at the current partition's start (trace counters)
 
 	// Batch output state: outBuf is the reused output batch, arena the
 	// bump allocator backing concatenated output tuples in batch mode.
@@ -314,6 +315,7 @@ func (j *HashJoin) Workers() int {
 func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
 	bytes []int64, p int, t data.Tuple, width int) error {
 	if spill != nil && spill[p] != nil {
+		j.stats.SpillBytes.Add(int64(t.Size()))
 		return spill[p].append(t)
 	}
 	parts[p] = append(parts[p], t)
@@ -335,6 +337,9 @@ func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
 			return err
 		}
 	}
+	j.stats.SpillFiles.Add(1)
+	j.stats.SpillBytes.Add(bytes[p])
+	j.traceMark("spill", int64(len(parts[p])), bytes[p])
 	parts[p] = nil
 	spill[p] = f
 	j.spilled++
@@ -521,6 +526,9 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 				return nil, err
 			}
 		}
+		if j.tracing() {
+			j.traceEnd(fmt.Sprintf("join[%d]", j.curPart), j.joinedProbes-j.partProbes, 0, 0)
+		}
 		j.curPart++
 		if j.curPart >= j.parts {
 			j.state = hjDone
@@ -549,6 +557,7 @@ func (j *HashJoin) partitionPhases() error {
 	j.initPartitions()
 	buildWidth := j.build.Schema().Len()
 	probeWidth := j.probe.Schema().Len()
+	j.traceBegin("build")
 	for {
 		if err := j.pollCtx(); err != nil {
 			return err
@@ -573,6 +582,8 @@ func (j *HashJoin) partitionPhases() error {
 			return err
 		}
 	}
+	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
+	j.traceBegin("probe")
 	for {
 		if err := j.pollCtx(); err != nil {
 			return err
@@ -604,6 +615,7 @@ func (j *HashJoin) partitionPhases() error {
 			return err
 		}
 	}
+	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
@@ -625,6 +637,10 @@ func (j *HashJoin) emitOut(out data.Tuple) (data.Tuple, error) {
 func (j *HashJoin) loadPartition(p int) error {
 	if err := j.ctxErr(); err != nil {
 		return err
+	}
+	if j.tracing() {
+		j.traceBegin(fmt.Sprintf("join[%d]", p))
+		j.partProbes = j.joinedProbes
 	}
 	buildTuples := j.buildParts[p]
 	if f := j.buildSpill[p]; f != nil {
@@ -687,6 +703,7 @@ func (j *HashJoin) Close() error {
 		}
 	}
 	j.buildSpill, j.probeSpill, j.probeFile = nil, nil, nil
+	j.traceMark("close", j.stats.Emitted.Load(), 0)
 	errs = append(errs, j.build.Close(), j.probe.Close())
 	return errors.Join(errs...)
 }

@@ -47,9 +47,11 @@ func (j *HashJoin) partitionPhasesBatched() error {
 		width:     j.build.Schema().Len(),
 		rows:      &j.buildRows,
 	}
+	j.traceBegin("build")
 	if err := j.partitionPassBatched(&build); err != nil {
 		return err
 	}
+	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
 	if j.OnBuildEnd != nil {
 		j.OnBuildEnd()
 	}
@@ -65,9 +67,11 @@ func (j *HashJoin) partitionPhasesBatched() error {
 		rows:      &j.probeRows,
 		keepNull:  j.joinType == ProbeOuterJoin || j.joinType == AntiJoin,
 	}
+	j.traceBegin("probe")
 	if err := j.partitionPassBatched(&probe); err != nil {
 		return err
 	}
+	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}

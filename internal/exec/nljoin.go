@@ -38,6 +38,8 @@ type NestedLoopsJoin struct {
 	innerRows []data.Tuple
 	index     map[data.Value][]data.Tuple
 	loaded    bool
+	innerRead int64
+	spanEnded bool
 
 	outerTup data.Tuple
 	matches  []data.Tuple
@@ -121,6 +123,10 @@ func (j *NestedLoopsJoin) Next() (data.Tuple, error) {
 			return nil, err
 		}
 		if t == nil {
+			if !j.spanEnded {
+				j.spanEnded = true
+				j.traceEnd("join", j.stats.Emitted.Load(), 0, 0)
+			}
 			return j.finish()
 		}
 		if j.OnOuterTuple != nil {
@@ -148,6 +154,7 @@ func (j *NestedLoopsJoin) Next() (data.Tuple, error) {
 }
 
 func (j *NestedLoopsJoin) loadInner() error {
+	j.traceBegin("inner-build")
 	if j.Indexed {
 		j.index = map[data.Value][]data.Tuple{}
 	}
@@ -162,6 +169,7 @@ func (j *NestedLoopsJoin) loadInner() error {
 		if t == nil {
 			break
 		}
+		j.innerRead++
 		if j.OnInnerTuple != nil {
 			j.OnInnerTuple(t)
 		}
@@ -176,6 +184,8 @@ func (j *NestedLoopsJoin) loadInner() error {
 		}
 	}
 	j.loaded = true
+	j.traceEnd("inner-build", j.innerRead, 0, 0)
+	j.traceBegin("join")
 	return nil
 }
 

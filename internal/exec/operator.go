@@ -12,9 +12,11 @@ package exec
 
 import (
 	"context"
+	"math"
 	"sync/atomic"
 
 	"qpi/internal/data"
+	"qpi/internal/obs"
 )
 
 // Operator is the Volcano iterator contract. Next returns a nil tuple when
@@ -40,42 +42,108 @@ type Operator interface {
 // Stats carries the live execution counters of one operator.
 //
 // Emitted is the K_i of the gnm model: the number of getnext() calls this
-// operator has satisfied. It is atomic so progress monitors and tickers
-// can read it from other goroutines while batch workers run (and so the
-// race detector stays quiet under the parallel partition pass). EstTotal
-// is the current estimate of N_i, the total number of getnext() calls
-// over the operator's lifetime; it starts as the optimizer estimate and
-// is refined online by the estimators.
+// operator has satisfied. Every live field is atomic so progress
+// monitors, metrics scrapers and the HTTP observability endpoint can
+// read Stats from other goroutines while the plan (including the
+// parallel partition pass) runs, with no locks and a quiet race
+// detector. The estimate of N_i — the total number of getnext() calls
+// over the operator's lifetime — starts as the optimizer estimate and
+// is refined online by the estimators; read it with Estimate/Source.
 type Stats struct {
-	Emitted    atomic.Int64 // K_i: tuples emitted so far
-	EstTotal   float64      // current estimate of N_i
-	EstSource  string       // provenance: "optimizer", "once", "dne", "byte", "exact"
-	Done       bool         // operator exhausted (Emitted is exact N_i)
-	InputTotal int64        // leaf scans: total rows in the underlying table
+	Emitted atomic.Int64 // K_i: tuples emitted so far
+
+	// Observability counters, incremented on amortized slow paths
+	// (per batch, per spill switchover) so tracing them is ~free.
+	Batches    atomic.Int64 // batches emitted (batch mode)
+	SpillFiles atomic.Int64 // spill files created by this operator
+	SpillBytes atomic.Int64 // bytes written to spill files
+
+	estBits atomic.Uint64          // math.Float64bits of the N_i estimate
+	estSrc  atomic.Pointer[string] // provenance (nil = not yet estimated)
+	done    atomic.Bool            // operator exhausted (Emitted is exact N_i)
+
+	// Plan-time fields, written before execution starts and constant
+	// afterwards (safe to read concurrently without atomics).
+	InputTotal int64 // leaf scans: total rows in the underlying table
 	// GroupsHint preserves an aggregation's distinct-count belief before
 	// it is capped at the (possibly misestimated) input cardinality, so
 	// progress refinement can re-cap when the input belief changes.
 	GroupsHint float64
 }
 
+// Interned provenance strings so SetEstimate does not allocate for the
+// common sources on every estimator publish.
+var (
+	srcOptimizer = "optimizer"
+	srcOnce      = "once"
+	srcOnceExact = "once-exact"
+	srcDNE       = "dne"
+	srcByte      = "byte"
+	srcExact     = "exact"
+	srcGEE       = "gee"
+	srcMLE       = "mle"
+)
+
+func internSource(s string) *string {
+	switch s {
+	case "optimizer":
+		return &srcOptimizer
+	case "once":
+		return &srcOnce
+	case "once-exact":
+		return &srcOnceExact
+	case "dne":
+		return &srcDNE
+	case "byte":
+		return &srcByte
+	case "exact":
+		return &srcExact
+	case "gee":
+		return &srcGEE
+	case "mle":
+		return &srcMLE
+	}
+	return &s
+}
+
 // SetEstimate records a refined estimate of the operator's total output.
 func (s *Stats) SetEstimate(total float64, source string) {
-	s.EstTotal = total
-	s.EstSource = source
+	s.estBits.Store(math.Float64bits(total))
+	s.estSrc.Store(internSource(source))
 }
+
+// Estimate returns the current estimate of N_i.
+func (s *Stats) Estimate() float64 {
+	return math.Float64frombits(s.estBits.Load())
+}
+
+// Source returns the estimate's provenance: "optimizer", "once",
+// "once-exact", "dne", "byte", "exact", ... ("" before any estimate).
+func (s *Stats) Source() string {
+	if p := s.estSrc.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// MarkDone records that the operator is exhausted (Emitted is exact N_i).
+func (s *Stats) MarkDone() { s.done.Store(true) }
+
+// IsDone reports whether the operator has been exhausted.
+func (s *Stats) IsDone() bool { return s.done.Load() }
 
 // Total returns the best current belief about N_i: exact when done,
 // the refined estimate otherwise (never below what has already been
 // emitted).
 func (s *Stats) Total() float64 {
 	emitted := float64(s.Emitted.Load())
-	if s.Done {
+	if s.done.Load() {
 		return emitted
 	}
-	if s.EstTotal < emitted {
-		return emitted
+	if est := s.Estimate(); est >= emitted {
+		return est
 	}
-	return s.EstTotal
+	return emitted
 }
 
 // base provides the shared bookkeeping for operators.
@@ -89,6 +157,12 @@ type base struct {
 	// whole plan within a bounded amount of work.
 	ctx     context.Context
 	ctxTick uint32
+
+	// tr is the plan's tracer, installed by BindTracer before execution
+	// (nil = tracing disabled). trLabel caches the operator's Name() at
+	// bind time so emission sites never re-render labels.
+	tr      *obs.Tracer
+	trLabel string
 }
 
 func (b *base) Stats() *Stats        { return &b.stats }
@@ -96,6 +170,59 @@ func (b *base) Schema() *data.Schema { return b.schema }
 
 // BindContext installs the plan's cancellation context (see Bind).
 func (b *base) BindContext(ctx context.Context) { b.ctx = ctx }
+
+// bindTracer installs the plan's tracer and the operator's cached label.
+func (b *base) bindTracer(tr *obs.Tracer, label string) {
+	b.tr = tr
+	b.trLabel = label
+}
+
+// traceBegin opens a phase span if tracing is enabled. The nil-check is
+// the entire cost of the disabled path at every emission site.
+func (b *base) traceBegin(phase string) {
+	if b.tr != nil {
+		b.tr.Begin(b.trLabel, phase)
+	}
+}
+
+// traceEnd closes a phase span with the phase's counters.
+func (b *base) traceEnd(phase string, tuples, bytes, spills int64) {
+	if b.tr != nil {
+		b.tr.End(b.trLabel, phase, tuples, bytes, spills)
+	}
+}
+
+// traceMark records a point event.
+func (b *base) traceMark(phase string, tuples, bytes int64) {
+	if b.tr != nil {
+		b.tr.Mark(b.trLabel, phase, tuples, bytes)
+	}
+}
+
+// tracing reports whether a tracer is bound (for sites that need to
+// assemble counters before emitting).
+func (b *base) tracing() bool { return b.tr != nil }
+
+// TraceBinder is implemented by every operator embedding base; BindTracer
+// uses it to thread a tracer through a plan.
+type TraceBinder interface {
+	bindTracer(tr *obs.Tracer, label string)
+}
+
+// BindTracer installs tr as the trace sink of every operator in the
+// plan, caching each operator's Name() as its span label. Like Bind it
+// must be called before Open; a nil tr is a no-op (and leaves the
+// executor on its zero-cost untraced path).
+func BindTracer(root Operator, tr *obs.Tracer) {
+	if tr == nil {
+		return
+	}
+	Walk(root, func(op Operator) {
+		if tb, ok := op.(TraceBinder); ok {
+			tb.bindTracer(tr, op.Name())
+		}
+	})
+}
 
 // pollCtx is the amortized per-tuple cancellation check: one increment
 // and branch per call, a real ctx.Err() every 128th call, so the hot
@@ -153,16 +280,17 @@ func (b *base) emit(t data.Tuple) (data.Tuple, error) {
 // operator done, keeping NextBatch bodies terse.
 func (b *base) emitBatch(bt data.Batch) (data.Batch, error) {
 	if len(bt) == 0 {
-		b.stats.Done = true
+		b.stats.MarkDone()
 		return nil, nil
 	}
 	b.stats.Emitted.Add(int64(len(bt)))
+	b.stats.Batches.Add(1)
 	return bt, nil
 }
 
 // finish marks the operator done.
 func (b *base) finish() (data.Tuple, error) {
-	b.stats.Done = true
+	b.stats.MarkDone()
 	return nil, nil
 }
 

@@ -31,6 +31,7 @@ type Scan struct {
 	it         *storage.Iterator
 	sampleLeft int
 	punctuated bool
+	spanEnded  bool
 	batch      data.Batch
 }
 
@@ -76,7 +77,26 @@ func (s *Scan) Open() error {
 	}
 	s.sampleLeft = s.it.SampleBoundary()
 	s.punctuated = s.sampleLeft == 0
+	s.traceBegin("scan")
 	return nil
+}
+
+// punctuate fires the sample-end hook and mark exactly once, at the
+// boundary between the random sample and the sequential remainder.
+func (s *Scan) punctuate() {
+	s.punctuated = true
+	s.traceMark("sample-end", s.stats.Emitted.Load(), 0)
+	if s.OnSampleEnd != nil {
+		s.OnSampleEnd()
+	}
+}
+
+// endSpan closes the scan span exactly once, when the table is exhausted.
+func (s *Scan) endSpan() {
+	if !s.spanEnded {
+		s.spanEnded = true
+		s.traceEnd("scan", s.stats.Emitted.Load(), 0, 0)
+	}
 }
 
 // Next implements Operator.
@@ -87,11 +107,9 @@ func (s *Scan) Next() (data.Tuple, error) {
 	t := s.it.Next()
 	if t == nil {
 		if !s.punctuated {
-			s.punctuated = true
-			if s.OnSampleEnd != nil {
-				s.OnSampleEnd()
-			}
+			s.punctuate()
 		}
+		s.endSpan()
 		return s.finish()
 	}
 	if s.OnTuple != nil {
@@ -100,10 +118,7 @@ func (s *Scan) Next() (data.Tuple, error) {
 	if !s.punctuated {
 		s.sampleLeft--
 		if s.sampleLeft == 0 {
-			s.punctuated = true
-			if s.OnSampleEnd != nil {
-				s.OnSampleEnd()
-			}
+			s.punctuate()
 		}
 	}
 	return s.emit(t)
@@ -125,12 +140,9 @@ func (s *Scan) NextBatch() (data.Batch, error) {
 		t := s.it.Next()
 		if t == nil {
 			if !s.punctuated {
-				s.punctuated = true
-				if s.OnSampleEnd != nil {
-					s.OnSampleEnd()
-				}
+				s.punctuate()
 			}
-			s.stats.Done = true
+			s.stats.MarkDone()
 			break
 		}
 		if s.OnTuple != nil {
@@ -139,16 +151,17 @@ func (s *Scan) NextBatch() (data.Batch, error) {
 		if !s.punctuated {
 			s.sampleLeft--
 			if s.sampleLeft == 0 {
-				s.punctuated = true
-				if s.OnSampleEnd != nil {
-					s.OnSampleEnd()
-				}
+				s.punctuate()
 			}
 		}
 		b = append(b, t)
 	}
 	s.batch = b
-	return s.emitBatch(b)
+	bt, err := s.emitBatch(b)
+	if bt == nil && err == nil {
+		s.endSpan()
+	}
+	return bt, err
 }
 
 // Close implements Operator.

@@ -25,9 +25,11 @@ type Sort struct {
 	// OnInputEnd fires when the input is exhausted, before output starts.
 	OnInputEnd func()
 
-	rows   []data.Tuple
-	pos    int
-	sorted bool
+	rows      []data.Tuple
+	pos       int
+	sorted    bool
+	inputRows int64 // total input tuples read (survives spill resets)
+	spanEnded bool
 
 	// External sorting (see extsort.go).
 	memBudget int64
@@ -70,6 +72,7 @@ func (s *Sort) Next() (data.Tuple, error) {
 		return nil, err
 	}
 	if !s.sorted {
+		s.traceBegin("input")
 		for {
 			if err := s.pollCtx(); err != nil {
 				return nil, err
@@ -84,6 +87,7 @@ func (s *Sort) Next() (data.Tuple, error) {
 			if s.OnInput != nil {
 				s.OnInput(t)
 			}
+			s.inputRows++
 			s.rows = append(s.rows, t)
 			if s.memBudget > 0 {
 				s.bufBytes += int64(t.Size())
@@ -94,6 +98,7 @@ func (s *Sort) Next() (data.Tuple, error) {
 				}
 			}
 		}
+		s.traceEnd("input", s.inputRows, 0, int64(len(s.runs)))
 		if s.OnInputEnd != nil {
 			s.OnInputEnd()
 		}
@@ -102,11 +107,13 @@ func (s *Sort) Next() (data.Tuple, error) {
 			if err := s.spillRun(); err != nil {
 				return nil, err
 			}
+			s.traceBegin("merge")
 			if err := s.startMerge(); err != nil {
 				return nil, err
 			}
 		} else {
 			sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
+			s.traceMark("sort", int64(len(s.rows)), 0)
 		}
 		s.sorted = true
 	}
@@ -116,6 +123,10 @@ func (s *Sort) Next() (data.Tuple, error) {
 			return nil, err
 		}
 		if t == nil {
+			if !s.spanEnded {
+				s.spanEnded = true
+				s.traceEnd("merge", s.stats.Emitted.Load(), 0, int64(len(s.runs)))
+			}
 			return s.finish()
 		}
 		return s.emit(t)
@@ -255,6 +266,7 @@ func (j *MergeJoin) Next() (data.Tuple, error) {
 		return j.finish()
 	}
 	if !j.started {
+		j.traceBegin("merge")
 		if err := j.nextLeft(); err != nil {
 			return nil, err
 		}
@@ -291,6 +303,7 @@ func (j *MergeJoin) Next() (data.Tuple, error) {
 		}
 		if j.leftTup == nil || j.rightTup == nil {
 			j.done = true
+			j.traceEnd("merge", j.leftRead+j.rightRead, 0, 0)
 			return j.finish()
 		}
 		lk := j.leftTup[j.leftKey]

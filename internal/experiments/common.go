@@ -127,7 +127,7 @@ func binaryJoinTrajectories(cat *catalog.Catalog, build, probe *storage.Table,
 		buildOp.Schema().MustResolve(build.Name(), buildCol),
 		probeScan.Schema().MustResolve(probe.Name(), probeCol))
 	plan.EstimateCardinalities(j, cat)
-	optEst = j.Stats().EstTotal
+	optEst = j.Stats().Estimate()
 
 	att := core.Attach(j)
 	pe := att.ChainOf[j]

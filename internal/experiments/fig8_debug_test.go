@@ -23,7 +23,7 @@ func TestFigure8OptimizerMisestimatesPipeline(t *testing.T) {
 	root := q8Plan(cat, cfg)
 	plan.EstimateCardinalities(root, cat)
 	optEst := map[exec.Operator]float64{}
-	exec.Walk(root, func(op exec.Operator) { optEst[op] = op.Stats().EstTotal })
+	exec.Walk(root, func(op exec.Operator) { optEst[op] = op.Stats().Estimate() })
 	core.Attach(root)
 	if _, err := exec.Run(root); err != nil {
 		t.Fatal(err)
@@ -35,11 +35,11 @@ func TestFigure8OptimizerMisestimatesPipeline(t *testing.T) {
 			return
 		}
 		truth := float64(j.Stats().Emitted.Load())
-		if j.Stats().EstSource != "once-exact" {
-			t.Errorf("%s: source %q", j.Name(), j.Stats().EstSource)
+		if j.Stats().Source() != "once-exact" {
+			t.Errorf("%s: source %q", j.Name(), j.Stats().Source())
 		}
-		if truth > 0 && j.Stats().EstTotal != truth {
-			t.Errorf("%s: converged est %g != %g", j.Name(), j.Stats().EstTotal, truth)
+		if truth > 0 && j.Stats().Estimate() != truth {
+			t.Errorf("%s: converged est %g != %g", j.Name(), j.Stats().Estimate(), truth)
 		}
 		if truth > 0 && optEst[j] > 0 {
 			r := truth / optEst[j]

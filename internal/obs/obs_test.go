@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerSafe: every method must be a no-op on a nil receiver — the
+// executor calls them behind nil checks, but estimator helpers may not.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Begin("op", "phase")
+	tr.End("op", "phase", 1, 2, 3)
+	tr.Mark("op", "phase", 1, 2)
+	tr.Refine("op", "d", 1.5, "once")
+	tr.Transition("op", "d", "gee", "mle", 11)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Errorf("nil tracer recorded events")
+	}
+	if tr.Dump() != "" {
+		t.Errorf("nil tracer dump = %q", tr.Dump())
+	}
+}
+
+func TestEventSequenceAndFields(t *testing.T) {
+	tr := New()
+	tr.Begin("HashJoin", "build")
+	tr.End("HashJoin", "build", 100, 2048, 1)
+	tr.Refine("HashJoin", "pipeline", 123.5, "once")
+	tr.Transition("HashJoin", "pipeline", "once", "once-exact", 0)
+	tr.Mark("Scan", "sample-end", 50, 0)
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i)+1 {
+			t.Errorf("event %d seq = %d", i, e.Seq)
+		}
+		if i > 0 && e.Elapsed < evs[i-1].Elapsed {
+			t.Errorf("elapsed not monotone at %d", i)
+		}
+	}
+	kinds := []EventKind{SpanBegin, SpanEnd, EstimateRefined, SourceTransition, Mark}
+	for i, k := range kinds {
+		if evs[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, evs[i].Kind, k)
+		}
+	}
+	if evs[1].Tuples != 100 || evs[1].Bytes != 2048 || evs[1].Spills != 1 {
+		t.Errorf("end counters = %+v", evs[1])
+	}
+	if evs[2].Estimate != 123.5 || evs[2].To != "once" {
+		t.Errorf("refine = %+v", evs[2])
+	}
+	if evs[3].From != "once" || evs[3].To != "once-exact" {
+		t.Errorf("transition = %+v", evs[3])
+	}
+}
+
+// TestEventsSnapshotIsolated: the returned slice must not alias the
+// tracer's internal buffer.
+func TestEventsSnapshotIsolated(t *testing.T) {
+	tr := New()
+	tr.Begin("a", "p")
+	evs := tr.Events()
+	tr.Begin("b", "p")
+	if len(evs) != 1 {
+		t.Fatalf("snapshot grew: %d", len(evs))
+	}
+	evs[0].Op = "mutated"
+	if tr.Events()[0].Op != "a" {
+		t.Error("snapshot aliases internal buffer")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Mark("op", "p", int64(i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	evs := tr.Events()
+	if len(evs) != 800 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	seen := map[int64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	tr := New()
+	tr.Begin("Scan(r)", "scan")
+	tr.End("Scan(r)", "scan", 10, 0, 0)
+	d := tr.Dump()
+	if !strings.Contains(d, "Scan(r)") || !strings.Contains(d, "scan") {
+		t.Errorf("dump missing fields:\n%s", d)
+	}
+	if len(strings.Split(strings.TrimSpace(d), "\n")) != 2 {
+		t.Errorf("dump lines:\n%s", d)
+	}
+}

@@ -35,7 +35,7 @@ func TestOptimizerSemiAntiOuterEstimates(t *testing.T) {
 	mk := func(jt exec.JoinType) float64 {
 		j := exec.NewHashJoinTyped(exec.NewScan(tb, ""), exec.NewScan(ta, ""), 0, 0, jt)
 		EstimateCardinalities(j, cat)
-		return j.Stats().EstTotal
+		return j.Stats().Estimate()
 	}
 	semi := mk(exec.SemiJoin)
 	anti := mk(exec.AntiJoin)
@@ -64,16 +64,16 @@ func TestOptimizerSortProjectLimitEstimates(t *testing.T) {
 	p := exec.NewProject(s, []expr.Expr{expr.Col{Index: 0}}, []string{"k"})
 	l := exec.NewLimit(p, 5)
 	EstimateCardinalities(l, cat)
-	if s.Stats().EstTotal != 300 {
-		t.Errorf("sort est = %g", s.Stats().EstTotal)
+	if s.Stats().Estimate() != 300 {
+		t.Errorf("sort est = %g", s.Stats().Estimate())
 	}
-	if p.Stats().EstTotal != 300 {
-		t.Errorf("project est = %g", p.Stats().EstTotal)
+	if p.Stats().Estimate() != 300 {
+		t.Errorf("project est = %g", p.Stats().Estimate())
 	}
 	// Limit inherits the child estimate (clamping to n is left to the
 	// Total floor logic at runtime).
-	if l.Stats().EstTotal != 300 {
-		t.Errorf("limit est = %g", l.Stats().EstTotal)
+	if l.Stats().Estimate() != 300 {
+		t.Errorf("limit est = %g", l.Stats().Estimate())
 	}
 }
 
@@ -84,20 +84,20 @@ func TestOptimizerNLJoinEstimates(t *testing.T) {
 
 	idx := exec.NewIndexedNLJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""), 0, 0)
 	EstimateCardinalities(idx, cat)
-	if got := idx.Stats().EstTotal; got != 200*100/20 {
+	if got := idx.Stats().Estimate(); got != 200*100/20 {
 		t.Errorf("indexed NL est = %g, want 1000", got)
 	}
 
 	cross := exec.NewNestedLoopsJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""), nil)
 	EstimateCardinalities(cross, cat)
-	if got := cross.Stats().EstTotal; got != 200*100 {
+	if got := cross.Stats().Estimate(); got != 200*100 {
 		t.Errorf("cross est = %g, want 20000", got)
 	}
 
 	theta := exec.NewNestedLoopsJoin(exec.NewScan(ta, ""), exec.NewScan(tb, ""),
 		expr.Compare(expr.LT, expr.Col{Index: 0}, expr.Col{Index: 1}))
 	EstimateCardinalities(theta, cat)
-	if got := theta.Stats().EstTotal; got != 200*100*defaultSelectivity {
+	if got := theta.Stats().Estimate(); got != 200*100*defaultSelectivity {
 		t.Errorf("theta est = %g", got)
 	}
 }
@@ -108,7 +108,7 @@ func TestOptimizerSortAggEstimate(t *testing.T) {
 	agg := exec.NewSortAgg(exec.NewScan(ta, ""), []int{0},
 		[]exec.AggSpec{{Func: exec.CountStar}})
 	EstimateCardinalities(agg, cat)
-	if got := agg.Stats().EstTotal; got != 25 {
+	if got := agg.Stats().Estimate(); got != 25 {
 		t.Errorf("sort-agg est = %g, want 25", got)
 	}
 	if agg.Stats().GroupsHint != 25 {
@@ -126,7 +126,7 @@ func TestOptimizerMissingStatsFallsBack(t *testing.T) {
 	EstimateCardinalities(j, cat)
 	// Without distinct counts both sides fall back to row counts:
 	// 100·100/max(100,100) = 100.
-	if got := j.Stats().EstTotal; got != 100 {
+	if got := j.Stats().Estimate(); got != 100 {
 		t.Errorf("stat-less join est = %g, want 100", got)
 	}
 }

@@ -68,7 +68,7 @@ func (p *Pipeline) EstimatedTotal() float64 {
 // Done reports whether every operator in the pipeline has finished.
 func (p *Pipeline) Done() bool {
 	for _, o := range p.Ops {
-		if !o.Stats().Done {
+		if !o.Stats().IsDone() {
 			return false
 		}
 	}
@@ -78,7 +78,7 @@ func (p *Pipeline) Done() bool {
 // Started reports whether any operator in the pipeline has produced output.
 func (p *Pipeline) Started() bool {
 	for _, o := range p.Ops {
-		if o.Stats().Emitted.Load() > 0 || o.Stats().Done {
+		if o.Stats().Emitted.Load() > 0 || o.Stats().IsDone() {
 			return true
 		}
 	}
@@ -173,7 +173,7 @@ func Explain(root exec.Operator) string {
 	rec = func(op exec.Operator, depth int) {
 		st := op.Stats()
 		fmt.Fprintf(&b, "%s%s  (est=%.0f src=%s emitted=%d)\n",
-			strings.Repeat("  ", depth), op.Name(), st.EstTotal, st.EstSource, st.Emitted.Load())
+			strings.Repeat("  ", depth), op.Name(), st.Estimate(), st.Source(), st.Emitted.Load())
 		for _, c := range op.Children() {
 			rec(c, depth+1)
 		}

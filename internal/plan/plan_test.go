@@ -143,11 +143,11 @@ func TestOptimizerScanAndFilterEstimates(t *testing.T) {
 	f := exec.NewFilter(sc, expr.Compare(expr.EQ,
 		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(7)))
 	EstimateCardinalities(f, cat)
-	if sc.Stats().EstTotal != 1000 {
-		t.Errorf("scan est = %g", sc.Stats().EstTotal)
+	if sc.Stats().Estimate() != 1000 {
+		t.Errorf("scan est = %g", sc.Stats().Estimate())
 	}
 	// equality on a column with 100 distinct values → 1000/100 = 10.
-	if got := f.Stats().EstTotal; math.Abs(got-10) > 0.001 {
+	if got := f.Stats().Estimate(); math.Abs(got-10) > 0.001 {
 		t.Errorf("filter est = %g, want 10", got)
 	}
 }
@@ -165,7 +165,7 @@ func TestOptimizerRangeSelectivity(t *testing.T) {
 		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(26)))
 	EstimateCardinalities(f, cat)
 	// (26-1)/(100-1) ≈ 0.2525 → ~25 rows.
-	got := f.Stats().EstTotal
+	got := f.Stats().Estimate()
 	if got < 20 || got > 30 {
 		t.Errorf("range filter est = %g, want ~25", got)
 	}
@@ -184,7 +184,7 @@ func TestOptimizerJoinUniformIsAccurate(t *testing.T) {
 	j := exec.NewHashJoinOn(exec.NewScan(ta, ""), exec.NewScan(tb, ""), "a", "k", "b", "k")
 	EstimateCardinalities(j, cat)
 	// True size: 50 keys × 20 × 20 = 20000; uniform estimate 1000·1000/50.
-	if got := j.Stats().EstTotal; math.Abs(got-20000) > 1 {
+	if got := j.Stats().Estimate(); math.Abs(got-20000) > 1 {
 		t.Errorf("join est = %g, want 20000", got)
 	}
 }
@@ -203,7 +203,7 @@ func TestOptimizerMisestimatesSkewedJoins(t *testing.T) {
 	j := exec.NewHashJoinOn(exec.NewScan(ta, ""), exec.NewScan(tb, ""),
 		"a", "nationkey", "b", "nationkey")
 	EstimateCardinalities(j, cat)
-	est := j.Stats().EstTotal
+	est := j.Stats().Estimate()
 	n, err := exec.Run(j)
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +225,7 @@ func TestOptimizerGroupByEstimate(t *testing.T) {
 	agg := exec.NewHashAgg(exec.NewScan(tb, ""), []int{0},
 		[]exec.AggSpec{{Func: exec.CountStar}})
 	EstimateCardinalities(agg, cat)
-	if got := agg.Stats().EstTotal; got != 25 {
+	if got := agg.Stats().Estimate(); got != 25 {
 		t.Errorf("group-by est = %g, want 25", got)
 	}
 }
@@ -236,7 +236,7 @@ func TestOptimizerWithoutCatalogFallsBack(t *testing.T) {
 	f := exec.NewFilter(sc, expr.Compare(expr.EQ,
 		expr.Column(sc.Schema(), "t", "k"), expr.IntLit(1)))
 	EstimateCardinalities(f, nil)
-	if got := f.Stats().EstTotal; math.Abs(got-3*defaultEqSelectivity) > 1e-9 {
+	if got := f.Stats().Estimate(); math.Abs(got-3*defaultEqSelectivity) > 1e-9 {
 		t.Errorf("fallback est = %g", got)
 	}
 }

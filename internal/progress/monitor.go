@@ -22,6 +22,7 @@ import (
 	"qpi/internal/core"
 	"qpi/internal/data"
 	"qpi/internal/exec"
+	"qpi/internal/obs"
 	"qpi/internal/plan"
 )
 
@@ -88,12 +89,19 @@ type Monitor struct {
 
 	// optimizer estimates captured at construction, per operator, so that
 	// the dne/byte baselines always blend against the original optimizer
-	// belief even after the online framework overwrote Stats.EstTotal.
+	// belief even after the online framework overwrote Stats.Estimate().
 	optimizer map[exec.Operator]float64
 
 	// att gives access to the chain estimators' confidence intervals
 	// (ProgressInterval); nil outside ModeOnce.
 	att *core.Attachment
+
+	// tr, when bound, receives pipeline lifecycle events. The one-shot
+	// flags make emission idempotent and safe from any goroutine that
+	// snapshots the monitor while the query runs.
+	tr        *obs.Tracer
+	plStarted []atomic.Bool
+	plDone    []atomic.Bool
 }
 
 // NewMonitor builds a monitor for a plan whose optimizer estimates have
@@ -114,13 +122,46 @@ func NewMonitorWith(root exec.Operator, mode Mode, att *core.Attachment) *Monito
 		att:       att,
 	}
 	exec.Walk(root, func(op exec.Operator) {
-		m.optimizer[op] = op.Stats().EstTotal
+		m.optimizer[op] = op.Stats().Estimate()
 	})
 	return m
 }
 
 // Pipelines returns the plan's pipelines.
 func (m *Monitor) Pipelines() []*plan.Pipeline { return m.pipelines }
+
+// BindTracer routes pipeline lifecycle events (start, finish) into tr.
+// Call before execution starts; nil disables.
+func (m *Monitor) BindTracer(tr *obs.Tracer) {
+	m.tr = tr
+	if tr != nil {
+		m.plStarted = make([]atomic.Bool, len(m.pipelines))
+		m.plDone = make([]atomic.Bool, len(m.pipelines))
+	}
+}
+
+// tracePipelines emits a one-shot Mark event the first time each pipeline
+// is observed started and finished. Invoked from snapshots and Finish, so
+// a pipeline that starts and completes between two ticks still gets both
+// events (in order) at the next observation.
+func (m *Monitor) tracePipelines() {
+	if m.tr == nil {
+		return
+	}
+	for i, p := range m.pipelines {
+		label := fmt.Sprintf("pipeline[%d]", p.ID)
+		if p.Started() && m.plStarted[i].CompareAndSwap(false, true) {
+			m.tr.Mark(label, "start", 0, 0)
+		}
+		if p.Done() && m.plDone[i].CompareAndSwap(false, true) {
+			var c int64
+			for _, op := range p.Ops {
+				c += op.Stats().Emitted.Load()
+			}
+			m.tr.Mark(label, "finish", c, 0)
+		}
+	}
+}
 
 // OptimizerEstimate returns the optimizer estimate captured for op at
 // monitor construction (0 when unknown).
@@ -142,6 +183,7 @@ func (m *Monitor) Finish(err error) {
 	default:
 		m.state.Store(int32(StateFailed))
 	}
+	m.tracePipelines()
 }
 
 // State returns the query's lifecycle state.
@@ -150,7 +192,7 @@ func (m *Monitor) State() State { return State(m.state.Load()) }
 // opTotal returns the monitor's belief about one operator's N_i.
 func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 	st := op.Stats()
-	if st.Done {
+	if st.IsDone() {
 		return float64(st.Emitted.Load())
 	}
 	if !pipelineStarted {
@@ -165,8 +207,8 @@ func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 	case ModeByte:
 		return floorAt(core.ByteEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
 	default:
-		if strings.HasPrefix(st.EstSource, "once") || st.EstSource == "gee" ||
-			st.EstSource == "mle" || st.EstSource == "agg-pushdown" || st.EstSource == "exact" {
+		if strings.HasPrefix(st.Source(), "once") || st.Source() == "gee" ||
+			st.Source() == "mle" || st.Source() == "agg-pushdown" || st.Source() == "exact" {
 			return st.Total()
 		}
 		// §4.3/§4.4: operators without a push-down estimator use dne.
@@ -181,7 +223,7 @@ func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 // unary operator cannot exceed its input where output ≤ input holds).
 func (m *Monitor) refineFuture(op exec.Operator) float64 {
 	st := op.Stats()
-	if st.Done {
+	if st.IsDone() {
 		return float64(st.Emitted.Load())
 	}
 	// An operator that has already produced output (its own pipeline is
@@ -191,7 +233,7 @@ func (m *Monitor) refineFuture(op exec.Operator) float64 {
 	}
 	// Already refined by an online estimator (e.g. a converged chain
 	// below a pending aggregation): trust it.
-	if src := st.EstSource; src != "optimizer" && src != "" {
+	if src := st.Source(); src != "optimizer" && src != "" {
 		return st.Total()
 	}
 	children := op.Children()
@@ -251,7 +293,7 @@ func (m *Monitor) ProgressInterval(alpha float64) (lo, hi float64) {
 		for _, op := range p.Ops {
 			point := m.opTotal(op, started)
 			l, h := point, point
-			if m.att != nil && !op.Stats().Done {
+			if m.att != nil && !op.Stats().IsDone() {
 				if pe := m.att.ChainOf[op]; pe != nil && pe.ProbeTuplesSeen() > 0 {
 					l, h = pe.ConfidenceInterval(m.att.LevelOf[op], alpha)
 				}
@@ -336,6 +378,7 @@ type Report struct {
 
 // Report captures a full snapshot.
 func (m *Monitor) Report() Report {
+	m.tracePipelines()
 	r := Report{Mode: m.mode, State: m.State()}
 	for _, p := range m.pipelines {
 		started := p.Started()

@@ -114,7 +114,7 @@ func TestOnceProgressBeatsDNEOnSkew(t *testing.T) {
 		plan.EstimateCardinalities(j, cat)
 		// Degrade the optimizer estimate by 10x to mimic the paper's
 		// misestimation scenario.
-		j.Stats().SetEstimate(j.Stats().EstTotal/10, "optimizer")
+		j.Stats().SetEstimate(j.Stats().Estimate()/10, "optimizer")
 		if mode == ModeOnce {
 			core.Attach(j)
 		}
@@ -224,7 +224,7 @@ func TestFuturePipelineUsesOptimizerEstimate(t *testing.T) {
 	m := NewMonitor(j, ModeOnce)
 	_, tTot := m.Totals()
 	// T should include: both scans (100+100), join optimizer estimate.
-	want := 200 + j.Stats().EstTotal
+	want := 200 + j.Stats().Estimate()
 	if math.Abs(tTot-want) > 1e-6 {
 		t.Errorf("T(Q) = %g, want %g", tTot, want)
 	}

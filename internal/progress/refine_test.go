@@ -77,7 +77,7 @@ func TestRefineFutureScalesWithRefinedInputs(t *testing.T) {
 	j := exec.NewHashJoin(f, exec.NewScan(tb, ""), 0, 0)
 	plan.EstimateCardinalities(j, cat)
 	f.Stats().SetEstimate(100, "optimizer") // wrong guess: 10%
-	origJoinEst := j.Stats().EstTotal
+	origJoinEst := j.Stats().Estimate()
 
 	m := NewMonitor(j, ModeOnce)
 	// Drive the filter halfway: dne sees selectivity ~1.0.

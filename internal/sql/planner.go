@@ -150,7 +150,7 @@ func (p *planner) plan(stmt *SelectStmt) (exec.Operator, error) {
 		}
 		r.op = op
 		plan.EstimateCardinalities(op, p.cat)
-		r.rows = op.Stats().EstTotal
+		r.rows = op.Stats().Estimate()
 	}
 
 	// Inner core: greedy left-deep chain, largest input as the stream.

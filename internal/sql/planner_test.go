@@ -275,8 +275,8 @@ func TestPlannerProducesHashChainForEstimation(t *testing.T) {
 	exec.Walk(root, func(op exec.Operator) {
 		if j, ok := op.(*exec.HashJoin); ok {
 			joins++
-			if j.Stats().EstSource != "once-exact" {
-				t.Errorf("join %s source = %q", j.Name(), j.Stats().EstSource)
+			if j.Stats().Source() != "once-exact" {
+				t.Errorf("join %s source = %q", j.Name(), j.Stats().Source())
 			}
 		}
 	})

@@ -18,7 +18,16 @@
 //	eng.MustCreateSkewedTable("r", 100000, 1, qpi.SkewedColumn{Name: "k", Domain: 5000, Zipf: 1})
 //	eng.MustCreateSkewedTable("s", 100000, 2, qpi.SkewedColumn{Name: "k", Domain: 5000, Zipf: 1, PermSeed: 9})
 //	q := eng.MustQuery("SELECT r.k, COUNT(*) c FROM r JOIN s ON r.k = s.k GROUP BY r.k")
-//	rows, _ := q.Run(func(r qpi.Report) { fmt.Printf("\r%5.1f%%", 100*r.Progress) }, 10000)
+//	rows, _ := q.Run(ctx, qpi.WithProgress(func(r qpi.Report) {
+//	    fmt.Printf("\r%5.1f%%", 100*r.Progress)
+//	}, 10000))
+//
+// Observability composes through run options and channels: WithTrace
+// records a replayable event stream of operator phase spans and
+// estimator refinements, WithMetrics and Query.Metrics expose counter
+// roll-ups, Query.Subscribe streams progress snapshots to other
+// goroutines, and Serve exports a registered workload as Prometheus-style
+// text and JSON over HTTP.
 package qpi
 
 import (

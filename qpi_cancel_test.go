@@ -36,7 +36,7 @@ func TestQueryStartRace(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if r, err := q.Start(1000); err == nil {
+			if r, err := q.Start(nil, WithInterval(1000)); err == nil {
 				wins <- r
 			}
 		}()
@@ -54,7 +54,7 @@ func TestQueryStartRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The claim also blocks the synchronous entry points afterwards.
-	if _, err := q.Run(nil, 0); err == nil {
+	if _, err := q.Run(nil); err == nil {
 		t.Error("Run accepted an already-started query")
 	}
 	if _, err := q.Rows(); err == nil {
@@ -205,7 +205,7 @@ func TestRunProgressCallbackBatched(t *testing.T) {
 	q := bigJoinEngine(t).MustQuery(
 		"SELECT r.k FROM r JOIN s ON r.k = s.k", WithBatchExecution(4))
 	var reports []Report
-	if _, err := q.Run(func(r Report) { reports = append(reports, r) }, 2000); err != nil {
+	if _, err := q.Run(nil, WithProgress(func(r Report) { reports = append(reports, r) }, 2000)); err != nil {
 		t.Fatal(err)
 	}
 	if len(reports) < 2 {

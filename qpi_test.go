@@ -92,7 +92,7 @@ func TestHashJoinQueryWithProgress(t *testing.T) {
 	j := HashJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	q := e.MustCompile(j)
 	var reports []Report
-	n, err := q.Run(func(r Report) { reports = append(reports, r) }, 500)
+	n, err := q.Run(nil, WithProgress(func(r Report) { reports = append(reports, r) }, 500))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,8 @@ func TestHashJoinQueryWithProgress(t *testing.T) {
 	}
 	// The join estimate must have converged to the exact size during the
 	// probe pass.
-	est, src := q.EstimateOf()
+	oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 	if est != float64(n) {
 		t.Errorf("estimate %g != rows %d", est, n)
 	}
@@ -151,13 +152,13 @@ func TestSortMergeJoinQuery(t *testing.T) {
 	e := testEngine(t)
 	hj := HashJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	qh := e.MustCompile(hj)
-	nh, err := qh.Run(nil, 0)
+	nh, err := qh.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mj := SortMergeJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	qm := e.MustCompile(mj)
-	nm, err := qm.Run(nil, 0)
+	nm, err := qm.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,12 +171,12 @@ func TestIndexedNLJoinQuery(t *testing.T) {
 	e := testEngine(t)
 	j := IndexedNLJoin(e.MustScan("r"), e.MustScan("s"), Col("r", "k"), Col("s", "k"))
 	q := e.MustCompile(j)
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hj := HashJoin(e.MustScan("s"), e.MustScan("r"), Col("s", "k"), Col("r", "k"))
-	n2, err := e.MustCompile(hj).Run(nil, 0)
+	n2, err := e.MustCompile(hj).Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestCompileModesAndSampling(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := q.Run(nil, 0); err != nil {
+		if _, err := q.Run(nil); err != nil {
 			t.Fatal(err)
 		}
 		if p := q.Progress(); math.Abs(p-1) > 1e-9 {
@@ -212,7 +213,7 @@ func TestWithoutEstimators(t *testing.T) {
 	if q.att != nil {
 		t.Error("estimators attached despite WithoutEstimators")
 	}
-	if _, err := q.Run(nil, 0); err != nil {
+	if _, err := q.Run(nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -282,11 +283,12 @@ func TestPipelineChainThroughPublicAPI(t *testing.T) {
 	lower := HashJoin(e.MustScan("b"), e.MustScan("c"), Col("b", "x"), Col("c", "x"))
 	upper := HashJoin(e.MustScan("a"), lower, Col("a", "x"), Col("c", "x"))
 	q := e.MustCompile(upper)
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, src := q.EstimateOf()
+	oe, _ := q.EstimateOf("")
+	est, src := oe.Estimate, oe.Source
 	if est != float64(n) || src != "once-exact" {
 		t.Errorf("top join estimate %g (%s), want exact %d", est, src, n)
 	}
@@ -369,14 +371,14 @@ func TestDashboard(t *testing.T) {
 	if d.Overall() != 0 {
 		t.Errorf("initial overall = %g", d.Overall())
 	}
-	if _, err := q1.Run(nil, 0); err != nil {
+	if _, err := q1.Run(nil); err != nil {
 		t.Fatal(err)
 	}
 	mid := d.Overall()
 	if mid <= 0 || mid >= 1 {
 		t.Errorf("overall after one query = %g", mid)
 	}
-	if _, err := q2.Run(nil, 0); err != nil {
+	if _, err := q2.Run(nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := d.Overall(); math.Abs(got-1) > 1e-9 {
@@ -399,7 +401,7 @@ func TestWithMemoryBudget(t *testing.T) {
 	e := testEngine(t)
 	mk := func(opts ...CompileOption) int64 {
 		q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k ORDER BY k", opts...)
-		n, err := q.Run(nil, 0)
+		n, err := q.Run(nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -415,7 +417,7 @@ func TestWithMemoryBudget(t *testing.T) {
 	}
 	// The estimator must still converge exactly under spilling.
 	q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k", WithMemoryBudget(8*1024))
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,11 +435,11 @@ func TestStartBackgroundQuery(t *testing.T) {
 	e.MustCreateSkewedTable("r", 30000, 1, SkewedColumn{Name: "k", Domain: 500, Zipf: 1, PermSeed: 1})
 	e.MustCreateSkewedTable("s", 40000, 2, SkewedColumn{Name: "k", Domain: 500, Zipf: 1, PermSeed: 2})
 	q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k")
-	running, err := q.Start(2000)
+	running, err := q.Start(nil, WithInterval(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.Start(1); err == nil {
+	if _, err := q.Start(nil, WithInterval(1)); err == nil {
 		t.Error("second Start accepted")
 	}
 	// Poll from this (foreign) goroutine while the query runs.
@@ -476,7 +478,7 @@ func TestDriftReport(t *testing.T) {
 	if got := q.DriftReport(1.5); len(got) != 0 {
 		t.Errorf("drift before execution = %v", got)
 	}
-	if _, err := q.Run(nil, 0); err != nil {
+	if _, err := q.Run(nil); err != nil {
 		t.Fatal(err)
 	}
 	drifts := q.DriftReport(1.5)
@@ -502,7 +504,7 @@ func TestRunningETA(t *testing.T) {
 	e.MustCreateSkewedTable("r", 40000, 1, SkewedColumn{Name: "k", Domain: 400, Zipf: 1, PermSeed: 1})
 	e.MustCreateSkewedTable("s", 40000, 2, SkewedColumn{Name: "k", Domain: 400, Zipf: 1, PermSeed: 2})
 	q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k")
-	running, err := q.Start(1000)
+	running, err := q.Start(nil, WithInterval(1000))
 	if err != nil {
 		t.Fatal(err)
 	}

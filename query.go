@@ -3,6 +3,8 @@ package qpi
 import (
 	"context"
 	"fmt"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"qpi/internal/core"
@@ -125,6 +127,13 @@ type Query struct {
 	att     *core.Attachment
 	cfg     compileCfg
 	started atomic.Bool
+
+	// Subscriber channels (Subscribe) receive progress snapshots from the
+	// execution goroutine; final holds the terminal report once subsDone.
+	subMu    sync.Mutex
+	subs     []chan Report
+	subsDone bool
+	final    Report
 }
 
 // claim marks the single-use query as started; exactly one of the
@@ -234,8 +243,10 @@ func (e *Engine) MustCompile(n *Node, opts ...CompileOption) *Query {
 	return q
 }
 
-// Report is a point-in-time progress snapshot.
-type Report struct {
+// Status is the progress core shared by every consumer-facing snapshot
+// (Report, QueryStatus, Metrics): the gnm work fractions plus the query's
+// lifecycle state.
+type Status struct {
 	// Progress is the gnm estimate C(Q)/T(Q) in [0,1].
 	Progress float64
 	// C is the number of getnext() calls observed so far; T the current
@@ -246,6 +257,11 @@ type Report struct {
 	// expired) or "failed". A cancelled query's progress value freezes,
 	// but its state makes the outcome explicit.
 	State string
+}
+
+// Report is a point-in-time progress snapshot.
+type Report struct {
+	Status
 	// Pipelines summarizes each pipeline: done / running / pending.
 	Pipelines []PipelineStatus
 }
@@ -259,8 +275,12 @@ type PipelineStatus struct {
 	Done    bool
 }
 
+func toStatus(r progress.Report) Status {
+	return Status{Progress: r.Progress, C: r.C, T: r.T, State: r.State.String()}
+}
+
 func toReport(r progress.Report) Report {
-	out := Report{Progress: r.Progress, C: r.C, T: r.T, State: r.State.String()}
+	out := Report{Status: toStatus(r)}
 	for _, p := range r.Pipelines {
 		out.Pipelines = append(out.Pipelines, PipelineStatus{
 			ID: p.ID, Root: p.Root, C: p.C, T: p.T, Started: p.Started, Done: p.Done,
@@ -276,38 +296,88 @@ func (q *Query) Progress() float64 { return q.monitor.Progress() }
 func (q *Query) Report() Report { return toReport(q.monitor.Report()) }
 
 // Run executes the query to completion, discarding result rows, and
-// returns the output row count. If onProgress is non-nil it is invoked
-// approximately every `every` units of work (tuples moved anywhere in the
-// plan) with a progress snapshot, plus once at the end.
-func (q *Query) Run(onProgress func(Report), every int64) (int64, error) {
-	return q.RunContext(context.Background(), onProgress, every)
-}
-
-// RunContext is Run bound to ctx: when the context is cancelled or its
-// deadline expires, execution stops within one batch of work, every
-// operator unwinds via Close (releasing spill files and buffers), and
-// the call returns ctx's error. The final progress report carries the
-// terminal state ("done", "cancelled" or "failed").
-func (q *Query) RunContext(ctx context.Context, onProgress func(Report), every int64) (int64, error) {
+// returns the output row count. Observability is composed from options:
+//
+//	n, err := q.Run(ctx,
+//	    qpi.WithProgress(func(r qpi.Report) { ... }, 10000),
+//	    qpi.WithTrace(tracer),
+//	    qpi.WithMetrics(&m))
+//
+// When ctx is cancelled or its deadline expires, execution stops within
+// one batch of work, every operator unwinds via Close (releasing spill
+// files and buffers), and the call returns ctx's error. The final
+// progress report carries the terminal state ("done", "cancelled" or
+// "failed") and is delivered to the progress callback and every
+// Subscribe channel regardless of outcome. A nil ctx means
+// context.Background().
+func (q *Query) Run(ctx context.Context, opts ...RunOption) (int64, error) {
 	if err := q.claim(); err != nil {
 		return 0, err
 	}
-	if onProgress != nil {
-		if every < 1 {
-			every = 1
-		}
-		progress.InstallTicker(q.root, every, func() {
-			onProgress(q.Report())
-		})
-	}
+	cfg := newRunCfg(opts)
+	q.installObservability(&cfg)
 	n, err := execRun(ctx, q)
-	if err != nil {
-		return n, err
-	}
+	q.finishRun(&cfg)
+	return n, err
+}
+
+// RunContext is the pre-option-style Run signature.
+//
+// Deprecated: use Run(ctx, WithProgress(onProgress, every)).
+func (q *Query) RunContext(ctx context.Context, onProgress func(Report), every int64) (int64, error) {
+	var opts []RunOption
 	if onProgress != nil {
-		onProgress(q.Report())
+		opts = append(opts, WithProgress(onProgress, every))
 	}
-	return n, nil
+	return q.Run(ctx, opts...)
+}
+
+// installObservability wires the run options and subscribers into the
+// plan: tracer binding across executor, estimators and monitor, plus a
+// work-based ticker feeding the progress callback, Subscribe channels
+// and the metrics destination. Called once, before execution.
+func (q *Query) installObservability(cfg *runCfg) {
+	if cfg.tracer != nil {
+		exec.BindTracer(q.root, cfg.tracer)
+		if q.att != nil {
+			q.att.SetTracer(cfg.tracer)
+		}
+		q.monitor.BindTracer(cfg.tracer)
+	}
+	q.subMu.Lock()
+	hasSubs := len(q.subs) > 0
+	q.subMu.Unlock()
+	if cfg.onProgress == nil && cfg.metrics == nil && !hasSubs {
+		return
+	}
+	progress.InstallTicker(q.root, cfg.every, func() {
+		q.publishTick(cfg)
+	})
+}
+
+// publishTick runs on the execution goroutine at ticker boundaries.
+func (q *Query) publishTick(cfg *runCfg) {
+	rep := q.Report()
+	if cfg.onProgress != nil {
+		cfg.onProgress(rep)
+	}
+	if cfg.metrics != nil {
+		*cfg.metrics = q.Metrics()
+	}
+	q.publishSubscribers(rep)
+}
+
+// finishRun delivers the terminal snapshot to every consumer and closes
+// the Subscribe channels.
+func (q *Query) finishRun(cfg *runCfg) {
+	rep := q.Report()
+	if cfg.onProgress != nil {
+		cfg.onProgress(rep)
+	}
+	if cfg.metrics != nil {
+		*cfg.metrics = q.Metrics()
+	}
+	q.closeSubscribers(rep)
 }
 
 // Rows executes the query and materializes the results. Each row holds
@@ -328,6 +398,7 @@ func (q *Query) RowsContext(ctx context.Context) ([][]any, error) {
 	exec.Bind(q.root, ctx)
 	out, err := q.collectRows()
 	q.monitor.Finish(err)
+	q.closeSubscribers(q.Report())
 	return out, err
 }
 
@@ -405,8 +476,8 @@ func (q *Query) Estimates() []OperatorEstimate {
 			Depth:    depth,
 			Emitted:  st.Emitted.Load(),
 			Estimate: st.Total(),
-			Source:   st.EstSource,
-			Done:     st.Done,
+			Source:   st.Source(),
+			Done:     st.IsDone(),
 		})
 		for _, c := range op.Children() {
 			rec(c, depth+1)
@@ -449,7 +520,7 @@ func (q *Query) DriftReport(factor float64) []Drift {
 			return
 		}
 		// Only count beliefs actually refined by observation.
-		if st.EstSource == "optimizer" && !st.Done {
+		if st.Source() == "optimizer" && !st.IsDone() {
 			return
 		}
 		f := cur / opt
@@ -477,12 +548,33 @@ func sortDrifts(ds []Drift) {
 	}
 }
 
-// EstimateOf returns the current cardinality estimate and its provenance
-// ("optimizer", "once", "once-exact", "gee", "mle", ...) for the operator
-// producing the named output column... it addresses the plan root when
-// the query has a single top operator. For inspection of intermediate
-// joins use Report and Explain.
-func (q *Query) EstimateOf() (float64, string) {
-	st := q.root.Stats()
-	return st.Total(), st.EstSource
+// EstimateOf returns the live cardinality snapshot of the operator whose
+// EXPLAIN-style label matches operatorLabel — the labels reported by
+// Estimates() and Explain(), e.g. "HashJoin(a.k = b.k)". An exact match
+// wins; otherwise a substring that identifies exactly one operator (such
+// as "HashJoin" in a single-join plan) resolves to it. The second result
+// is false when no operator matches unambiguously. The plan root is
+// addressable by the empty string.
+func (q *Query) EstimateOf(operatorLabel string) (OperatorEstimate, bool) {
+	ests := q.Estimates()
+	if operatorLabel == "" {
+		return ests[0], true
+	}
+	for _, e := range ests {
+		if e.Operator == operatorLabel {
+			return e, true
+		}
+	}
+	var found OperatorEstimate
+	matches := 0
+	for _, e := range ests {
+		if strings.Contains(e.Operator, operatorLabel) {
+			found = e
+			matches++
+		}
+	}
+	if matches == 1 {
+		return found, true
+	}
+	return OperatorEstimate{}, false
 }

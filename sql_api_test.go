@@ -33,7 +33,7 @@ func TestSQLJoinWithProgress(t *testing.T) {
 	q := e.MustQuery(`SELECT o.orderkey FROM orders o
 		JOIN customer c ON o.custkey = c.custkey`)
 	var final Report
-	n, err := q.Run(func(r Report) { final = r }, 1000)
+	n, err := q.Run(nil, WithProgress(func(r Report) { final = r }, 1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestSQLAggregates(t *testing.T) {
 func TestSQLGroupByEstimation(t *testing.T) {
 	e := sqlEngine(t)
 	q := e.MustQuery("SELECT custkey, COUNT(*) c FROM orders GROUP BY custkey")
-	n, err := q.Run(nil, 0)
+	n, err := q.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +88,11 @@ func TestSQLSemiAntiJoins(t *testing.T) {
 	e := sqlEngine(t)
 	semi := e.MustQuery("SELECT custkey FROM customer SEMI JOIN orders ON orders.custkey = customer.custkey")
 	anti := e.MustQuery("SELECT custkey FROM customer ANTI JOIN orders ON orders.custkey = customer.custkey")
-	ns, err := semi.Run(nil, 0)
+	ns, err := semi.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	na, err := anti.Run(nil, 0)
+	na, err := anti.Run(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSQLWithSamplingAndModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := q.Run(nil, 0); err != nil {
+		if _, err := q.Run(nil); err != nil {
 			t.Fatal(err)
 		}
 		if p := q.Progress(); math.Abs(p-1) > 1e-9 {

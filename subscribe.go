@@ -1,0 +1,72 @@
+package qpi
+
+// subscribeBuffer is each Subscribe channel's capacity. A consumer that
+// falls behind loses the oldest snapshots, never the terminal one.
+const subscribeBuffer = 16
+
+// Subscribe returns a channel of progress snapshots published at the
+// run's work-based interval (see WithInterval), plus the terminal
+// snapshot; the channel is closed when execution finishes. The channel
+// is bounded: when a consumer falls behind, the oldest buffered snapshot
+// is dropped so the stream always converges to the freshest state.
+// Subscribe before starting the query; a subscription taken after the
+// query finished receives only the terminal snapshot.
+func (q *Query) Subscribe() <-chan Report {
+	ch := make(chan Report, subscribeBuffer)
+	q.subMu.Lock()
+	defer q.subMu.Unlock()
+	if q.subsDone {
+		ch <- q.final
+		close(ch)
+		return ch
+	}
+	q.subs = append(q.subs, ch)
+	return ch
+}
+
+// publishSubscribers delivers one snapshot to every subscriber,
+// dropping each channel's oldest entry when its buffer is full. Called
+// on the execution goroutine.
+func (q *Query) publishSubscribers(rep Report) {
+	q.subMu.Lock()
+	defer q.subMu.Unlock()
+	for _, ch := range q.subs {
+		sendDropOldest(ch, rep)
+	}
+}
+
+// closeSubscribers publishes the terminal snapshot and closes every
+// subscriber channel. Idempotent.
+func (q *Query) closeSubscribers(rep Report) {
+	q.subMu.Lock()
+	defer q.subMu.Unlock()
+	if q.subsDone {
+		return
+	}
+	q.subsDone = true
+	q.final = rep
+	for _, ch := range q.subs {
+		sendDropOldest(ch, rep)
+		close(ch)
+	}
+	q.subs = nil
+}
+
+func sendDropOldest(ch chan Report, rep Report) {
+	select {
+	case ch <- rep:
+		return
+	default:
+	}
+	// Full: evict the oldest snapshot. The publisher is the only sender,
+	// so after one eviction the second send can only fail if the consumer
+	// drained concurrently — in which case it succeeds anyway.
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- rep:
+	default:
+	}
+}
