@@ -42,7 +42,7 @@ func TestWithBatchExecutionMatchesDefault(t *testing.T) {
 			t.Fatal(err)
 		}
 		oe, _ := q.EstimateOf("")
-	est, src := oe.Estimate, oe.Source
+		est, src := oe.Estimate, oe.Source
 		return rows, est, src, int64(len(rows))
 	}
 	rows0, est0, src0, n0 := run()

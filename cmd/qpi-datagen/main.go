@@ -1,12 +1,16 @@
 // Command qpi-datagen generates TPC-H-style or Zipf-skewed tables and
 // writes them as CSV, standing in for the paper's modified dbgen + skew
-// tool.
+// tool. All randomness derives from the -seed flag (plus -perm for the
+// skewed table's rank permutation), so identical invocations produce
+// byte-identical output — the contract the differential-test replay
+// workflow depends on.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"qpi/internal/catalog"
@@ -16,56 +20,69 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "qpi-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole tool behind a testable seam: flags are parsed from
+// args with a fresh FlagSet and all output goes to the given writers.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qpi-datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table  = flag.String("table", "customer", "tpch table name, or 'skewed' for a synthetic C_{z,n} table")
-		sf     = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		skew   = flag.Float64("skew", 0, "Zipf skew of key columns")
-		rows   = flag.Int("rows", 150000, "rows (skewed table only)")
-		domain = flag.Int("domain", 25, "key domain (skewed table only)")
-		perm   = flag.Int64("perm", 0, "rank permutation seed (skewed table only)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		out    = flag.String("out", "-", "output file ('-' = stdout)")
-		format = flag.String("format", "csv", "output format: csv, or qpit (binary table file loadable with Engine.LoadTableFile)")
+		table  = fs.String("table", "customer", "tpch table name, or 'skewed' for a synthetic C_{z,n} table")
+		sf     = fs.Float64("sf", 0.01, "TPC-H scale factor")
+		skew   = fs.Float64("skew", 0, "Zipf skew of key columns")
+		rows   = fs.Int("rows", 150000, "rows (skewed table only)")
+		domain = fs.Int("domain", 25, "key domain (skewed table only)")
+		perm   = fs.Int64("perm", 0, "rank permutation seed (skewed table only)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		out    = fs.String("out", "-", "output file ('-' = stdout)")
+		format = fs.String("format", "csv", "output format: csv, or qpit (binary table file loadable with Engine.LoadTableFile)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var t *storage.Table
 	if *table == "skewed" {
 		var err error
 		t, err = tpch.SkewedCustomer("customer", *rows, *domain, *skew, *seed, *perm)
 		if err != nil {
-			fail(err)
+			return err
 		}
 	} else {
 		cat, err := tpch.Generate(tpch.Config{SF: *sf, Seed: *seed, Skew: *skew, Tables: []string{*table}})
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var entry *catalog.Entry
 		if entry, err = cat.Lookup(*table); err != nil {
-			fail(err)
+			return err
 		}
 		t = entry.Table
 	}
 
 	if *format == "qpit" {
 		if *out == "-" {
-			fail(fmt.Errorf("qpit format needs -out <file>"))
+			return fmt.Errorf("qpit format needs -out <file>")
 		}
 		if err := disk.WriteTable(*out, t); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d rows of %s to %s\n", t.NumRows(), t.Name(), *out)
-		return
+		fmt.Fprintf(stderr, "wrote %d rows of %s to %s\n", t.NumRows(), t.Name(), *out)
+		return nil
 	}
 
 	var w *bufio.Writer
 	if *out == "-" {
-		w = bufio.NewWriter(os.Stdout)
+		w = bufio.NewWriter(stdout)
 	} else {
 		f, err := os.Create(*out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		w = bufio.NewWriter(f)
@@ -90,10 +107,6 @@ func main() {
 		}
 		w.WriteByte('\n')
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d rows of %s\n", t.NumRows(), t.Name())
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "qpi-datagen:", err)
-	os.Exit(1)
+	fmt.Fprintf(stderr, "wrote %d rows of %s\n", t.NumRows(), t.Name())
+	return nil
 }

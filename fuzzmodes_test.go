@@ -1,0 +1,107 @@
+package qpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// End-to-end mode equivalence at the public API: the same compiled plan
+// over the same tables must return the same result multiset whether it
+// runs tuple-at-a-time, batched, or batched with parallel partition
+// passes. This is the user-visible face of the differential suite in
+// internal/difftest.
+
+func fuzzEngine(t testing.TB, seed int64, rows, dom int) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	e := New()
+	for _, name := range []string{"r", "s"} {
+		tb, err := e.CreateTable(name,
+			ColumnDef{Name: "k", Type: "int"},
+			ColumnDef{Name: "v", Type: "int"},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(rows)
+		for i := 0; i < n; i++ {
+			var k any
+			if rng.Float64() < 0.15 {
+				k = nil
+			} else {
+				k = rng.Intn(dom)
+			}
+			if err := tb.Insert(k, rng.Intn(8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Analyze(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func rowsMultiset(t testing.TB, q *Query) []string {
+	t.Helper()
+	rows, err := q.Rows()
+	if err != nil {
+		t.Fatalf("Rows: %v", err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func checkQueryModes(t *testing.T, seed int64, rows, dom int, sql string) {
+	t.Helper()
+	e := fuzzEngine(t, seed, rows, dom)
+	want := rowsMultiset(t, e.MustQuery(sql))
+	for _, opt := range []struct {
+		name string
+		co   []CompileOption
+	}{
+		{"batch", []CompileOption{WithBatchExecution(0)}},
+		{"parallel", []CompileOption{WithBatchExecution(2)}},
+		{"spill", []CompileOption{WithMemoryBudget(128)}},
+	} {
+		got := rowsMultiset(t, e.MustQuery(sql, opt.co...))
+		if len(got) != len(want) {
+			t.Fatalf("seed %d %s: %d rows, tuple mode had %d", seed, opt.name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d %s: row %d = %q, tuple mode had %q", seed, opt.name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+const fuzzModesSQL = "SELECT r.k, s.v FROM r JOIN s ON r.k = s.k"
+
+func TestQueryModesEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		checkQueryModes(t, seed, 200, 1+int(seed)*5, fuzzModesSQL)
+	}
+	// And with grouping on top.
+	for seed := int64(1); seed <= 6; seed++ {
+		checkQueryModes(t, seed, 150, 12,
+			"SELECT r.k, COUNT(*), SUM(s.v) FROM r JOIN s ON r.k = s.k GROUP BY r.k")
+	}
+}
+
+func FuzzQueryModes(f *testing.F) {
+	f.Add(int64(3), 80, 10)
+	f.Add(int64(8), 200, 3)
+	f.Fuzz(func(t *testing.T, seed int64, rows, dom int) {
+		if rows < 1 || rows > 400 || dom < 1 || dom > 100 {
+			t.Skip("out of bounds")
+		}
+		checkQueryModes(t, seed, rows, dom, fuzzModesSQL)
+	})
+}

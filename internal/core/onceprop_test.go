@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qpi/internal/exec"
+	"qpi/internal/oracle"
+	"qpi/internal/qgen"
+)
+
+// Property tests of the paper's central claim, driven by the random plan
+// generator: for ANY generated join chain, the "once" estimator must
+// converge at the end of the first probe pass with every level's estimate
+// exactly equal to the true cardinality, and its confidence intervals
+// must be well-formed throughout and collapse onto the truth when frozen.
+
+func drainAll(t testing.TB, root exec.Operator) {
+	t.Helper()
+	if err := root.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := exec.Drain(root); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := root.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func checkOnceProperty(t testing.TB, seed int64, opts qgen.Options) {
+	t.Helper()
+	c := qgen.Generate(seed, opts)
+	want := oracle.Eval(c)
+	b, err := c.Build()
+	if err != nil {
+		t.Fatalf("seed %d: Build: %v", seed, err)
+	}
+	att := Attach(b.Root)
+
+	// Sample every chain's estimates mid-probe: CIs must always be
+	// ordered and finite, and estimates non-negative.
+	for _, pe := range att.Chains {
+		pe := pe
+		prev := pe.OnProbeObserved
+		pe.OnProbeObserved = func(tt int64) {
+			if prev != nil {
+				prev(tt)
+			}
+			for k := 0; k < pe.Levels(); k++ {
+				est := pe.Estimate(k)
+				lo, hi := pe.ConfidenceInterval(k, 0.95)
+				if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+					t.Fatalf("seed %d: level %d estimate %g at t=%d", seed, k, est, tt)
+				}
+				if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi+1e-9 {
+					t.Fatalf("seed %d: level %d CI [%g,%g] at t=%d", seed, k, lo, hi, tt)
+				}
+			}
+		}
+	}
+	drainAll(t, b.Root)
+
+	for i, j := range b.Joins {
+		pe := att.ChainOf[j]
+		if pe == nil {
+			continue // dne fallback: the once property makes no claim
+		}
+		if !pe.Converged() {
+			t.Fatalf("seed %d: join %d (%s) never converged\n%s", seed, i, j.Name(), c.Describe())
+		}
+		truth := float64(want.JoinCards[i])
+		lvl := att.LevelOf[j]
+		if est := pe.Estimate(lvl); math.Abs(est-truth) > 1e-6*math.Max(1, truth) {
+			t.Fatalf("seed %d: join %d (%s) frozen estimate %g, exact %g\n%s",
+				seed, i, j.Name(), est, truth, c.Describe())
+		}
+		lo, hi := pe.ConfidenceInterval(lvl, 0.95)
+		if math.Abs(lo-truth) > 1e-6*math.Max(1, truth) || math.Abs(hi-truth) > 1e-6*math.Max(1, truth) {
+			t.Fatalf("seed %d: join %d frozen CI [%g,%g] not collapsed on %g", seed, i, lo, hi, truth)
+		}
+	}
+}
+
+func TestOnceExactProperty(t *testing.T) {
+	opts := qgen.DefaultOptions()
+	for seed := int64(1); seed <= 60; seed++ {
+		checkOnceProperty(t, seed, opts)
+	}
+}
+
+// FuzzOnceExact hands the seed and option bounds to the fuzzer.
+func FuzzOnceExact(f *testing.F) {
+	f.Add(int64(1), 40, 2)
+	f.Add(int64(17), 100, 3)
+	f.Fuzz(func(t *testing.T, seed int64, maxRows, maxJoins int) {
+		if maxRows < 8 || maxRows > 160 || maxJoins < 1 || maxJoins > 3 {
+			t.Skip("out of bounds")
+		}
+		checkOnceProperty(t, seed, qgen.Options{
+			MaxRows: maxRows, MaxJoins: maxJoins,
+			GroupBy: true, AltJoins: true, NonInner: true,
+		})
+	})
+}

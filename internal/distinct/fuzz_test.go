@@ -1,0 +1,114 @@
+package distinct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpi/internal/data"
+)
+
+// Brute-force cross-check of the chooser's incremental state: an
+// independent frequency map re-derives γ², the GEE terms and the exact
+// distinct count from scratch at every step, so any drift in the O(1)
+// update rules (Σ n_i², singles/multis transitions, freqs profile
+// maintenance) is caught on the very tuple it happens.
+
+// bruteGamma2 recomputes γ² from a plain frequency map.
+func bruteGamma2(freqs map[int64]int64) float64 {
+	g := float64(len(freqs))
+	var t, sumSq float64
+	for _, n := range freqs {
+		t += float64(n)
+		sumSq += float64(n * n)
+	}
+	if g == 0 || t == 0 {
+		return 0
+	}
+	mu := t / g
+	variance := sumSq/g - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return variance / (mu * mu)
+}
+
+func checkChooserAgainstBruteForce(t *testing.T, seed int64, n, dom int, skew bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := NewChooser(float64(n), DefaultTau)
+	freqs := map[int64]int64{}
+	singles, multis := int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		v := int64(rng.Intn(dom))
+		if skew {
+			// Square the draw to pile mass onto low values.
+			v = v * v / int64(dom)
+		}
+		c.Observe(data.Int(v))
+		freqs[v]++
+		switch freqs[v] {
+		case 1:
+			singles++
+		case 2:
+			singles--
+			multis++
+		}
+
+		if got, want := c.DistinctSeen(), int64(len(freqs)); got != want {
+			t.Fatalf("step %d: DistinctSeen=%d, brute force %d", i, got, want)
+		}
+		if got, want := c.Gamma2(), bruteGamma2(freqs); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("step %d: Gamma2=%g, brute force %g", i, got, want)
+		}
+		if got, want := c.UsingMLE(), c.Gamma2() < DefaultTau; got != want {
+			t.Fatalf("step %d: UsingMLE=%v inconsistent with γ²=%g", i, got, c.Gamma2())
+		}
+		if t64 := int64(i + 1); c.Seen() != t64 {
+			t.Fatalf("step %d: Seen=%d, want %d", i, c.Seen(), t64)
+		}
+		// Mid-stream GEE from the brute-force S₁/Sₙ split.
+		if int64(i+1) < int64(n) {
+			wantGEE := math.Sqrt(float64(n)/float64(i+1))*float64(singles) + float64(multis)
+			if got := c.GEEEstimate(); math.Abs(got-wantGEE) > 1e-9*(1+wantGEE) {
+				t.Fatalf("step %d: GEE=%g, brute force %g", i, got, wantGEE)
+			}
+		}
+		// Every estimate must stay finite and non-negative.
+		for _, est := range []float64{c.Estimate(), c.GEEEstimate(), c.MLEEstimate()} {
+			if math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+				t.Fatalf("step %d: estimate %g", i, est)
+			}
+		}
+	}
+	// The full pass has been observed: every estimator collapses to the
+	// exact distinct count, both by t >= total and by explicit exhaustion.
+	exact := float64(len(freqs))
+	if got := c.Estimate(); got != exact {
+		t.Fatalf("estimate at t=total is %g, exact %g", got, exact)
+	}
+	c.MarkExhausted()
+	for _, got := range []float64{c.Estimate(), c.GEEEstimate(), c.MLEEstimate()} {
+		if got != exact {
+			t.Fatalf("exhausted estimate %g, exact %g", got, exact)
+		}
+	}
+}
+
+func TestChooserMatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		checkChooserAgainstBruteForce(t, seed, 400, 1+int(seed)*13, seed%2 == 0)
+	}
+}
+
+func FuzzChooser(f *testing.F) {
+	f.Add(int64(1), 200, 16, false)
+	f.Add(int64(5), 500, 3, true)
+	f.Add(int64(9), 64, 64, false)
+	f.Fuzz(func(t *testing.T, seed int64, n, dom int, skew bool) {
+		if n < 1 || n > 2000 || dom < 1 || dom > 1000 {
+			t.Skip("out of bounds")
+		}
+		checkChooserAgainstBruteForce(t, seed, n, dom, skew)
+	})
+}

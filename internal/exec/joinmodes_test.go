@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+)
+
+// Differential tests for the join operators themselves: every physical
+// join and every execution mode (tuple, batch, parallel partition pass,
+// forced spill) must produce the same multiset as a naive reference join
+// written from first principles. Unlike internal/difftest this layer has
+// no plan generator and no estimators — it isolates operator semantics.
+
+// kvTable builds a two-column table (k, id): key < 0 means NULL key, and
+// id is the row position so every row is distinguishable.
+func kvTable(name string, keys []int64) *storage.Table {
+	s := data.NewSchema(
+		data.Column{Table: name, Name: "k", Kind: data.KindInt},
+		data.Column{Table: name, Name: "id", Kind: data.KindInt},
+	)
+	t := storage.NewTable(name, s)
+	for i, k := range keys {
+		kv := data.Int(k)
+		if k < 0 {
+			kv = data.Null()
+		}
+		t.MustAppend(data.Tuple{kv, data.Int(int64(i))})
+	}
+	return t
+}
+
+// refJoin is the naive reference: NULL keys never match; semi/anti emit
+// the probe tuple alone (anti keeps NULL-key probe rows); probe-outer
+// NULL-pads the build side; inner emits build ++ probe per match.
+func refJoin(build, probe []int64, jt JoinType) []string {
+	index := map[int64][]int{}
+	for i, k := range build {
+		if k >= 0 {
+			index[k] = append(index[k], i)
+		}
+	}
+	var out []string
+	for pi, pk := range probe {
+		var matches []int
+		if pk >= 0 {
+			matches = index[pk]
+		}
+		p := data.Tuple{data.Int(pk), data.Int(int64(pi))}
+		if pk < 0 {
+			p[0] = data.Null()
+		}
+		switch jt {
+		case SemiJoin:
+			if len(matches) > 0 {
+				out = append(out, p.String())
+			}
+		case AntiJoin:
+			if len(matches) == 0 {
+				out = append(out, p.String())
+			}
+		case ProbeOuterJoin:
+			if len(matches) == 0 {
+				row := append(data.Tuple{data.Null(), data.Null()}, p...)
+				out = append(out, row.String())
+				continue
+			}
+			fallthrough
+		default:
+			for _, bi := range matches {
+				row := append(data.Tuple{data.Int(build[bi]), data.Int(int64(bi))}, p...)
+				out = append(out, row.String())
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStrings(rows []data.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func drainMode(t *testing.T, op Operator, batched bool) []data.Tuple {
+	t.Helper()
+	if err := op.Open(); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var rows []data.Tuple
+	var err error
+	if batched {
+		rows, err = DrainBatch(AsBatch(op))
+	} else {
+		rows, err = Drain(op)
+	}
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return rows
+}
+
+func equalMultisets(t *testing.T, label string, got []data.Tuple, want []string) {
+	t.Helper()
+	g := sortedStrings(got)
+	if len(g) != len(want) {
+		t.Fatalf("%s: %d rows, reference says %d", label, len(g), len(want))
+	}
+	for i := range g {
+		if g[i] != want[i] {
+			t.Fatalf("%s: multiset mismatch at sorted row %d: got %s want %s", label, i, g[i], want[i])
+		}
+	}
+}
+
+// randKeys draws n keys from [0, dom) with a NULL fraction; negative
+// values encode NULL.
+func randKeys(rng *rand.Rand, n, dom int, nullFrac float64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		if rng.Float64() < nullFrac {
+			out[i] = -1
+			continue
+		}
+		out[i] = int64(rng.Intn(dom))
+	}
+	return out
+}
+
+// checkHashJoinModes runs one (build, probe, type) input through tuple,
+// batch, parallel and forced-spill execution and compares each against
+// the reference.
+func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
+	t.Helper()
+	want := refJoin(build, probe, jt)
+	modes := []struct {
+		name    string
+		batched bool
+		workers int
+		budget  int64
+	}{
+		{name: "tuple"},
+		{name: "batch", batched: true, workers: 1},
+		{name: "parallel", batched: true, workers: 3},
+		{name: "spill", budget: 128},
+	}
+	for _, m := range modes {
+		j := NewHashJoinMulti(
+			NewScan(kvTable("b", build), ""),
+			NewScan(kvTable("p", probe), ""),
+			[]int{0}, []int{0}, jt,
+		)
+		if m.workers > 0 {
+			j.SetParallelism(m.workers)
+		}
+		if m.budget > 0 {
+			j.SetMemoryBudget(m.budget)
+		}
+		equalMultisets(t, jt.String()+"/"+m.name, drainMode(t, j, m.batched), want)
+		if m.budget > 0 && j.Stats().SpillFiles.Load() == 0 {
+			t.Errorf("%s/spill: no spill files created", jt)
+		}
+	}
+}
+
+func TestHashJoinModesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	types := []JoinType{InnerJoin, SemiJoin, AntiJoin, ProbeOuterJoin}
+	for trial := 0; trial < 12; trial++ {
+		build := randKeys(rng, 20+rng.Intn(60), 1+rng.Intn(12), 0.2)
+		probe := randKeys(rng, 20+rng.Intn(60), 1+rng.Intn(12), 0.2)
+		checkHashJoinModes(t, build, probe, types[trial%len(types)])
+	}
+}
+
+// FuzzJoinModes lets the fuzzer pick the key distributions; every input
+// is checked across all four join types and all four execution modes.
+func FuzzJoinModes(f *testing.F) {
+	f.Add(int64(1), 20, 30, 5, uint8(0))
+	f.Add(int64(9), 50, 8, 2, uint8(1))
+	f.Add(int64(3), 8, 80, 16, uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nb, np, dom int, jti uint8) {
+		if nb < 1 || nb > 120 || np < 1 || np > 120 || dom < 1 || dom > 64 {
+			t.Skip("out of bounds")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		build := randKeys(rng, nb, dom, 0.15)
+		probe := randKeys(rng, np, dom, 0.15)
+		jt := []JoinType{InnerJoin, SemiJoin, AntiJoin, ProbeOuterJoin}[int(jti)%4]
+		checkHashJoinModes(t, build, probe, jt)
+	})
+}
+
+// TestMergeJoinTupleBatchEquivalence: the sort-merge join must agree with
+// the reference inner join and with itself across tuple and batch pulls.
+func TestMergeJoinTupleBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		left := randKeys(rng, 15+rng.Intn(50), 1+rng.Intn(10), 0)
+		right := randKeys(rng, 15+rng.Intn(50), 1+rng.Intn(10), 0)
+		want := refJoin(left, right, InnerJoin)
+		for _, batched := range []bool{false, true} {
+			mj, _, _ := NewSortMergeJoin(
+				NewScan(kvTable("l", left), ""),
+				NewScan(kvTable("r", right), ""),
+				0, 0,
+			)
+			label := "merge/tuple"
+			if batched {
+				label = "merge/batch"
+			}
+			equalMultisets(t, label, drainMode(t, mj, batched), want)
+		}
+	}
+}
+
+// TestNLJoinTupleBatchEquivalence: same for the indexed nested-loops
+// join, including NULL keys on both sides (skipped by the index).
+func TestNLJoinTupleBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		outer := randKeys(rng, 15+rng.Intn(50), 1+rng.Intn(10), 0.2)
+		inner := randKeys(rng, 15+rng.Intn(50), 1+rng.Intn(10), 0.2)
+		want := refJoin(outer, inner, InnerJoin)
+		for _, batched := range []bool{false, true} {
+			nl := NewIndexedNLJoin(
+				NewScan(kvTable("o", outer), ""),
+				NewScan(kvTable("i", inner), ""),
+				0, 0,
+			)
+			label := "nl/tuple"
+			if batched {
+				label = "nl/batch"
+			}
+			equalMultisets(t, label, drainMode(t, nl, batched), want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/qgen"
+	"qpi/internal/storage"
+)
+
+// The oracle is the ground truth of the differential suite, so its own
+// tests are hand-computed fixtures — if the oracle and the engine ever
+// agreed on the same wrong answer, these would still catch it.
+
+func fiveColSchema(name string) *data.Schema {
+	return data.NewSchema(
+		data.Column{Table: name, Name: qgen.ColID, Kind: data.KindInt},
+		data.Column{Table: name, Name: qgen.ColKey, Kind: data.KindInt},
+		data.Column{Table: name, Name: qgen.ColVal, Kind: data.KindInt},
+		data.Column{Table: name, Name: qgen.ColGroup, Kind: data.KindInt},
+		data.Column{Table: name, Name: qgen.ColStr, Kind: data.KindString},
+	)
+}
+
+func mkTable(t *testing.T, name string, rows [][3]interface{}) *storage.Table {
+	t.Helper()
+	tb := storage.NewTable(name, fiveColSchema(name))
+	for i, r := range rows {
+		k := data.Null()
+		if v, ok := r[0].(int); ok {
+			k = data.Int(int64(v))
+		}
+		g := data.Null()
+		if v, ok := r[2].(int); ok {
+			g = data.Int(int64(v))
+		}
+		tb.MustAppend(data.Tuple{
+			data.Int(int64(i)), k, data.Int(int64(r[1].(int))), g, data.Str("s"),
+		})
+	}
+	return tb
+}
+
+// fixtureTables: bottom has keys {1,1,2,NULL}, build has keys {1,2,2,NULL}.
+func fixtureTables(t *testing.T) []*storage.Table {
+	bottom := mkTable(t, "t0", [][3]interface{}{
+		{1, 0, 0}, {1, 1, 0}, {2, 2, 1}, {nil, 3, 1},
+	})
+	build := mkTable(t, "t1", [][3]interface{}{
+		{1, 5, 0}, {2, 6, 1}, {2, 7, 1}, {nil, 8, 2},
+	})
+	return []*storage.Table{bottom, build}
+}
+
+func joinCase(t *testing.T, typ exec.JoinType) *qgen.Case {
+	return &qgen.Case{
+		Spec: qgen.Spec{
+			BottomTable: 0,
+			BottomAlias: "a0",
+			Joins: []qgen.JoinSpec{{
+				Kind:     qgen.KindHash,
+				Type:     typ,
+				Table:    1,
+				Alias:    "b0",
+				ProbeKey: qgen.ColRef{Alias: "a0", Col: qgen.ColKey},
+			}},
+		},
+		Tables: fixtureTables(t),
+	}
+}
+
+// Hand computation: probe keys 1,1 each match one build row (2 rows),
+// probe key 2 matches two build rows (2 rows), NULL matches nothing.
+func TestJoinCardinalities(t *testing.T) {
+	cases := []struct {
+		typ  exec.JoinType
+		card int64
+	}{
+		{exec.InnerJoin, 4},
+		{exec.SemiJoin, 3},       // probe rows with >= 1 match
+		{exec.AntiJoin, 1},       // only the NULL-key probe row
+		{exec.ProbeOuterJoin, 5}, // 4 inner + 1 NULL-padded
+	}
+	for _, c := range cases {
+		res := Eval(joinCase(t, c.typ))
+		if got := res.JoinCards[0]; got != c.card {
+			t.Errorf("%v: JoinCards[0] = %d, want %d", c.typ, got, c.card)
+		}
+		if int64(len(res.Rows)) != c.card {
+			t.Errorf("%v: %d rows, want %d", c.typ, len(res.Rows), c.card)
+		}
+	}
+}
+
+func TestJoinRowShapes(t *testing.T) {
+	// Inner join rows are build ++ probe (10 columns); semi/anti keep the
+	// probe schema (5 columns).
+	if res := Eval(joinCase(t, exec.InnerJoin)); len(res.Rows[0]) != 10 {
+		t.Errorf("inner row width = %d, want 10", len(res.Rows[0]))
+	}
+	if res := Eval(joinCase(t, exec.SemiJoin)); len(res.Rows[0]) != 5 {
+		t.Errorf("semi row width = %d, want 5", len(res.Rows[0]))
+	}
+	// The outer join's unmatched probe row is NULL-padded on the build side.
+	res := Eval(joinCase(t, exec.ProbeOuterJoin))
+	var padded int
+	for _, r := range res.Rows {
+		if r[0].IsNull() && r[1].IsNull() {
+			padded++
+		}
+	}
+	if padded != 1 {
+		t.Errorf("outer join has %d NULL-padded rows, want 1", padded)
+	}
+}
+
+func TestBottomFilter(t *testing.T) {
+	c := joinCase(t, exec.InnerJoin)
+	// v <= 1 keeps the two k=1 probe rows; each matches one build row.
+	c.Spec.BottomFilter = &qgen.FilterSpec{
+		Col: qgen.ColRef{Alias: "a0", Col: qgen.ColVal}, Op: "le", Arg: 1,
+	}
+	res := Eval(c)
+	if res.JoinCards[0] != 2 {
+		t.Errorf("filtered JoinCards[0] = %d, want 2", res.JoinCards[0])
+	}
+}
+
+func TestGroupAggregates(t *testing.T) {
+	// Group the bottom table alone by g: group 0 = rows {id 0 (k=1,v=0),
+	// id 1 (k=1,v=1)}, group 1 = rows {id 2 (k=2,v=2), id 3 (k=NULL,v=3)}.
+	c := &qgen.Case{
+		Spec: qgen.Spec{
+			BottomTable: 0,
+			BottomAlias: "a0",
+			Group: &qgen.GroupSpec{
+				By: qgen.ColRef{Alias: "a0", Col: qgen.ColGroup},
+				Aggs: []qgen.AggCol{
+					{Func: exec.CountStar},
+					{Func: exec.Sum, Col: qgen.ColRef{Alias: "a0", Col: qgen.ColVal}},
+					{Func: exec.Count, Col: qgen.ColRef{Alias: "a0", Col: qgen.ColKey}},
+					{Func: exec.Avg, Col: qgen.ColRef{Alias: "a0", Col: qgen.ColVal}},
+				},
+			},
+		},
+		Tables: fixtureTables(t),
+	}
+	res := Eval(c)
+	if res.GroupCount != 2 || res.GroupNonNull != 2 {
+		t.Fatalf("GroupCount=%d GroupNonNull=%d, want 2/2", res.GroupCount, res.GroupNonNull)
+	}
+	want := []data.Tuple{
+		{data.Int(0), data.Int(2), data.Float(1), data.Int(2), data.Float(0.5)},
+		{data.Int(1), data.Int(2), data.Float(5), data.Int(1), data.Float(2.5)},
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Fatalf("group rows = %v, want %v", res.Rows, want)
+	}
+}
+
+func TestNullGroupCounted(t *testing.T) {
+	// A NULL grouping key forms its own group, counted by GroupCount but
+	// not GroupNonNull.
+	bottom := mkTable(t, "t0", [][3]interface{}{{1, 0, nil}, {1, 1, 0}})
+	c := &qgen.Case{
+		Spec: qgen.Spec{
+			BottomTable: 0,
+			BottomAlias: "a0",
+			Group: &qgen.GroupSpec{
+				By:   qgen.ColRef{Alias: "a0", Col: qgen.ColGroup},
+				Aggs: []qgen.AggCol{{Func: exec.CountStar}},
+			},
+		},
+		Tables: []*storage.Table{bottom},
+	}
+	res := Eval(c)
+	if res.GroupCount != 2 || res.GroupNonNull != 1 {
+		t.Fatalf("GroupCount=%d GroupNonNull=%d, want 2/1", res.GroupCount, res.GroupNonNull)
+	}
+}

@@ -1,0 +1,389 @@
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/expr"
+)
+
+// ColRef names a column of the streaming side by scan alias, so it stays
+// valid as the stream schema grows under stacked joins.
+type ColRef struct {
+	Alias string
+	Col   string
+}
+
+func (c ColRef) String() string { return c.Alias + "." + c.Col }
+
+// JoinKind selects the physical join operator.
+type JoinKind int
+
+// Join kinds.
+const (
+	KindHash JoinKind = iota
+	KindMerge
+	KindNL
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case KindMerge:
+		return "merge"
+	case KindNL:
+		return "nl"
+	default:
+		return "hash"
+	}
+}
+
+// JoinSpec describes one join of the left-deep chain, bottom-up. The new
+// input (build side for hash joins, left side for merge joins, outer side
+// for indexed NL joins) is always a fresh scan of Tables[Table] under
+// Alias, keyed on its k column; the streaming side is the chain built so
+// far, keyed on ProbeKey. Every kind emits new-input columns followed by
+// stream columns, except semi/anti joins which emit the stream columns
+// alone.
+type JoinSpec struct {
+	Kind     JoinKind
+	Type     exec.JoinType // hash joins only; merge/NL are inner
+	Table    int
+	Alias    string
+	ProbeKey ColRef
+}
+
+// FilterSpec is an optional comparison filter on the bottom scan.
+type FilterSpec struct {
+	Col ColRef
+	Op  string // "le", "ge" or "ne"
+	Arg int64
+}
+
+// AggCol requests one aggregate output column.
+type AggCol struct {
+	Func exec.AggFunc
+	Col  ColRef // ignored for CountStar
+}
+
+// GroupSpec describes the optional grouping operator on top.
+type GroupSpec struct {
+	SortBased bool
+	By        ColRef
+	Aggs      []AggCol
+}
+
+// Spec is the full plan specification: a left-deep join chain over an
+// optionally filtered bottom scan, optionally grouped at the top.
+type Spec struct {
+	Tables       []TableSpec
+	BottomTable  int
+	BottomAlias  string
+	BottomFilter *FilterSpec
+	Joins        []JoinSpec
+	Group        *GroupSpec
+}
+
+// maxJoinOutput caps the projected output cardinality of any generated
+// join; the generator shrinks table rows (then widens key domains) until
+// the chain stays under it, bounding suite runtime on skewed cases.
+const maxJoinOutput = 6000
+
+func randSpec(rng *rand.Rand, specs []TableSpec, nJoins int, opts Options) Spec {
+	sp := Spec{
+		BottomTable: rng.Intn(len(specs)),
+		BottomAlias: "a0",
+	}
+	streamEst := float64(specs[sp.BottomTable].Rows)
+	if rng.Float64() < 0.4 {
+		sp.BottomFilter = randFilter(rng, sp.BottomAlias, specs[sp.BottomTable])
+		streamEst /= 2
+	}
+	streamCols := aliasColumns(sp.BottomAlias)
+	for i := 0; i < nJoins; i++ {
+		ti := rng.Intn(len(specs))
+		js := JoinSpec{
+			Kind:     KindHash,
+			Type:     exec.InnerJoin,
+			Table:    ti,
+			Alias:    fmt.Sprintf("b%d", i),
+			ProbeKey: ColRef{sp.BottomAlias, ColKey},
+		}
+		if opts.AltJoins {
+			switch r := rng.Float64(); {
+			case r < 0.15:
+				js.Kind = KindMerge
+			case r < 0.30:
+				js.Kind = KindNL
+			}
+		}
+		if js.Kind == KindHash && opts.NonInner {
+			switch r := rng.Float64(); {
+			case r < 0.10:
+				js.Type = exec.SemiJoin
+			case r < 0.20:
+				js.Type = exec.AntiJoin
+			case r < 0.30:
+				js.Type = exec.ProbeOuterJoin
+			}
+		}
+		if rng.Float64() < 0.3 {
+			js.ProbeKey = randIntCol(rng, streamCols)
+		}
+		// Bound the projected output: the worst-case multiplicity of a
+		// skewed build side is far above rows/domain, so leave headroom.
+		for specs[ti].Rows > 16 && streamEst*buildMult(specs[ti]) > maxJoinOutput {
+			specs[ti].Rows /= 2
+		}
+		if streamEst*buildMult(specs[ti]) > maxJoinOutput {
+			specs[ti].KeyDomain = 2*specs[ti].Rows + 1
+		}
+		switch js.Type {
+		case exec.SemiJoin, exec.AntiJoin:
+			// Output bounded by the stream.
+		default:
+			streamEst *= buildMult(specs[ti])
+			if streamEst < 1 {
+				streamEst = 1
+			}
+			streamCols = append(aliasColumns(js.Alias), streamCols...)
+		}
+		sp.Joins = append(sp.Joins, js)
+	}
+	if opts.GroupBy && rng.Float64() < 0.5 {
+		sp.Group = randGroup(rng, sp.BottomAlias, streamCols)
+	}
+	return sp
+}
+
+// buildMult estimates the average join multiplicity of a build side drawn
+// from ts, inflated for skew (the hottest Zipf value is far above the
+// mean).
+func buildMult(ts TableSpec) float64 {
+	m := float64(ts.Rows) / float64(ts.KeyDomain)
+	if m < 1 {
+		m = 1
+	}
+	if ts.KeyZipf > 0 {
+		m *= 2 * (1 + ts.KeyZipf)
+	}
+	return m
+}
+
+func randFilter(rng *rand.Rand, alias string, ts TableSpec) *FilterSpec {
+	ops := []string{"le", "ge", "ne"}
+	f := &FilterSpec{Op: ops[rng.Intn(len(ops))]}
+	switch rng.Intn(3) {
+	case 0:
+		f.Col = ColRef{alias, ColKey}
+		f.Arg = int64(1 + rng.Intn(ts.KeyDomain+1))
+	case 1:
+		f.Col = ColRef{alias, ColVal}
+		f.Arg = int64(rng.Intn(10))
+	default:
+		f.Col = ColRef{alias, ColID}
+		f.Arg = int64(rng.Intn(ts.Rows))
+	}
+	return f
+}
+
+func randGroup(rng *rand.Rand, bottomAlias string, streamCols []data.Column) *GroupSpec {
+	g := &GroupSpec{
+		SortBased: rng.Float64() < 0.3,
+		By:        ColRef{bottomAlias, ColKey},
+	}
+	if rng.Float64() >= 0.5 {
+		c := streamCols[rng.Intn(len(streamCols))]
+		g.By = ColRef{c.Table, c.Name}
+	}
+	g.Aggs = append(g.Aggs, AggCol{Func: exec.CountStar})
+	for n := rng.Intn(3); n > 0; n-- {
+		f := []exec.AggFunc{exec.Count, exec.Sum, exec.Min, exec.Max, exec.Avg}[rng.Intn(5)]
+		var col ColRef
+		if f == exec.Min || f == exec.Max || f == exec.Count {
+			c := streamCols[rng.Intn(len(streamCols))]
+			col = ColRef{c.Table, c.Name}
+		} else {
+			col = randIntCol(rng, streamCols)
+		}
+		g.Aggs = append(g.Aggs, AggCol{Func: f, Col: col})
+	}
+	return g
+}
+
+// aliasColumns is the stream-schema contribution of one scan.
+func aliasColumns(alias string) []data.Column {
+	return tableSchema(alias).Cols
+}
+
+func randIntCol(rng *rand.Rand, cols []data.Column) ColRef {
+	for {
+		c := cols[rng.Intn(len(cols))]
+		if c.Kind == data.KindInt {
+			return ColRef{c.Table, c.Name}
+		}
+	}
+}
+
+// StreamColumns returns the column list of the plan's output stream below
+// any grouping operator, mirroring how the executor concatenates schemas.
+// The oracle keys its evaluation off this list; a qgen test asserts it
+// matches the built plan's actual schema.
+func (s *Spec) StreamColumns() []data.Column {
+	cols := aliasColumns(s.BottomAlias)
+	for _, js := range s.Joins {
+		switch js.Type {
+		case exec.SemiJoin, exec.AntiJoin:
+		default:
+			cols = append(aliasColumns(js.Alias), cols...)
+		}
+	}
+	return cols
+}
+
+// ResolveStream returns the index of ref in cols, or -1.
+func ResolveStream(cols []data.Column, ref ColRef) int {
+	for i, c := range cols {
+		if c.Table == ref.Alias && c.Name == ref.Col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Built is one freshly constructed executor tree for a Case.
+type Built struct {
+	Root exec.Operator
+	// Joins holds the join operators bottom-up, aligned with Spec.Joins.
+	Joins []exec.Operator
+	// Agg is the grouping operator (nil without one).
+	Agg exec.Operator
+	// Bottom is the bottom-stream scan.
+	Bottom *exec.Scan
+}
+
+// Build constructs a fresh single-use executor tree. Call once per
+// execution mode; the underlying tables are shared.
+func (c *Case) Build() (*Built, error) {
+	sp := &c.Spec
+	bottom := exec.NewScan(c.Tables[sp.BottomTable], sp.BottomAlias)
+	var stream exec.Operator = bottom
+	if f := sp.BottomFilter; f != nil {
+		e, err := filterExpr(stream.Schema(), f)
+		if err != nil {
+			return nil, err
+		}
+		stream = exec.NewFilter(stream, e)
+	}
+	joins := make([]exec.Operator, len(sp.Joins))
+	for i, js := range sp.Joins {
+		scan := exec.NewScan(c.Tables[js.Table], js.Alias)
+		bk := scan.Schema().Resolve(js.Alias, ColKey)
+		pk := stream.Schema().Resolve(js.ProbeKey.Alias, js.ProbeKey.Col)
+		if bk < 0 || pk < 0 {
+			return nil, fmt.Errorf("qgen: join %d: unresolved key %s", i, js.ProbeKey)
+		}
+		switch js.Kind {
+		case KindMerge:
+			mj, _, _ := exec.NewSortMergeJoin(scan, stream, bk, pk)
+			stream = mj
+		case KindNL:
+			stream = exec.NewIndexedNLJoin(scan, stream, bk, pk)
+		default:
+			stream = exec.NewHashJoinMulti(scan, stream, []int{bk}, []int{pk}, js.Type)
+		}
+		joins[i] = stream
+	}
+	b := &Built{Root: stream, Joins: joins, Bottom: bottom}
+	if g := sp.Group; g != nil {
+		gi := stream.Schema().Resolve(g.By.Alias, g.By.Col)
+		if gi < 0 {
+			return nil, fmt.Errorf("qgen: unresolved group column %s", g.By)
+		}
+		specs := make([]exec.AggSpec, len(g.Aggs))
+		for i, a := range g.Aggs {
+			specs[i] = exec.AggSpec{Func: a.Func, Name: fmt.Sprintf("x%d", i)}
+			if a.Func != exec.CountStar {
+				ci := stream.Schema().Resolve(a.Col.Alias, a.Col.Col)
+				if ci < 0 {
+					return nil, fmt.Errorf("qgen: unresolved agg column %s", a.Col)
+				}
+				specs[i].Col = ci
+			}
+		}
+		if g.SortBased {
+			b.Agg = exec.NewSortAgg(stream, []int{gi}, specs)
+		} else {
+			b.Agg = exec.NewHashAgg(stream, []int{gi}, specs)
+		}
+		b.Root = b.Agg
+	}
+	return b, nil
+}
+
+func filterExpr(s *data.Schema, f *FilterSpec) (expr.Expr, error) {
+	idx := s.Resolve(f.Col.Alias, f.Col.Col)
+	if idx < 0 {
+		return nil, fmt.Errorf("qgen: unresolved filter column %s", f.Col)
+	}
+	var op expr.CmpOp
+	switch f.Op {
+	case "le":
+		op = expr.LE
+	case "ge":
+		op = expr.GE
+	case "ne":
+		op = expr.NE
+	default:
+		return nil, fmt.Errorf("qgen: unknown filter op %q", f.Op)
+	}
+	col := expr.Col{Index: idx, Name: f.Col.String()}
+	return expr.Compare(op, col, expr.Lit(data.Int(f.Arg))), nil
+}
+
+// FilterKeeps reports whether a tuple passes the filter, mirroring the
+// executor's comparison semantics (NULL comparisons are false).
+func (f *FilterSpec) FilterKeeps(v data.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	cmp := data.Compare(v, data.Int(f.Arg))
+	switch f.Op {
+	case "le":
+		return cmp <= 0
+	case "ge":
+		return cmp >= 0
+	default: // ne
+		return cmp != 0
+	}
+}
+
+// Describe renders the case spec for failure reports.
+func (c *Case) Describe() string {
+	var b strings.Builder
+	sp := &c.Spec
+	fmt.Fprintf(&b, "seed=%d opts=%+v\n", c.Seed, c.Opts)
+	for i, ts := range sp.Tables {
+		fmt.Fprintf(&b, "  t%d: rows=%d keyDom=%d keyZipf=%g keyNulls=%g corr=%v groupDom=%d groupZipf=%g groupNull=%g\n",
+			i, ts.Rows, ts.KeyDomain, ts.KeyZipf, ts.KeyNulls, ts.Correlate, ts.GroupDom, ts.GroupZipf, ts.GroupNull)
+	}
+	fmt.Fprintf(&b, "  bottom: t%d AS %s", sp.BottomTable, sp.BottomAlias)
+	if f := sp.BottomFilter; f != nil {
+		fmt.Fprintf(&b, " WHERE %s %s %d", f.Col, f.Op, f.Arg)
+	}
+	b.WriteByte('\n')
+	for i, js := range sp.Joins {
+		fmt.Fprintf(&b, "  join %d: %s/%s t%d AS %s ON %s.k = %s\n",
+			i, js.Kind, js.Type, js.Table, js.Alias, js.Alias, js.ProbeKey)
+	}
+	if g := sp.Group; g != nil {
+		fmt.Fprintf(&b, "  group by %s (sort=%v):", g.By, g.SortBased)
+		for _, a := range g.Aggs {
+			fmt.Fprintf(&b, " %s(%s)", a.Func, a.Col)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,172 @@
+// Package qgen generates seeded random schemas, datasets and physical
+// plan trees for differential testing. A single int64 seed (plus a small
+// Options struct bounding the search space) deterministically produces a
+// Case: Zipf-skewed, correlated, null-heavy and duplicate-heavy tables
+// together with a random join/filter/group-by plan spec over them. The
+// spec is a pure value tree, so a Case can be built into a fresh
+// single-use executor tree once per execution mode, and the exact oracle
+// (internal/oracle) can evaluate the same spec independently.
+package qgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpi/internal/data"
+	"qpi/internal/storage"
+	"qpi/internal/zipf"
+)
+
+// Generated table column names. Every generated table has the same five
+// columns: a unique sequential id, a join key k (skewed, possibly NULL),
+// a small-domain value v (possibly correlated with k), a grouping column
+// g (skewed, possibly NULL) and a derived string column s. All numeric
+// columns are small integers so that float aggregates (SUM/AVG promote to
+// float64) stay exact and order-independent across execution modes.
+const (
+	ColID    = "id"
+	ColKey   = "k"
+	ColVal   = "v"
+	ColGroup = "g"
+	ColStr   = "s"
+)
+
+// NumCols is the column count of every generated table.
+const NumCols = 5
+
+// Options bounds the generated search space. The zero value is not
+// useful; start from DefaultOptions. Shrinking a failing case reduces
+// these bounds (smaller tables, shallower plans, fewer features), so a
+// minimized reproduction is always expressible as (seed, Options).
+type Options struct {
+	// MaxRows caps the per-table row count (min 8).
+	MaxRows int
+	// MaxJoins caps the join count (min 1).
+	MaxJoins int
+	// GroupBy allows a grouping operator on top of the join chain.
+	GroupBy bool
+	// AltJoins allows sort-merge and indexed nested-loops joins in place
+	// of hash joins.
+	AltJoins bool
+	// NonInner allows semi/anti/probe-outer hash joins.
+	NonInner bool
+}
+
+// DefaultOptions is the full search space used by the differential suite.
+func DefaultOptions() Options {
+	return Options{MaxRows: 120, MaxJoins: 3, GroupBy: true, AltJoins: true, NonInner: true}
+}
+
+func (o Options) normalized() Options {
+	if o.MaxRows < 8 {
+		o.MaxRows = 8
+	}
+	if o.MaxJoins < 1 {
+		o.MaxJoins = 1
+	}
+	return o
+}
+
+// TableSpec describes one generated table's data distribution.
+type TableSpec struct {
+	Rows      int
+	KeyDomain int     // join-key values drawn from [1..KeyDomain]
+	KeyZipf   float64 // join-key skew (0 = uniform)
+	KeyNulls  float64 // fraction of NULL join keys
+	PermSeed  int64   // which key values are hot (the paper's C¹,C²,… trick)
+	Correlate bool    // v = k mod 7 instead of independent
+	GroupDom  int     // grouping-column domain
+	GroupZipf float64 // grouping-column skew
+	GroupNull float64 // fraction of NULL grouping values
+}
+
+// Case is one generated differential-test case: the materialized tables
+// plus the plan spec. Rebuild the executor tree with Build for every run
+// (operators are single-use); the tables are shared across runs.
+type Case struct {
+	Seed   int64
+	Opts   Options
+	Spec   Spec
+	Tables []*storage.Table
+}
+
+// Generate deterministically derives a Case from (seed, opts): the same
+// inputs produce byte-identical tables and an identical plan spec on
+// every run and every platform.
+func Generate(seed int64, opts Options) *Case {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(seed))
+	nJoins := 1 + rng.Intn(opts.MaxJoins)
+	nTables := nJoins + 1
+	specs := make([]TableSpec, nTables)
+	for i := range specs {
+		specs[i] = randTableSpec(rng, opts.MaxRows)
+	}
+	c := &Case{Seed: seed, Opts: opts}
+	c.Spec = randSpec(rng, specs, nJoins, opts)
+	c.Spec.Tables = specs
+	c.Tables = make([]*storage.Table, nTables)
+	for i, ts := range specs {
+		c.Tables[i] = materialize(fmt.Sprintf("t%d", i), ts, tableSeed(seed, i))
+	}
+	return c
+}
+
+func tableSeed(seed int64, i int) int64 {
+	return seed*1_000_003 + int64(i)*7_919
+}
+
+func randTableSpec(rng *rand.Rand, maxRows int) TableSpec {
+	rows := 8 + rng.Intn(maxRows-7)
+	domains := []int{2, 1 + rows/8, 1 + rows/2, 2 * rows}
+	zipfs := []float64{0, 0, 0.5, 1, 1.5}
+	nulls := []float64{0, 0, 0, 0.1, 0.25}
+	return TableSpec{
+		Rows:      rows,
+		KeyDomain: domains[rng.Intn(len(domains))],
+		KeyZipf:   zipfs[rng.Intn(len(zipfs))],
+		KeyNulls:  nulls[rng.Intn(len(nulls))],
+		PermSeed:  rng.Int63(),
+		Correlate: rng.Intn(3) == 0,
+		GroupDom:  2 + rng.Intn(11),
+		GroupZipf: []float64{0, 1}[rng.Intn(2)],
+		GroupNull: []float64{0, 0, 0.2}[rng.Intn(3)],
+	}
+}
+
+// tableSchema builds the five-column schema under the given table name.
+func tableSchema(name string) *data.Schema {
+	return data.NewSchema(
+		data.Column{Table: name, Name: ColID, Kind: data.KindInt},
+		data.Column{Table: name, Name: ColKey, Kind: data.KindInt},
+		data.Column{Table: name, Name: ColVal, Kind: data.KindInt},
+		data.Column{Table: name, Name: ColGroup, Kind: data.KindInt},
+		data.Column{Table: name, Name: ColStr, Kind: data.KindString},
+	)
+}
+
+func materialize(name string, ts TableSpec, base int64) *storage.Table {
+	t := storage.NewTable(name, tableSchema(name))
+	rng := rand.New(rand.NewSource(base))
+	kg := zipf.MustNew(ts.KeyDomain, ts.KeyZipf, base+1, ts.PermSeed)
+	gg := zipf.MustNew(ts.GroupDom, ts.GroupZipf, base+2, base+3)
+	for i := 0; i < ts.Rows; i++ {
+		kv := kg.Next()
+		k := data.Int(kv)
+		if ts.KeyNulls > 0 && rng.Float64() < ts.KeyNulls {
+			k = data.Null()
+		}
+		v := int64(rng.Intn(10))
+		if ts.Correlate && !k.IsNull() {
+			v = kv % 7
+		}
+		g := data.Int(gg.Next())
+		if ts.GroupNull > 0 && rng.Float64() < ts.GroupNull {
+			g = data.Null()
+		}
+		t.MustAppend(data.Tuple{
+			data.Int(int64(i)), k, data.Int(v), g, data.Str(fmt.Sprintf("s%d", v)),
+		})
+	}
+	return t
+}

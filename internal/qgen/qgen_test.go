@@ -1,0 +1,124 @@
+package qgen
+
+import (
+	"reflect"
+	"testing"
+
+	"qpi/internal/data"
+	"qpi/internal/exec"
+	"qpi/internal/storage"
+)
+
+// TestGenerateDeterministic: the same (seed, Options) must produce an
+// identical spec and byte-identical tables on every run — the whole
+// replay story rests on this.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		a := Generate(seed, DefaultOptions())
+		b := Generate(seed, DefaultOptions())
+		if !reflect.DeepEqual(a.Spec, b.Spec) {
+			t.Fatalf("seed %d: specs differ:\n%s\nvs\n%s", seed, a.Describe(), b.Describe())
+		}
+		if len(a.Tables) != len(b.Tables) {
+			t.Fatalf("seed %d: table counts differ", seed)
+		}
+		for i := range a.Tables {
+			ra, rb := tableStrings(a.Tables[i]), tableStrings(b.Tables[i])
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("seed %d: table %d rows differ", seed, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(1, DefaultOptions())
+	b := Generate(2, DefaultOptions())
+	if reflect.DeepEqual(a.Spec, b.Spec) {
+		t.Fatal("different seeds produced an identical spec")
+	}
+}
+
+func tableStrings(tb *storage.Table) []string {
+	out := make([]string, 0, tb.NumRows())
+	for _, tu := range tb.Rows() {
+		out = append(out, tu.String())
+	}
+	return out
+}
+
+// TestStreamColumnsMatchBuiltSchema: the oracle resolves columns against
+// Spec.StreamColumns, so it must mirror the executor's schema
+// concatenation exactly — for every generated shape.
+func TestStreamColumnsMatchBuiltSchema(t *testing.T) {
+	for seed := int64(1); seed <= 60; seed++ {
+		c := Generate(seed, DefaultOptions())
+		b, err := c.Build()
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		var below exec.Operator = b.Root
+		if b.Agg != nil {
+			// The stream schema is the agg's input, i.e. the top join
+			// (or filtered bottom when the chain is empty).
+			below = b.Joins[len(b.Joins)-1]
+		}
+		got := below.Schema().Cols
+		want := c.Spec.StreamColumns()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: stream schema mismatch\n got: %v\nwant: %v\ncase:\n%s",
+				seed, got, want, c.Describe())
+		}
+	}
+}
+
+// TestGenerateRespectsBounds: generated cases stay inside the Options
+// search space.
+func TestGenerateRespectsBounds(t *testing.T) {
+	opts := Options{MaxRows: 16, MaxJoins: 2} // no groupby/altjoins/noninner
+	for seed := int64(1); seed <= 40; seed++ {
+		c := Generate(seed, opts)
+		if n := len(c.Spec.Joins); n < 1 || n > 2 {
+			t.Fatalf("seed %d: %d joins outside [1,2]", seed, n)
+		}
+		if c.Spec.Group != nil {
+			t.Fatalf("seed %d: group generated with GroupBy=false", seed)
+		}
+		for i, js := range c.Spec.Joins {
+			if js.Kind != KindHash {
+				t.Fatalf("seed %d: join %d kind %s with AltJoins=false", seed, i, js.Kind)
+			}
+			if js.Type != exec.InnerJoin {
+				t.Fatalf("seed %d: join %d type %v with NonInner=false", seed, i, js.Type)
+			}
+		}
+		for i, ts := range c.Spec.Tables {
+			if ts.Rows > 16 || c.Tables[i].NumRows() != ts.Rows {
+				t.Fatalf("seed %d: table %d has %d rows (spec %d, cap 16)",
+					seed, i, c.Tables[i].NumRows(), ts.Rows)
+			}
+		}
+	}
+}
+
+// TestFilterKeepsMatchesExpr: FilterKeeps (used by the oracle) and
+// filterExpr (used by the engine) must agree on every value, including
+// NULL.
+func TestFilterKeepsMatchesExpr(t *testing.T) {
+	for _, op := range []string{"le", "ge", "ne"} {
+		f := &FilterSpec{Col: ColRef{"a0", ColVal}, Op: op, Arg: 4}
+		sch := tableSchema("a0")
+		e, err := filterExpr(sch, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []data.Value{data.Null(), data.Int(0), data.Int(4), data.Int(9)}
+		for _, v := range vals {
+			tu := data.Tuple{data.Int(0), data.Int(1), v, data.Int(0), data.Str("s")}
+			want := e.Eval(tu).IsTrue()
+			if got := f.FilterKeeps(v); got != want {
+				t.Errorf("op %s value %s: FilterKeeps=%v expr=%v", op, v, got, want)
+			}
+		}
+	}
+}

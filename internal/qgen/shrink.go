@@ -1,0 +1,55 @@
+package qgen
+
+// Shrink minimizes the Options bounds of a failing case: it repeatedly
+// halves the table-size cap, lowers the join cap and disables plan
+// features while the predicate keeps failing (fails returns true). The
+// result is the smallest option set that still reproduces the failure for
+// this seed — directly expressible as a fuzz corpus entry, since a case
+// is fully determined by (seed, Options).
+func Shrink(o Options, fails func(Options) bool) Options {
+	o = o.normalized()
+	if !fails(o) {
+		return o
+	}
+	for changed := true; changed; {
+		changed = false
+		if o.MaxRows > 8 {
+			try := o
+			try.MaxRows = o.MaxRows / 2
+			if try.MaxRows < 8 {
+				try.MaxRows = 8
+			}
+			if fails(try) {
+				o = try
+				changed = true
+				continue
+			}
+		}
+		if o.MaxJoins > 1 {
+			try := o
+			try.MaxJoins--
+			if fails(try) {
+				o = try
+				changed = true
+				continue
+			}
+		}
+		for _, disable := range []func(*Options) *bool{
+			func(t *Options) *bool { return &t.GroupBy },
+			func(t *Options) *bool { return &t.AltJoins },
+			func(t *Options) *bool { return &t.NonInner },
+		} {
+			if !*disable(&o) {
+				continue
+			}
+			try := o
+			*disable(&try) = false
+			if fails(try) {
+				o = try
+				changed = true
+				break
+			}
+		}
+	}
+	return o
+}

@@ -550,20 +550,33 @@ func sortDrifts(ds []Drift) {
 
 // EstimateOf returns the live cardinality snapshot of the operator whose
 // EXPLAIN-style label matches operatorLabel — the labels reported by
-// Estimates() and Explain(), e.g. "HashJoin(a.k = b.k)". An exact match
-// wins; otherwise a substring that identifies exactly one operator (such
-// as "HashJoin" in a single-join plan) resolves to it. The second result
-// is false when no operator matches unambiguously. The plan root is
-// addressable by the empty string.
+// Estimates() and Explain(), e.g. "HashJoin(a.k = b.k)". A unique exact
+// match wins even when the label is also a substring of other labels;
+// otherwise a substring that identifies exactly one operator (such as
+// "HashJoin" in a single-join plan) resolves to it. The second result is
+// false when no operator matches unambiguously — including when several
+// operators share the exact label, e.g. two identical scans of the same
+// table. The plan root is addressable by the empty string.
 func (q *Query) EstimateOf(operatorLabel string) (OperatorEstimate, bool) {
 	ests := q.Estimates()
 	if operatorLabel == "" {
 		return ests[0], true
 	}
+	var exact OperatorEstimate
+	exactMatches := 0
 	for _, e := range ests {
 		if e.Operator == operatorLabel {
-			return e, true
+			if exactMatches == 0 {
+				exact = e
+			}
+			exactMatches++
 		}
+	}
+	if exactMatches == 1 {
+		return exact, true
+	}
+	if exactMatches > 1 {
+		return OperatorEstimate{}, false
 	}
 	var found OperatorEstimate
 	matches := 0

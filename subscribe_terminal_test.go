@@ -1,0 +1,96 @@
+package qpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"qpi/internal/exec"
+	"qpi/internal/vfs"
+)
+
+// Terminal-snapshot delivery on the unhappy paths: Subscribe must always
+// end with the terminal snapshot and a closed channel, whether the query
+// was cancelled mid-flight or died on an execution error — and late
+// subscribers must still receive that terminal state.
+
+func TestSubscribeTerminalOnCancellation(t *testing.T) {
+	e := obsEngine(t, 12000)
+	q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k")
+	sub := q.Subscribe()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.RunContext(ctx, nil, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var last Report
+	n := 0
+	for rep := range sub {
+		last = rep
+		n++
+	}
+	if n == 0 {
+		t.Fatal("subscription closed without a terminal snapshot")
+	}
+	if last.State != "cancelled" {
+		t.Errorf("terminal snapshot state = %q, want cancelled", last.State)
+	}
+	if last.Progress < 0 || last.Progress > 1 {
+		t.Errorf("terminal snapshot progress = %g outside [0,1]", last.Progress)
+	}
+
+	// A subscription taken after the cancellation sees exactly the
+	// terminal snapshot, already closed.
+	late := q.Subscribe()
+	rep, ok := <-late
+	if !ok || rep.State != "cancelled" {
+		t.Fatalf("late subscription after cancel: %+v, %v", rep.Status, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Error("late subscription not closed after terminal snapshot")
+	}
+}
+
+func TestSubscribeTerminalOnFailure(t *testing.T) {
+	e := obsEngine(t, 8000)
+	// A tiny budget forces the join to spill; a fault filesystem makes
+	// the very first spill write fail, so the run dies mid-build.
+	q := e.MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k",
+		WithMemoryBudget(256))
+	fs := vfs.NewFaultFS(nil).FailAt(vfs.OpWrite, 1)
+	injected := 0
+	exec.Walk(q.root, func(op exec.Operator) {
+		if j, ok := op.(*exec.HashJoin); ok {
+			j.SetSpillFS(fs)
+			injected++
+		}
+	})
+	if injected == 0 {
+		t.Fatal("no hash join found to inject faults into")
+	}
+	sub := q.Subscribe()
+	if _, err := q.Run(nil); err == nil {
+		t.Fatal("run succeeded despite injected spill-write failure")
+	}
+	var last Report
+	n := 0
+	for rep := range sub {
+		last = rep
+		n++
+	}
+	if n == 0 {
+		t.Fatal("subscription closed without a terminal snapshot")
+	}
+	if last.State != "failed" {
+		t.Errorf("terminal snapshot state = %q, want failed", last.State)
+	}
+
+	late := q.Subscribe()
+	rep, ok := <-late
+	if !ok || rep.State != "failed" {
+		t.Fatalf("late subscription after failure: %+v, %v", rep.Status, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Error("late subscription not closed after terminal snapshot")
+	}
+}
