@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck bench-join lint-deprecated fuzz cover
+.PHONY: build test vet race check leakcheck bench-join bench-guard lint-deprecated fuzz cover
 
 build:
 	$(GO) build ./...
@@ -64,9 +64,22 @@ cover:
 	check ./internal/core 82; \
 	check ./internal/distinct 84
 
+# BENCH_GUARD=1 adds the join-throughput regression guard to `make
+# check`. It is opt-in because wall-clock benchmarks only mean something
+# on a machine comparable to the one that recorded BENCH_join.json (and
+# are pure noise on loaded CI runners).
+ifeq ($(BENCH_GUARD),1)
+check: vet lint-deprecated test race cover fuzz bench-guard
+else
 check: vet lint-deprecated test race cover fuzz
+endif
 
-# Measure the join execution modes (tuple / batch / batch-parallel) and
-# write BENCH_join.json.
+# Measure the join execution modes (tuple / serial batch / parallel join
+# phase at several worker counts) and write BENCH_join.json.
 bench-join:
 	$(GO) run ./cmd/qpi-bench -json
+
+# Re-measure those modes and fail on a >15% ns/op or allocs/op
+# regression against the committed BENCH_join.json.
+bench-guard:
+	$(GO) run ./cmd/qpi-bench -guard

@@ -34,10 +34,23 @@ func main() {
 		sample   = flag.Float64("sample", 0, "override block-sample fraction")
 		seed     = flag.Int64("seed", 0, "override random seed")
 		jsonOut  = flag.Bool("json", false, "benchmark join execution modes and write BENCH_join.json instead of running experiments")
-		jsonFile = flag.String("json-file", "BENCH_join.json", "output path for -json")
+		jsonFile = flag.String("json-file", "BENCH_join.json", "output path for -json (baseline path for -guard)")
+		guard    = flag.Bool("guard", false, "re-measure the join modes and fail on regression against the recorded BENCH_join.json")
+		tol      = flag.Float64("tolerance", 0.15, "allowed fractional regression in -guard mode (ns/op and allocs/op)")
+		maxprocs = flag.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark (0 = runtime default, i.e. NumCPU)")
 	)
 	flag.Parse()
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 
+	if *guard {
+		if err := guardJoinBench(*jsonFile, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := writeJoinBench(*jsonFile); err != nil {
 			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
@@ -103,6 +116,14 @@ type modeResult struct {
 	BytesPerOp   uint64  `json:"bytes_per_op,omitempty"`
 	AllocsOp     uint64  `json:"allocs_per_op"`
 	SpeedupSeed  float64 `json:"speedup_vs_seed,omitempty"`
+	// Per-phase split: the grace join is two partition passes (build +
+	// probe scatter) followed by the join phase. The join phase is the part
+	// the partition-parallel workers accelerate, so it is reported — with
+	// its own throughput over probe tuples — separately from the
+	// scatter-bound partition phase.
+	PartitionNs      int64   `json:"partition_ns,omitempty"`
+	JoinNs           int64   `json:"join_ns,omitempty"`
+	JoinTuplesPerSec float64 `json:"join_tuples_per_sec,omitempty"`
 	// Observability counters (qpi.Metrics roll-up of the measured run):
 	// absolute work moved per op, so throughput regressions from the
 	// tracing/metrics instrumentation are attributable across PRs.
@@ -122,20 +143,42 @@ type joinBenchReport struct {
 	Modes        []modeResult `json:"modes"`
 }
 
-// writeJoinBench measures the grace hash join's execution modes on the
-// BenchmarkJoinBaseline workload (TPC-H SF 0.01 orders ⋈ lineitem) and
-// writes the results as JSON. Best-of-N timing, allocation deltas from
-// runtime.MemStats.
-func writeJoinBench(path string) error {
-	const runs = 7
+// benchModes is the measured sweep: the tuple and serial-batch references
+// plus the partition-parallel join phase at worker counts {2, 4, NumCPU}
+// (deduplicated, ascending). Worker counts above GOMAXPROCS still
+// parallelize the join phase (goroutines time-slice); the recorded
+// gomaxprocs field says what hardware parallelism backed each number.
+func benchModes() []struct {
+	name    string
+	workers int
+} {
 	modes := []struct {
 		name    string
 		workers int
 	}{
 		{"tuple", 0},
 		{"batch", 1},
-		{"batch-parallel", runtime.GOMAXPROCS(0)},
 	}
+	seen := map[int]bool{}
+	for _, w := range []int{2, 4, runtime.NumCPU()} {
+		if w < 2 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		modes = append(modes, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("parallel-w%d", w), w})
+	}
+	return modes
+}
+
+// writeJoinBench measures the grace hash join's execution modes on the
+// BenchmarkJoinBaseline workload (TPC-H SF 0.01 orders ⋈ lineitem) and
+// writes the results as JSON. Best-of-N timing, allocation deltas from
+// runtime.MemStats.
+func writeJoinBench(path string) error {
+	const runs = 7
 	report := joinBenchReport{
 		Benchmark:    "grace hash join, TPC-H SF=0.01 orders ⋈ lineitem (no estimators)",
 		CPU:          runtime.GOARCH,
@@ -143,21 +186,15 @@ func writeJoinBench(path string) error {
 		Runs:         runs,
 		SeedBaseline: seedBaseline,
 	}
-	for _, m := range modes {
-		var best modeResult
-		for r := 0; r < runs; r++ {
-			res, err := runJoinOnce(m.name, m.workers)
-			if err != nil {
-				return err
-			}
-			if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
-				best = res
-			}
+	for _, m := range benchModes() {
+		best, err := bestJoinRun(m.name, m.workers, runs)
+		if err != nil {
+			return err
 		}
-		best.SpeedupSeed = round2(float64(seedBaseline.NsPerOp) / float64(best.NsPerOp))
 		report.Modes = append(report.Modes, best)
-		fmt.Printf("%-16s %12d ns/op %12.0f tuples/sec %8d allocs/op  %.2fx vs seed\n",
-			best.Mode, best.NsPerOp, best.TuplesPerSec, best.AllocsOp, best.SpeedupSeed)
+		fmt.Printf("%-14s %11d ns/op (partition %d + join %d) %11.0f join-tuples/sec %7d allocs/op  %.2fx vs seed\n",
+			best.Mode, best.NsPerOp, best.PartitionNs, best.JoinNs,
+			best.JoinTuplesPerSec, best.AllocsOp, best.SpeedupSeed)
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -166,7 +203,85 @@ func writeJoinBench(path string) error {
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
-// runJoinOnce builds and runs the benchmark join in one mode.
+// guardJoinBench re-measures every mode recorded in the baseline report at
+// path and fails when wall time or allocations regressed by more than tol
+// (fractional). Modes in the baseline that the current sweep no longer
+// produces are skipped with a note, so renaming a mode cannot silently
+// disable the guard for the others.
+func guardJoinBench(path string, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("guard: reading baseline: %w", err)
+	}
+	var base joinBenchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("guard: parsing baseline: %w", err)
+	}
+	current := map[string]int{}
+	for _, m := range benchModes() {
+		current[m.name] = m.workers
+	}
+	const runs = 7
+	var failures []string
+	checked := 0
+	for _, b := range base.Modes {
+		workers, ok := current[b.Mode]
+		if !ok {
+			fmt.Printf("%-14s skipped (not in current sweep)\n", b.Mode)
+			continue
+		}
+		got, err := bestJoinRun(b.Mode, workers, runs)
+		if err != nil {
+			return err
+		}
+		checked++
+		nsRatio := float64(got.NsPerOp) / float64(b.NsPerOp)
+		allocRatio := float64(got.AllocsOp) / float64(b.AllocsOp)
+		status := "ok"
+		if nsRatio > 1+tol {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
+				b.Mode, got.NsPerOp, b.NsPerOp, 100*(nsRatio-1), 100*tol))
+		}
+		if allocRatio > 1+tol {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
+				b.Mode, got.AllocsOp, b.AllocsOp, 100*(allocRatio-1), 100*tol))
+		}
+		fmt.Printf("%-14s %11d ns/op (baseline %11d, %+5.1f%%) %7d allocs/op (baseline %7d, %+5.1f%%)  %s\n",
+			b.Mode, got.NsPerOp, b.NsPerOp, 100*(nsRatio-1),
+			got.AllocsOp, b.AllocsOp, 100*(allocRatio-1), status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("guard: no baseline mode matches the current sweep; regenerate %s with -json", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("guard: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// bestJoinRun runs one mode n times and keeps the fastest run (allocation
+// counts are stable across runs; timing is best-of to shed scheduler
+// noise).
+func bestJoinRun(mode string, workers, n int) (modeResult, error) {
+	var best modeResult
+	for r := 0; r < n; r++ {
+		res, err := runJoinOnce(mode, workers)
+		if err != nil {
+			return modeResult{}, err
+		}
+		if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	best.SpeedupSeed = round2(float64(seedBaseline.NsPerOp) / float64(best.NsPerOp))
+	return best, nil
+}
+
+// runJoinOnce builds and runs the benchmark join in one mode, splitting
+// wall time at the partition/join phase boundary (OnProbeEnd fires when
+// the probe scatter pass is done, before the first join-phase output).
 func runJoinOnce(mode string, workers int) (modeResult, error) {
 	cat, err := tpch.Generate(tpch.Config{SF: 0.01, Seed: 1, Tables: []string{"orders", "lineitem"}})
 	if err != nil {
@@ -183,6 +298,8 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 	if workers > 0 {
 		j.SetParallelism(workers)
 	}
+	var partitionDone time.Time
+	j.OnProbeEnd = func() { partitionDone = time.Now() }
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -206,6 +323,13 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 		TuplesPerSec: round2(float64(tuples) / elapsed.Seconds()),
 		BytesPerOp:   after.TotalAlloc - before.TotalAlloc,
 		AllocsOp:     after.Mallocs - before.Mallocs,
+	}
+	if !partitionDone.IsZero() {
+		res.PartitionNs = partitionDone.Sub(start).Nanoseconds()
+		res.JoinNs = res.NsPerOp - res.PartitionNs
+		if res.JoinNs > 0 {
+			res.JoinTuplesPerSec = round2(float64(j.ProbeRows()) / (float64(res.JoinNs) / 1e9))
+		}
 	}
 	exec.Walk(j, func(op exec.Operator) {
 		st := op.Stats()

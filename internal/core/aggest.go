@@ -137,7 +137,7 @@ func (a *AggEstimator) Estimate() float64 {
 	if total < float64(t) {
 		total = float64(t)
 	}
-	est, _ := distinct.ChooseFromProfile(a.outHist.FrequencyOfFrequencies(), t, total, a.tau)
+	est, _ := distinct.ChooseFromProfile(a.outHist.Profile(), t, total, a.tau)
 	return est
 }
 
@@ -167,7 +167,7 @@ func (a *AggEstimator) Gamma2() float64 {
 	case a.tracker != nil:
 		return a.tracker.Gamma2()
 	default:
-		return distinct.Gamma2FromProfile(a.outHist.FrequencyOfFrequencies(), a.outHist.Total())
+		return distinct.Gamma2FromProfile(a.outHist.Profile(), a.outHist.Total())
 	}
 }
 

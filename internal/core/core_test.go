@@ -79,6 +79,60 @@ func TestFreqHistogramProfileAndTopK(t *testing.T) {
 	}
 }
 
+// TestFreqHistogramTrackedProfileMatchesRescan drives a tracked histogram
+// through a random mixed workload — int and string keys, unit adds,
+// weighted adds including the negative deltas derived Case 2 histograms
+// can apply — and checks after every step that the incrementally
+// maintained profile is identical to a from-scratch rescan, including
+// after late TrackProfile back-fill.
+func TestFreqHistogramTrackedProfileMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, lateTrack := range []bool{false, true} {
+		h := NewFreqHistogram()
+		if !lateTrack {
+			h.TrackProfile()
+		}
+		for step := 0; step < 4000; step++ {
+			if lateTrack && step == 2000 {
+				h.TrackProfile()
+			}
+			var v data.Value
+			if rng.Intn(4) == 0 {
+				v = data.Str([]string{"a", "b", "c"}[rng.Intn(3)])
+			} else {
+				v = data.Int(int64(rng.Intn(64)))
+			}
+			switch rng.Intn(3) {
+			case 0:
+				h.Add(v)
+			case 1:
+				h.AddN(v, int64(1+rng.Intn(8)))
+			default:
+				// Only drive a count negative-ward if it stays ≥ 0.
+				if c := h.Count(v); c > 1 {
+					h.AddN(v, -1)
+				} else {
+					h.Add(v)
+				}
+			}
+			if step%97 == 0 || step >= 3990 {
+				want := h.FrequencyOfFrequencies()
+				got := h.Profile()
+				if len(got) != len(want) {
+					t.Fatalf("lateTrack=%v step %d: profile has %d counts, rescan %d: %v vs %v",
+						lateTrack, step, len(got), len(want), got, want)
+				}
+				for j, n := range want {
+					if got[j] != n {
+						t.Fatalf("lateTrack=%v step %d: profile[%d] = %d, rescan %d",
+							lateTrack, step, j, got[j], n)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestFreqHistogramMemoryScalesLinearly(t *testing.T) {
 	h := NewFreqHistogram()
 	for i := int64(0); i < 1000; i++ {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"qpi/internal/data"
+	"qpi/internal/hashtab"
 )
 
 // FreqHistogram is an exact value-frequency histogram: for every distinct
@@ -19,26 +20,63 @@ import (
 // accounting reported in the paper's Table 2.
 //
 // Integer keys — the overwhelmingly common join-key type — take a fast
-// path through a map[int64]int64, keeping the per-tuple overhead of the
-// estimation framework small (the paper's "lightweight" requirement);
-// other kinds share a map keyed by data.Value.
+// path through an open-addressing hashtab.I64Map, keeping the per-tuple
+// overhead of the estimation framework small (the paper's "lightweight"
+// requirement); other kinds share a map keyed by data.Value.
 type FreqHistogram struct {
-	ints  map[int64]int64
+	ints  hashtab.I64Map[int64]
 	other map[data.Value]int64
 	total int64 // sum of all counts (weighted observations)
+
+	// prof, when enabled by TrackProfile, is the frequency-of-frequencies
+	// profile f_j maintained incrementally on every update: a count
+	// transition c → c+w costs two profile touches instead of a full
+	// histogram scan per estimator refresh.
+	prof map[int64]int64
 }
 
 // NewFreqHistogram creates an empty histogram.
 func NewFreqHistogram() *FreqHistogram {
-	return &FreqHistogram{ints: make(map[int64]int64)}
+	return &FreqHistogram{}
+}
+
+// TrackProfile turns on incremental maintenance of the
+// frequency-of-frequencies profile, back-filling from any counts already
+// present. Profile then returns the live profile without rescanning the
+// histogram — the refresh path of the push-down aggregation estimators,
+// which would otherwise rebuild the profile on every publish boundary.
+func (h *FreqHistogram) TrackProfile() *FreqHistogram {
+	if h.prof == nil {
+		h.prof = h.FrequencyOfFrequencies()
+	}
+	return h
+}
+
+// profShift moves one value's profile mass from count old to count new.
+func (h *FreqHistogram) profShift(old, new int64) {
+	if h.prof == nil {
+		return
+	}
+	if old != 0 {
+		if h.prof[old]--; h.prof[old] == 0 {
+			delete(h.prof, old)
+		}
+	}
+	if new != 0 {
+		h.prof[new]++
+	}
 }
 
 // Add counts one observation of v. NULLs are ignored (they never join or
 // group with anything under our key semantics).
 func (h *FreqHistogram) Add(v data.Value) {
 	if v.Kind == data.KindInt {
-		h.ints[v.I]++
+		p := h.ints.Ref(v.I)
+		*p++
 		h.total++
+		if h.prof != nil {
+			h.profShift(*p-1, *p)
+		}
 		return
 	}
 	h.AddN(v, 1)
@@ -49,21 +87,29 @@ func (h *FreqHistogram) AddN(v data.Value, w int64) {
 	if v.IsNull() || w == 0 {
 		return
 	}
+	var old, new int64
 	if v.Kind == data.KindInt {
-		h.ints[v.I] += w
+		p := h.ints.Ref(v.I)
+		old = *p
+		*p += w
+		new = *p
 	} else {
 		if h.other == nil {
 			h.other = make(map[data.Value]int64)
 		}
-		h.other[v] += w
+		old = h.other[v]
+		h.other[v] = old + w
+		new = old + w
 	}
 	h.total += w
+	h.profShift(old, new)
 }
 
 // Count returns N_v.
 func (h *FreqHistogram) Count(v data.Value) int64 {
 	if v.Kind == data.KindInt {
-		return h.ints[v.I]
+		n, _ := h.ints.Get(v.I)
+		return n
 	}
 	if h.other == nil {
 		return 0
@@ -72,7 +118,7 @@ func (h *FreqHistogram) Count(v data.Value) int64 {
 }
 
 // Distinct returns the number of distinct values observed.
-func (h *FreqHistogram) Distinct() int64 { return int64(len(h.ints) + len(h.other)) }
+func (h *FreqHistogram) Distinct() int64 { return int64(h.ints.Len() + len(h.other)) }
 
 // Total returns the sum of all counts.
 func (h *FreqHistogram) Total() int64 { return h.total }
@@ -80,10 +126,16 @@ func (h *FreqHistogram) Total() int64 { return h.total }
 // Each calls f for every (value, count) pair, in unspecified order. f
 // returning false stops the iteration.
 func (h *FreqHistogram) Each(f func(v data.Value, n int64) bool) {
-	for i, n := range h.ints {
+	stopped := false
+	h.ints.Each(func(i int64, n int64) bool {
 		if !f(data.Int(i), n) {
-			return
+			stopped = true
+			return false
 		}
+		return true
+	})
+	if stopped {
+		return
 	}
 	for v, n := range h.other {
 		if !f(v, n) {
@@ -93,16 +145,32 @@ func (h *FreqHistogram) Each(f func(v data.Value, n int64) bool) {
 }
 
 // FrequencyOfFrequencies returns the f_j profile used by the distinct-value
-// estimators: result[j] = number of values observed exactly j times.
+// estimators: result[j] = number of values observed exactly j times. It
+// always rescans; estimator refresh paths should use Profile instead.
 func (h *FreqHistogram) FrequencyOfFrequencies() map[int64]int64 {
 	f := make(map[int64]int64)
-	for _, n := range h.ints {
-		f[n]++
-	}
+	h.ints.Each(func(_ int64, n int64) bool {
+		if n != 0 {
+			f[n]++
+		}
+		return true
+	})
 	for _, n := range h.other {
-		f[n]++
+		if n != 0 {
+			f[n]++
+		}
 	}
 	return f
+}
+
+// Profile returns the frequency-of-frequencies profile: the incrementally
+// maintained one when TrackProfile is on (shared, read-only — O(1) per
+// call), a fresh scan otherwise.
+func (h *FreqHistogram) Profile() map[int64]int64 {
+	if h.prof != nil {
+		return h.prof
+	}
+	return h.FrequencyOfFrequencies()
 }
 
 // TopK returns the k most frequent values (ties broken by value order).
@@ -144,16 +212,16 @@ func (h *FreqHistogram) TopK(k int) []struct {
 // Memory accounting (paper §5.2.1 / Table 2). The paper stores 8 bytes of
 // payload per entry (4-byte value + 4-byte count) inside PostgreSQL's
 // generic hash table, observing ~20 bytes of overhead per entry from the
-// hash table's pointers. Our integer entries live in a Go map[int64]int64.
+// hash table's pointers. Our integer entries live in an open-addressing
+// table of int64 key/count pairs.
 
 // entryPayloadBytes is the payload the paper counts per entry: the value
 // and its count.
 const entryPayloadBytes = 8
 
 // goMapEntryOverhead approximates the per-entry cost of a Go
-// map[int64]int64 (16-byte key/value plus bucket headers, overflow
-// pointers and the spare capacity of the ~6.5-entries-per-8-slot-bucket
-// load factor).
+// map[data.Value]int64 entry (the non-integer fallback): 40-byte key plus
+// bucket headers, overflow pointers and spare bucket capacity.
 const goMapEntryOverhead = 16 + 12
 
 // MemoryUsed returns the bytes of live histogram payload, in the paper's
@@ -169,9 +237,11 @@ func (h *FreqHistogram) MemoryUsed() int64 {
 }
 
 // MemoryAllocated estimates the bytes actually allocated by the backing
-// Go maps, the analogue of the paper's "Mem. Alloc." column.
+// tables, the analogue of the paper's "Mem. Alloc." column: the
+// open-addressing table allocates 16 bytes per slot (int64 key + int64
+// count) at ≤ 7/8 load.
 func (h *FreqHistogram) MemoryAllocated() int64 {
-	alloc := int64(len(h.ints)) * (entryPayloadBytes + goMapEntryOverhead)
+	alloc := int64(h.ints.Slots()) * 16
 	for v := range h.other {
 		alloc += entryPayloadBytes + goMapEntryOverhead + 32 // data.Value key
 		if v.Kind == data.KindString {

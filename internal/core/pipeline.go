@@ -536,7 +536,11 @@ func (p *PipelineEstimator) Histogram(k, j int) Histogram { return p.hists[k][j]
 // backs the aggregation push-down of §4.2.
 func (p *PipelineEstimator) EnableOutputDistribution(col int) *FreqHistogram {
 	p.outDistCol = col
-	p.outDistHist = NewFreqHistogram()
+	// Track the frequency-of-frequencies profile incrementally: the
+	// push-down aggregation estimator refreshes on publish boundaries, and
+	// a rescan per refresh would be O(distinct) against this histogram's
+	// O(1) per-update maintenance.
+	p.outDistHist = NewFreqHistogram().TrackProfile()
 	return p.outDistHist
 }
 

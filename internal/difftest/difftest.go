@@ -1,7 +1,8 @@
 // Package difftest is the randomized differential-testing harness: it
 // runs every qgen-generated plan through all execution modes of the real
-// engine (tuple-at-a-time, batch, batch-parallel, forced-spill and
-// mid-query cancel/re-run) and checks each run against the exact oracle
+// engine (tuple-at-a-time, batch, batch-parallel, forced-spill,
+// parallel-spill and mid-query cancel/re-run) and checks each run
+// against the exact oracle
 // and the paper's estimator invariants:
 //
 //   - result-set equivalence: the run's output multiset equals the
@@ -49,6 +50,12 @@ const (
 	ModeParallel
 	// ModeSpill forces grace-join and sort spills with a tiny budget.
 	ModeSpill
+	// ModeParallelSpill combines both stressors: a tiny budget forces every
+	// partition to disk (and keeps the scatter passes serial), while 3-way
+	// parallelism sends the grace joins through the partition-parallel join
+	// phase — concurrent workers reading spilled partitions back under the
+	// oracle's eye.
+	ModeParallelSpill
 	// ModeCancelRerun cancels the context after the first bottom-stream
 	// tuple, verifies the terminal state, then re-runs a fresh build to
 	// completion with full checks.
@@ -56,7 +63,7 @@ const (
 )
 
 // AllModes is every execution mode, in suite order.
-var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeCancelRerun}
+var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeCancelRerun}
 
 func (m Mode) String() string {
 	switch m {
@@ -66,6 +73,8 @@ func (m Mode) String() string {
 		return "parallel"
 	case ModeSpill:
 		return "spill"
+	case ModeParallelSpill:
+		return "parallel-spill"
 	case ModeCancelRerun:
 		return "cancel-rerun"
 	default:
@@ -135,6 +144,9 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		setParallelism(b.Root, 3)
 	case ModeSpill:
 		setBudget(b.Root, spillBudget)
+	case ModeParallelSpill:
+		setParallelism(b.Root, 3)
+		setBudget(b.Root, spillBudget)
 	}
 	att := core.Attach(b.Root)
 	mon := progress.NewMonitorWith(b.Root, progress.ModeOnce, att)
@@ -198,7 +210,7 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		}
 	}
 	exec.Bind(b.Root, ctx)
-	rows, runErr := drain(b.Root, m == ModeBatch || m == ModeParallel)
+	rows, runErr := drain(b.Root, m == ModeBatch || m == ModeParallel || m == ModeParallelSpill)
 	mon.Finish(runErr)
 
 	if progErr != nil {
@@ -233,7 +245,7 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		if got := j.Stats().Emitted.Load(); got != want.JoinCards[i] {
 			return fmt.Errorf("join %d (%s) emitted %d, oracle says %d", i, j.Name(), got, want.JoinCards[i])
 		}
-		if m == ModeSpill {
+		if m == ModeSpill || m == ModeParallelSpill {
 			st.SpillFiles += j.Stats().SpillFiles.Load()
 		}
 	}

@@ -8,9 +8,11 @@ import (
 
 // FuzzDifferential lets the fuzzer explore the (seed, Options) space
 // directly. Each input is one generated case checked against the oracle
-// in tuple and batch mode (the cheap modes — the full five-mode sweep
-// runs in TestDifferentialSuite). Minimized suite failures land in
-// testdata/fuzz/FuzzDifferential as permanent regressions.
+// in tuple, batch and parallel mode — the last sends every grace join
+// through the partition-parallel join phase (the full mode sweep,
+// including spills and cancellation, runs in TestDifferentialSuite).
+// Minimized suite failures land in testdata/fuzz/FuzzDifferential as
+// permanent regressions.
 func FuzzDifferential(f *testing.F) {
 	f.Add(int64(1), 32, 2, true, true, true)
 	f.Add(int64(7), 64, 3, false, true, false)
@@ -26,7 +28,7 @@ func FuzzDifferential(f *testing.F) {
 			AltJoins: altJoins,
 			NonInner: nonInner,
 		}
-		if err := CheckCase(seed, opts, nil, ModeTuple, ModeBatch); err != nil {
+		if err := CheckCase(seed, opts, nil, ModeTuple, ModeBatch, ModeParallel); err != nil {
 			t.Fatalf("%v\nreplay: %s", err, ReplayCommand(seed, opts))
 		}
 	})

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"qpi/internal/data"
+	"qpi/internal/hashtab"
 )
 
 // AggFunc enumerates the supported aggregate functions.
@@ -152,8 +153,12 @@ type HashAgg struct {
 	// OnInputEnd fires when the input is exhausted.
 	OnInputEnd func()
 
+	// Integer group keys — the dominant case — live in an open-addressing
+	// table; everything else shares a Value-keyed map. order preserves
+	// first-seen emission order across both.
+	intGroups hashtab.I64Map[*groupState]
 	groups    map[data.Value]*groupState
-	order     []data.Value
+	order     []*groupState
 	pos       int
 	computed  bool
 	inputRows int64
@@ -169,9 +174,11 @@ func (a *HashAgg) endEmitSpan() {
 	}
 }
 
-// groupState is one group's accumulators plus its observation count.
+// groupState is one group's accumulators plus its observation count. The
+// accumulators are stored inline (one backing array per group, not one
+// allocation per aggregate).
 type groupState struct {
-	states []*aggState
+	states []aggState
 	repr   data.Tuple
 	n      int64
 }
@@ -209,13 +216,13 @@ func (a *HashAgg) Next() (data.Tuple, error) {
 		a.endEmitSpan()
 		return a.finish()
 	}
-	k := a.order[a.pos]
+	gs := a.order[a.pos]
 	a.pos++
-	return a.emit(a.groupTuple(k))
+	return a.emit(a.groupTuple(gs))
 }
 
 func (a *HashAgg) consume() error {
-	a.groups = map[data.Value]*groupState{}
+	a.initGroups()
 	a.traceBegin("input")
 	for {
 		if err := a.pollCtx(); err != nil {
@@ -243,7 +250,7 @@ func (a *HashAgg) consume() error {
 // per-tuple hooks still fire for every input tuple, on this goroutine, so
 // estimator behaviour is identical in both modes.
 func (a *HashAgg) consumeBatched() error {
-	a.groups = map[data.Value]*groupState{}
+	a.initGroups()
 	a.traceBegin("input")
 	in := AsBatch(a.child)
 	for {
@@ -270,6 +277,17 @@ func (a *HashAgg) consumeBatched() error {
 	return nil
 }
 
+func (a *HashAgg) initGroups() {
+	a.intGroups.Reset()
+	a.groups = map[data.Value]*groupState{}
+}
+
+func (a *HashAgg) newGroup(t data.Tuple) *groupState {
+	gs := &groupState{states: make([]aggState, len(a.aggs)), repr: t}
+	a.order = append(a.order, gs)
+	return gs
+}
+
 // observe folds one input tuple into its group, firing the input hooks.
 func (a *HashAgg) observe(t data.Tuple) {
 	a.inputRows++
@@ -277,14 +295,20 @@ func (a *HashAgg) observe(t data.Tuple) {
 		a.OnInput(t)
 	}
 	k := GroupKey(t, a.groupBy)
-	gs, ok := a.groups[k]
-	if !ok {
-		gs = &groupState{states: make([]*aggState, len(a.aggs)), repr: t}
-		for i := range gs.states {
-			gs.states[i] = &aggState{}
+	var gs *groupState
+	if k.Kind == data.KindInt {
+		p := a.intGroups.Ref(k.I)
+		if *p == nil {
+			*p = a.newGroup(t)
 		}
-		a.groups[k] = gs
-		a.order = append(a.order, k)
+		gs = *p
+	} else {
+		var ok bool
+		gs, ok = a.groups[k]
+		if !ok {
+			gs = a.newGroup(t)
+			a.groups[k] = gs
+		}
 	}
 	gs.n++
 	if a.OnInputGroupCount != nil {
@@ -326,10 +350,9 @@ func (a *HashAgg) NextBatch() (data.Batch, error) {
 
 // GroupsSeen returns the number of distinct groups observed so far during
 // the input pass.
-func (a *HashAgg) GroupsSeen() int64 { return int64(len(a.groups)) }
+func (a *HashAgg) GroupsSeen() int64 { return int64(a.intGroups.Len() + len(a.groups)) }
 
-func (a *HashAgg) groupTuple(k data.Value) data.Tuple {
-	gs := a.groups[k]
+func (a *HashAgg) groupTuple(gs *groupState) data.Tuple {
 	out := make(data.Tuple, 0, len(a.groupBy)+len(a.aggs))
 	for _, g := range a.groupBy {
 		out = append(out, gs.repr[g])
@@ -345,6 +368,7 @@ func (a *HashAgg) InputRows() int64 { return a.inputRows }
 
 // Close implements Operator.
 func (a *HashAgg) Close() error {
+	a.intGroups = hashtab.I64Map[*groupState]{}
 	a.groups, a.order = nil, nil
 	return a.child.Close()
 }
@@ -411,10 +435,7 @@ func (a *SortAgg) Next() (data.Tuple, error) {
 		a.traceEnd("aggregate", a.stats.Emitted.Load(), 0, 0)
 		return a.finish()
 	}
-	states := make([]*aggState, len(a.aggs))
-	for i := range states {
-		states[i] = &aggState{}
-	}
+	states := make([]aggState, len(a.aggs))
 	groupRepr := a.cur
 	key := GroupKey(a.cur, a.groupBy)
 	for a.cur != nil && data.Compare(GroupKey(a.cur, a.groupBy), key) == 0 {

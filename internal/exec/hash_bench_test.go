@@ -77,10 +77,12 @@ func BenchmarkHashValue(b *testing.B) {
 	})
 }
 
-// BenchmarkJoinTable compares the seed build-table layout
-// (map[data.Value][]data.Tuple, hashing the full 40-byte struct per
-// insert/lookup) against joinTable's int64 fast path on integer join
-// keys — the dominant case in every TPC-H-style workload.
+// BenchmarkJoinTable compares three generations of the build-table
+// layout: the seed engine's map[data.Value][]data.Tuple (hashing the full
+// 40-byte struct per insert/lookup), the PR-1 map[int64][]data.Tuple fast
+// path (one per-key slice allocation each), and the current joinTable —
+// an open-addressing span table over one flat tuple arena, built in two
+// passes with a handful of allocations per partition.
 func BenchmarkJoinTable(b *testing.B) {
 	const n = 4096
 	tuples := make([]data.Tuple, n)
@@ -101,19 +103,70 @@ func BenchmarkJoinTable(b *testing.B) {
 			}
 		}
 	})
-	b.Run("int-fast-path-new", func(b *testing.B) {
+	b.Run("int-map-pr1", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			var jt joinTable
-			jt.init(n)
+			m := make(map[int64][]data.Tuple, n)
 			for k := range tuples {
-				jt.add(keys[k], tuples[k])
+				m[keys[k].I] = append(m[keys[k].I], tuples[k])
 			}
+			for k := range tuples {
+				hashSink += uint64(len(m[keys[k].I]))
+			}
+		}
+	})
+	b.Run("open-addressing-new", func(b *testing.B) {
+		b.ReportAllocs()
+		var jt joinTable
+		for i := 0; i < b.N; i++ {
+			jt.build(tuples, []int{0})
 			for k := range tuples {
 				hashSink += uint64(len(jt.lookup(keys[k])))
 			}
 		}
 	})
+}
+
+// TestJoinTableBuild pins the span-table semantics: lookups return the
+// exact per-key tuple groups (in input order), missing and NULL keys
+// return nothing, non-integer keys take the fallback map, and a reused
+// table forgets its previous partition.
+func TestJoinTableBuild(t *testing.T) {
+	mk := func(k data.Value, id int64) data.Tuple { return data.Tuple{k, data.Int(id)} }
+	var jt joinTable
+	jt.build([]data.Tuple{
+		mk(data.Int(1), 0), mk(data.Int(2), 1), mk(data.Int(1), 2),
+		mk(data.Str("x"), 3), mk(data.Null(), 4), mk(data.Int(1), 5),
+	}, []int{0})
+	if got := jt.lookup(data.Int(1)); len(got) != 3 ||
+		got[0][1].I != 0 || got[1][1].I != 2 || got[2][1].I != 5 {
+		t.Fatalf("lookup(1) = %v, want ids 0,2,5", got)
+	}
+	if got := jt.lookup(data.Int(2)); len(got) != 1 || got[0][1].I != 1 {
+		t.Fatalf("lookup(2) = %v, want id 1", got)
+	}
+	if got := jt.lookup(data.Str("x")); len(got) != 1 || got[0][1].I != 3 {
+		t.Fatalf("lookup(x) = %v, want id 3", got)
+	}
+	if got := jt.lookup(data.Int(99)); got != nil {
+		t.Fatalf("lookup(99) = %v, want nil", got)
+	}
+	// NULL keys are droppable on the build side; a NULL probe key is never
+	// looked up, but the table must not have indexed the NULL row.
+	if got := jt.lookup(data.Null()); len(got) != 0 {
+		t.Fatalf("lookup(NULL) = %v, want empty", got)
+	}
+	// Reuse across partitions.
+	jt.build([]data.Tuple{mk(data.Int(7), 9)}, []int{0})
+	if got := jt.lookup(data.Int(1)); len(got) != 0 {
+		t.Fatalf("stale key survived rebuild: %v", got)
+	}
+	if got := jt.lookup(data.Int(7)); len(got) != 1 || got[0][1].I != 9 {
+		t.Fatalf("lookup(7) after rebuild = %v, want id 9", got)
+	}
+	if got := jt.lookup(data.Str("x")); len(got) != 0 {
+		t.Fatalf("stale fallback key survived rebuild: %v", got)
+	}
 }
 
 // TestHashValueDistinguishesKinds guards the property both implementations

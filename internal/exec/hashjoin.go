@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"hash/maphash"
 	"runtime"
+	"sync/atomic"
 
 	"qpi/internal/data"
+	"qpi/internal/hashtab"
 	"qpi/internal/vfs"
 )
 
@@ -89,14 +91,22 @@ type HashJoin struct {
 	probeFile  *spillFile // reader for the current spilled probe partition
 	spilled    int        // partition buffers that went to disk
 
-	curPart      int
-	ht           joinTable
-	curProbe     int
-	matches      []data.Tuple
-	matchPos     int
-	probeTup     data.Tuple
-	joinedProbes int64 // probe tuples consumed in the join (second) pass
+	curPart  int
+	ht       joinTable
+	curProbe int
+	matches  []data.Tuple
+	matchPos int
+	probeTup data.Tuple
+	// joinedProbes counts probe tuples consumed in the join (second)
+	// pass. Atomic: the parallel join phase folds in per-partition counts
+	// from the drain side while monitor goroutines read it through
+	// JoinedProbeFraction.
+	joinedProbes atomic.Int64
 	partProbes   int64 // joinedProbes at the current partition's start (trace counters)
+
+	// joinPar is the parallel join-phase state (nil in serial mode); see
+	// hashjoin_parallel.go.
+	joinPar *parallelJoinState
 
 	// Batch output state: outBuf is the reused output batch, arena the
 	// bump allocator backing concatenated output tuples in batch mode.
@@ -108,33 +118,81 @@ type HashJoin struct {
 }
 
 // joinTable is the per-partition build hash table. Integer join keys —
-// the dominant case — index a map keyed by the bare int64, which hashes
-// an 8-byte word instead of the full 40-byte Value struct; everything
-// else falls back to a Value-keyed map.
+// the dominant case — index an open-addressing hashtab.I64Map whose
+// values are spans into one flat tuple arena: building is two passes
+// (count per key, then fill), so a partition's table costs a handful of
+// allocations regardless of its distinct-key count, and probing touches
+// a flat int64 key array instead of chasing map buckets. Non-integer
+// keys fall back to a Value-keyed map. A joinTable is reusable across
+// partitions (build resets it, retaining capacity), which is how the
+// parallel join phase amortizes table memory per worker.
 type joinTable struct {
-	ints  map[int64][]data.Tuple
+	ints hashtab.I64Map[tupleSpan]
+	flat []data.Tuple
+	// other holds non-integer-keyed rows (strings, floats); appended
+	// incrementally during the count pass since the fast layout does not
+	// apply.
 	other map[data.Value][]data.Tuple
 }
 
-func (jt *joinTable) init(n int) {
-	jt.ints = make(map[int64][]data.Tuple, n)
-	jt.other = nil
+// tupleSpan is one key's region of the flat arena.
+type tupleSpan struct {
+	off, n int32
 }
 
-func (jt *joinTable) add(k data.Value, t data.Tuple) {
-	if k.Kind == data.KindInt {
-		jt.ints[k.I] = append(jt.ints[k.I], t)
-		return
+// build (re)constructs the table from a partition's build tuples. NULL
+// keys never reach here (the partition passes drop them), but a guard
+// keeps the table correct if one does.
+func (jt *joinTable) build(tuples []data.Tuple, keys []int) {
+	jt.ints.Reset()
+	jt.other = nil
+	nInt := 0
+	for _, t := range tuples {
+		k := JoinKeyOf(t, keys)
+		switch {
+		case k.Kind == data.KindInt:
+			jt.ints.Ref(k.I).n++
+			nInt++
+		case k.IsNull():
+			// dropped
+		default:
+			if jt.other == nil {
+				jt.other = make(map[data.Value][]data.Tuple)
+			}
+			jt.other[k] = append(jt.other[k], t)
+		}
 	}
-	if jt.other == nil {
-		jt.other = make(map[data.Value][]data.Tuple)
+	if cap(jt.flat) < nInt {
+		jt.flat = make([]data.Tuple, nInt)
+	} else {
+		jt.flat = jt.flat[:nInt]
 	}
-	jt.other[k] = append(jt.other[k], t)
+	// Counts become offsets; n doubles as the fill cursor and converges
+	// back to the key's count.
+	var off int32
+	jt.ints.EachRef(func(_ int64, sp *tupleSpan) bool {
+		sp.off = off
+		off += sp.n
+		sp.n = 0
+		return true
+	})
+	for _, t := range tuples {
+		k := JoinKeyOf(t, keys)
+		if k.Kind == data.KindInt {
+			sp := jt.ints.Ref(k.I)
+			jt.flat[sp.off+sp.n] = t
+			sp.n++
+		}
+	}
 }
 
 func (jt *joinTable) lookup(k data.Value) []data.Tuple {
 	if k.Kind == data.KindInt {
-		return jt.ints[k.I]
+		sp, ok := jt.ints.Get(k.I)
+		if !ok {
+			return nil
+		}
+		return jt.flat[sp.off : sp.off+sp.n]
 	}
 	if jt.other == nil {
 		return nil
@@ -143,7 +201,8 @@ func (jt *joinTable) lookup(k data.Value) []data.Tuple {
 }
 
 func (jt *joinTable) clear() {
-	jt.ints, jt.other = nil, nil
+	jt.ints.Reset()
+	jt.flat, jt.other = nil, nil
 }
 
 type hjState uint8
@@ -281,11 +340,15 @@ func (j *HashJoin) SetSpillFS(fs vfs.FS) *HashJoin {
 }
 
 // SetParallelism selects the batch-at-a-time grace partition passes with
-// k scatter workers. k is capped at GOMAXPROCS when the passes run; k=1
-// runs the batched passes serially (still batch-at-a-time, no extra
+// k scatter workers, and — for k ≥ 2 — the partition-parallel join
+// (second) phase with min(k, partitions) join workers (see
+// JoinWorkers). k is capped at GOMAXPROCS when the scatter passes run;
+// k=1 runs the batched passes serially (still batch-at-a-time, no extra
 // goroutines); k=0 restores the default tuple-at-a-time passes. When a
-// memory budget is set, the passes run batched but serial regardless of k
-// so spill accounting stays single-threaded.
+// memory budget is set, the partition passes run batched but serial
+// regardless of k so spill accounting stays single-threaded — the join
+// phase still parallelizes, since joining spilled partitions is
+// per-partition independent.
 func (j *HashJoin) SetParallelism(k int) *HashJoin {
 	if k < 0 {
 		k = 0
@@ -305,6 +368,24 @@ func (j *HashJoin) Workers() int {
 		k = max
 	}
 	if j.memBudget > 0 || k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// JoinWorkers returns the number of workers the join (second) phase will
+// use: min(SetParallelism k, partitions), 1 when batching is off or k=1.
+// Unlike the scatter passes it is neither capped at GOMAXPROCS
+// (goroutines time-slice, and tests exercise the concurrent path on any
+// machine) nor forced serial by a memory budget: after the partition
+// passes every partition — in-memory or spilled — is joined
+// independently.
+func (j *HashJoin) JoinWorkers() int {
+	k := j.workers
+	if k > j.parts {
+		k = j.parts
+	}
+	if k < 1 {
 		k = 1
 	}
 	return k
@@ -397,7 +478,13 @@ func (j *HashJoin) Next() (data.Tuple, error) {
 	if err := j.ensurePartitioned(); err != nil {
 		return nil, err
 	}
-	t, err := j.advance(data.Tuple.Concat)
+	var t data.Tuple
+	var err error
+	if j.joinPar != nil {
+		t, err = j.nextParallel()
+	} else {
+		t, err = j.advance(data.Tuple.Concat)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -414,6 +501,9 @@ func (j *HashJoin) Next() (data.Tuple, error) {
 func (j *HashJoin) NextBatch() (data.Batch, error) {
 	if err := j.ensurePartitioned(); err != nil {
 		return nil, err
+	}
+	if j.joinPar != nil {
+		return j.nextParallelOutBatch()
 	}
 	if j.outBuf == nil {
 		j.outBuf = make(data.Batch, 0, data.DefaultBatchSize)
@@ -455,6 +545,18 @@ func (j *HashJoin) ensurePartitioned() error {
 	return nil
 }
 
+// beginJoinPhase starts the join (second) phase after the partition
+// passes: the partition-parallel workers when JoinWorkers() > 1, the
+// serial partition cursor otherwise.
+func (j *HashJoin) beginJoinPhase() error {
+	j.curPart = 0
+	if j.JoinWorkers() > 1 {
+		j.startParallelJoin()
+		return nil
+	}
+	return j.loadPartition(0)
+}
+
 // arenaConcat concatenates two tuples into the join's output arena,
 // amortizing the allocation across a whole batch of output rows.
 func (j *HashJoin) arenaConcat(a, b data.Tuple) data.Tuple {
@@ -491,7 +593,7 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 		}
 		if probeTup != nil {
 			j.probeTup = probeTup
-			j.joinedProbes++
+			j.joinedProbes.Add(1)
 			key := JoinKeyOf(j.probeTup, j.probeKeys)
 			var matches []data.Tuple
 			if !key.IsNull() {
@@ -527,7 +629,7 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 			}
 		}
 		if j.tracing() {
-			j.traceEnd(fmt.Sprintf("join[%d]", j.curPart), j.joinedProbes-j.partProbes, 0, 0)
+			j.traceEnd(fmt.Sprintf("join[%d]", j.curPart), j.joinedProbes.Load()-j.partProbes, 0, 0)
 		}
 		j.curPart++
 		if j.curPart >= j.parts {
@@ -619,8 +721,7 @@ func (j *HashJoin) partitionPhases() error {
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
-	j.curPart = 0
-	return j.loadPartition(0)
+	return j.beginJoinPhase()
 }
 
 // emitOut fires the output hook and counts the emission.
@@ -640,7 +741,7 @@ func (j *HashJoin) loadPartition(p int) error {
 	}
 	if j.tracing() {
 		j.traceBegin(fmt.Sprintf("join[%d]", p))
-		j.partProbes = j.joinedProbes
+		j.partProbes = j.joinedProbes.Load()
 	}
 	buildTuples := j.buildParts[p]
 	if f := j.buildSpill[p]; f != nil {
@@ -654,10 +755,7 @@ func (j *HashJoin) loadPartition(p int) error {
 			return err
 		}
 	}
-	j.ht.init(len(buildTuples))
-	for _, t := range buildTuples {
-		j.ht.add(JoinKeyOf(t, j.buildKeys), t)
-	}
+	j.ht.build(buildTuples, j.buildKeys)
 	j.buildParts[p] = nil // partition consumed
 	j.probeFile = nil
 	if f := j.probeSpill[p]; f != nil {
@@ -689,6 +787,12 @@ func (j *HashJoin) nextProbeInPartition() (data.Tuple, error) {
 // Close implements Operator. Both children are always closed and every
 // spill file released; all errors are reported via errors.Join.
 func (j *HashJoin) Close() error {
+	if j.joinPar != nil {
+		// Stop the join-phase workers (no-op if they already drained every
+		// partition) and wait for them, so the spill-file cleanup below
+		// happens-after any worker I/O.
+		j.joinPar.shutdown()
+	}
 	j.buildParts, j.probeParts, j.matches = nil, nil, nil
 	j.ht.clear()
 	var errs []error
@@ -725,5 +829,5 @@ func (j *HashJoin) JoinedProbeFraction() float64 {
 		}
 		return 0
 	}
-	return float64(j.joinedProbes) / float64(j.probeRows)
+	return float64(j.joinedProbes.Load()) / float64(j.probeRows)
 }

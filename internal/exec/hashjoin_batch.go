@@ -75,8 +75,7 @@ func (j *HashJoin) partitionPhasesBatched() error {
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
-	j.curPart = 0
-	return j.loadPartition(0)
+	return j.beginJoinPhase()
 }
 
 // partitionPassBatched runs one partition pass over whole batches.

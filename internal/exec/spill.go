@@ -3,9 +3,26 @@ package exec
 import (
 	"bufio"
 	"io"
+	"sync"
 
 	"qpi/internal/data"
 	"qpi/internal/vfs"
+)
+
+// Spill I/O buffers are 64 KiB each; a budgeted join can run through
+// 2×partitions spill files per execution, so the bufio.Writer/Reader pair
+// dominated spill-path allocations. Both are pooled: a spillFile takes a
+// writer at creation and a reader at startRead, and returns them — Reset
+// to nil first, so a pooled buffer never pins a file descriptor — when the
+// file closes. The pools are shared across operators and join-phase
+// workers; sync.Pool handles the concurrency.
+var (
+	spillWriterPool = sync.Pool{
+		New: func() any { return bufio.NewWriterSize(nil, 1<<16) },
+	}
+	spillReaderPool = sync.Pool{
+		New: func() any { return bufio.NewReaderSize(nil, 1<<16) },
+	}
 )
 
 // spillFile is a temporary on-disk run of tuples used by the
@@ -34,7 +51,9 @@ func newSpillFile(fs vfs.FS, ncols int) (*spillFile, error) {
 	// Unlink immediately: the file lives until the descriptor closes,
 	// and crashes can't leak it.
 	fs.Remove(f.Name())
-	return &spillFile{f: f, w: bufio.NewWriterSize(f, 1<<16), ncols: ncols}, nil
+	w := spillWriterPool.Get().(*bufio.Writer)
+	w.Reset(f)
+	return &spillFile{f: f, w: w, ncols: ncols}, nil
 }
 
 // append writes one tuple.
@@ -43,18 +62,38 @@ func (s *spillFile) append(t data.Tuple) error {
 	return data.EncodeTuple(s.w, t)
 }
 
+// releaseBuffers returns the bufio pair to the pools, detached from the
+// file so pooled buffers hold no descriptor (and a stale reader can never
+// serve bytes from a previous file).
+func (s *spillFile) releaseBuffers() {
+	if s.w != nil {
+		s.w.Reset(nil)
+		spillWriterPool.Put(s.w)
+		s.w = nil
+	}
+	if s.r != nil {
+		s.r.Reset(nil)
+		spillReaderPool.Put(s.r)
+		s.r = nil
+	}
+}
+
 // startRead flushes writes and rewinds for iteration.
 func (s *spillFile) startRead() error {
 	if s.w != nil {
-		if err := s.w.Flush(); err != nil {
+		err := s.w.Flush()
+		s.w.Reset(nil)
+		spillWriterPool.Put(s.w)
+		s.w = nil
+		if err != nil {
 			return err
 		}
-		s.w = nil
 	}
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	s.r = bufio.NewReaderSize(s.f, 1<<16)
+	s.r = spillReaderPool.Get().(*bufio.Reader)
+	s.r.Reset(s.f)
 	return nil
 }
 
@@ -90,6 +129,7 @@ func (s *spillFile) close() error {
 	if s.f == nil {
 		return nil
 	}
+	s.releaseBuffers()
 	err := s.f.Close()
 	s.f = nil
 	return err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"qpi/internal/data"
 	"qpi/internal/vfs"
 )
 
@@ -125,5 +126,75 @@ func TestSpillFaultCleanRunLeaksNothing(t *testing.T) {
 	}
 	if fs.MaxOpenFiles() == 0 {
 		t.Error("sort never spilled; nothing was tested")
+	}
+}
+
+// TestSpillFaultPooledBuffersIsolated churns spill files through the
+// shared bufio pools with faults interleaved: a buffer recycled from a
+// faulted (or abandoned-before-read) file must serve the next file
+// correctly — no stale bytes, no retained descriptor, no poisoned error
+// state. Each iteration alternates a victim file that dies at a different
+// op with a clean file whose round-trip is verified byte-exactly.
+func TestSpillFaultPooledBuffersIsolated(t *testing.T) {
+	mkTuple := func(i int64) data.Tuple { return data.Tuple{data.Int(i), data.Str("row")} }
+	ops := []vfs.Op{vfs.OpWrite, vfs.OpRead, vfs.OpSeek, vfs.OpClose}
+	for round := 0; round < 8; round++ {
+		// Victim: fault at the round's op, then close (idempotent, returns
+		// its buffers to the pools regardless of where the fault hit).
+		op := ops[round%len(ops)]
+		fs := vfs.NewFaultFS(nil).FailAt(op, 1)
+		victim, err := newSpillFile(fs, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 2000; i++ { // >64 KiB: forces mid-write flushes
+			if err := victim.append(mkTuple(i)); err != nil {
+				break
+			}
+		}
+		if err := victim.startRead(); err == nil {
+			for {
+				tu, err := victim.next()
+				if tu == nil || err != nil {
+					break
+				}
+			}
+		}
+		victim.close()
+		if open := fs.OpenFiles(); open != 0 {
+			t.Fatalf("round %d (%s): %d descriptors open after faulted victim", round, op, open)
+		}
+
+		// Clean file: its pooled buffers almost certainly just served the
+		// victim; the round-trip must still be exact.
+		cleanFS := vfs.NewFaultFS(nil)
+		f, err := newSpillFile(cleanFS, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 500
+		for i := int64(0); i < n; i++ {
+			if err := f.append(mkTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows, err := f.readAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != n {
+			t.Fatalf("round %d: clean file read %d rows, want %d", round, len(rows), n)
+		}
+		for i, tu := range rows {
+			if tu[0].I != int64(i) || tu[1].S != "row" {
+				t.Fatalf("round %d: row %d corrupted: %v", round, i, tu)
+			}
+		}
+		if err := f.close(); err != nil {
+			t.Fatal(err)
+		}
+		if open := cleanFS.OpenFiles(); open != 0 {
+			t.Fatalf("round %d: %d descriptors open after clean round-trip", round, open)
+		}
 	}
 }
