@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck bench-join bench-guard lint-deprecated fuzz cover
+.PHONY: build test vet race check leakcheck bench-join bench-columnar bench-guard lint-deprecated fuzz cover
 
 build:
 	$(GO) build ./...
@@ -74,12 +74,21 @@ else
 check: vet lint-deprecated test race cover fuzz
 endif
 
-# Measure the join execution modes (tuple / serial batch / parallel join
-# phase at several worker counts) and write BENCH_join.json.
+# Measure the join execution modes (tuple / serial batch / columnar /
+# parallel join phase at several worker counts) plus the batch-size
+# sweep, and write BENCH_join.json.
 bench-join:
 	$(GO) run ./cmd/qpi-bench -json
 
+# Just the two single-threaded span-at-a-time modes (batch, columnar)
+# plus the batch-size sweep — the quick columnar-vs-batch comparison,
+# printed without rewriting BENCH_join.json.
+bench-columnar:
+	$(GO) run ./cmd/qpi-bench -json -json-file /dev/null -modes batch,columnar
+
 # Re-measure those modes and fail on a >15% ns/op or allocs/op
-# regression against the committed BENCH_join.json.
+# regression against the committed BENCH_join.json, after failing loudly
+# when the current cpu/num_cpu/gomaxprocs don't match the baseline's
+# recorded environment.
 bench-guard:
 	$(GO) run ./cmd/qpi-bench -guard

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"qpi/internal/data"
 	"qpi/internal/exec"
 	"qpi/internal/experiments"
 	"qpi/internal/plan"
@@ -38,6 +39,8 @@ func main() {
 		guard    = flag.Bool("guard", false, "re-measure the join modes and fail on regression against the recorded BENCH_join.json")
 		tol      = flag.Float64("tolerance", 0.15, "allowed fractional regression in -guard mode (ns/op and allocs/op)")
 		maxprocs = flag.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark (0 = runtime default, i.e. NumCPU)")
+		sweep    = flag.String("batchsize", "256,1024,4096", "comma-separated batch sizes swept in -json mode (recorded under batch_sweep; empty disables)")
+		modes    = flag.String("modes", "", "comma-separated mode filter for -json (e.g. batch,columnar; empty = all)")
 	)
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -52,7 +55,7 @@ func main() {
 		return
 	}
 	if *jsonOut {
-		if err := writeJoinBench(*jsonFile); err != nil {
+		if err := writeJoinBench(*jsonFile, *sweep, *modes); err != nil {
 			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -133,31 +136,48 @@ type modeResult struct {
 	SpillBytes  int64 `json:"spill_bytes,omitempty"`
 }
 
-// joinBenchReport is the BENCH_join.json document.
-type joinBenchReport struct {
-	Benchmark    string       `json:"benchmark"`
-	CPU          string       `json:"cpu"`
-	MaxProcs     int          `json:"gomaxprocs"`
-	Runs         int          `json:"runs_per_mode"`
-	SeedBaseline modeResult   `json:"seed_baseline"`
-	Modes        []modeResult `json:"modes"`
+// sweepResult is one (batch size, mode) cell of the batch-size sweep:
+// the evidence behind data.DefaultBatchSize.
+type sweepResult struct {
+	BatchSize        int     `json:"batch_size"`
+	Mode             string  `json:"mode"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	JoinTuplesPerSec float64 `json:"join_tuples_per_sec,omitempty"`
+	AllocsOp         uint64  `json:"allocs_per_op"`
 }
 
-// benchModes is the measured sweep: the tuple and serial-batch references
-// plus the partition-parallel join phase at worker counts {2, 4, NumCPU}
-// (deduplicated, ascending). Worker counts above GOMAXPROCS still
-// parallelize the join phase (goroutines time-slice); the recorded
-// gomaxprocs field says what hardware parallelism backed each number.
-func benchModes() []struct {
-	name    string
-	workers int
-} {
-	modes := []struct {
-		name    string
-		workers int
-	}{
-		{"tuple", 0},
-		{"batch", 1},
+// joinBenchReport is the BENCH_join.json document. The guard compares
+// Modes only; BatchSweep is informational (it varies data.SetBatchSize,
+// which the default-configuration guard runs never do).
+type joinBenchReport struct {
+	Benchmark    string        `json:"benchmark"`
+	CPU          string        `json:"cpu"`
+	NumCPU       int           `json:"num_cpu"`
+	MaxProcs     int           `json:"gomaxprocs"`
+	Runs         int           `json:"runs_per_mode"`
+	SeedBaseline modeResult    `json:"seed_baseline"`
+	Modes        []modeResult  `json:"modes"`
+	BatchSweep   []sweepResult `json:"batch_sweep,omitempty"`
+}
+
+// benchMode identifies one execution mode of the measured sweep.
+type benchMode struct {
+	name     string
+	workers  int
+	columnar bool
+}
+
+// benchModes is the measured sweep: the tuple, serial-batch and columnar
+// references plus the partition-parallel join phase at worker counts
+// {2, 4, NumCPU} (deduplicated, ascending). Worker counts above
+// GOMAXPROCS still parallelize the join phase (goroutines time-slice);
+// the recorded gomaxprocs field says what hardware parallelism backed
+// each number.
+func benchModes() []benchMode {
+	modes := []benchMode{
+		{name: "tuple"},
+		{name: "batch", workers: 1},
+		{name: "columnar", columnar: true},
 	}
 	seen := map[int]bool{}
 	for _, w := range []int{2, 4, runtime.NumCPU()} {
@@ -165,10 +185,7 @@ func benchModes() []struct {
 			continue
 		}
 		seen[w] = true
-		modes = append(modes, struct {
-			name    string
-			workers int
-		}{fmt.Sprintf("parallel-w%d", w), w})
+		modes = append(modes, benchMode{name: fmt.Sprintf("parallel-w%d", w), workers: w})
 	}
 	return modes
 }
@@ -177,17 +194,27 @@ func benchModes() []struct {
 // BenchmarkJoinBaseline workload (TPC-H SF 0.01 orders ⋈ lineitem) and
 // writes the results as JSON. Best-of-N timing, allocation deltas from
 // runtime.MemStats.
-func writeJoinBench(path string) error {
+func writeJoinBench(path, sweep, modes string) error {
 	const runs = 7
 	report := joinBenchReport{
 		Benchmark:    "grace hash join, TPC-H SF=0.01 orders ⋈ lineitem (no estimators)",
 		CPU:          runtime.GOARCH,
+		NumCPU:       runtime.NumCPU(),
 		MaxProcs:     runtime.GOMAXPROCS(0),
 		Runs:         runs,
 		SeedBaseline: seedBaseline,
 	}
+	keep := map[string]bool{}
+	for _, f := range strings.Split(modes, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			keep[f] = true
+		}
+	}
 	for _, m := range benchModes() {
-		best, err := bestJoinRun(m.name, m.workers, runs)
+		if len(keep) > 0 && !keep[m.name] {
+			continue
+		}
+		best, err := bestJoinRun(m, runs)
 		if err != nil {
 			return err
 		}
@@ -196,11 +223,49 @@ func writeJoinBench(path string) error {
 			best.Mode, best.NsPerOp, best.PartitionNs, best.JoinNs,
 			best.JoinTuplesPerSec, best.AllocsOp, best.SpeedupSeed)
 	}
+	var err error
+	if report.BatchSweep, err = runBatchSweep(sweep, runs); err != nil {
+		return err
+	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// runBatchSweep re-measures the two single-threaded span-at-a-time modes
+// (batch, columnar) at each requested batch size, restoring the default
+// afterwards. The sweep justifies data.DefaultBatchSize empirically.
+func runBatchSweep(sweep string, runs int) ([]sweepResult, error) {
+	if sweep == "" {
+		return nil, nil
+	}
+	defer data.SetBatchSize(data.DefaultBatchSize)
+	var out []sweepResult
+	for _, field := range strings.Split(sweep, ",") {
+		var size int
+		if _, err := fmt.Sscanf(strings.TrimSpace(field), "%d", &size); err != nil || size <= 0 {
+			return nil, fmt.Errorf("bad -batchsize entry %q", field)
+		}
+		data.SetBatchSize(size)
+		for _, m := range []benchMode{{name: "batch", workers: 1}, {name: "columnar", columnar: true}} {
+			best, err := bestJoinRun(m, runs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sweepResult{
+				BatchSize:        size,
+				Mode:             m.name,
+				NsPerOp:          best.NsPerOp,
+				JoinTuplesPerSec: best.JoinTuplesPerSec,
+				AllocsOp:         best.AllocsOp,
+			})
+			fmt.Printf("sweep bs=%-5d %-9s %11d ns/op %11.0f join-tuples/sec %7d allocs/op\n",
+				size, m.name, best.NsPerOp, best.JoinTuplesPerSec, best.AllocsOp)
+		}
+	}
+	return out, nil
 }
 
 // guardJoinBench re-measures every mode recorded in the baseline report at
@@ -217,20 +282,33 @@ func guardJoinBench(path string, tol float64) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("guard: parsing baseline: %w", err)
 	}
-	current := map[string]int{}
+	// Environment check: a baseline recorded on different hardware or a
+	// different GOMAXPROCS is not comparable, and silently "passing"
+	// against it would make the guard worthless. Fail loudly and say how
+	// to reconcile.
+	if base.CPU != runtime.GOARCH ||
+		(base.NumCPU != 0 && base.NumCPU != runtime.NumCPU()) ||
+		base.MaxProcs != runtime.GOMAXPROCS(0) {
+		return fmt.Errorf("guard: environment mismatch: baseline %s recorded with cpu=%s num_cpu=%d gomaxprocs=%d, "+
+			"current cpu=%s num_cpu=%d gomaxprocs=%d; rerun with -gomaxprocs %d on matching hardware "+
+			"or regenerate the baseline with -json",
+			path, base.CPU, base.NumCPU, base.MaxProcs,
+			runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0), base.MaxProcs)
+	}
+	current := map[string]benchMode{}
 	for _, m := range benchModes() {
-		current[m.name] = m.workers
+		current[m.name] = m
 	}
 	const runs = 7
 	var failures []string
 	checked := 0
 	for _, b := range base.Modes {
-		workers, ok := current[b.Mode]
+		m, ok := current[b.Mode]
 		if !ok {
 			fmt.Printf("%-14s skipped (not in current sweep)\n", b.Mode)
 			continue
 		}
-		got, err := bestJoinRun(b.Mode, workers, runs)
+		got, err := bestJoinRun(m, runs)
 		if err != nil {
 			return err
 		}
@@ -264,10 +342,10 @@ func guardJoinBench(path string, tol float64) error {
 // bestJoinRun runs one mode n times and keeps the fastest run (allocation
 // counts are stable across runs; timing is best-of to shed scheduler
 // noise).
-func bestJoinRun(mode string, workers, n int) (modeResult, error) {
+func bestJoinRun(m benchMode, n int) (modeResult, error) {
 	var best modeResult
 	for r := 0; r < n; r++ {
-		res, err := runJoinOnce(mode, workers)
+		res, err := runJoinOnce(m)
 		if err != nil {
 			return modeResult{}, err
 		}
@@ -282,7 +360,7 @@ func bestJoinRun(mode string, workers, n int) (modeResult, error) {
 // runJoinOnce builds and runs the benchmark join in one mode, splitting
 // wall time at the partition/join phase boundary (OnProbeEnd fires when
 // the probe scatter pass is done, before the first join-phase output).
-func runJoinOnce(mode string, workers int) (modeResult, error) {
+func runJoinOnce(m benchMode) (modeResult, error) {
 	cat, err := tpch.Generate(tpch.Config{SF: 0.01, Seed: 1, Tables: []string{"orders", "lineitem"}})
 	if err != nil {
 		return modeResult{}, err
@@ -295,8 +373,12 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 		bs.Schema().MustResolve("orders", "orderkey"),
 		ps.Schema().MustResolve("lineitem", "orderkey"))
 	plan.EstimateCardinalities(j, cat)
+	workers := m.workers
 	if workers > 0 {
 		j.SetParallelism(workers)
+	}
+	if m.columnar {
+		j.SetColumnar(true)
 	}
 	var partitionDone time.Time
 	j.OnProbeEnd = func() { partitionDone = time.Now() }
@@ -305,9 +387,12 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	var n int64
-	if workers > 0 {
+	switch {
+	case m.columnar:
+		n, err = exec.RunCol(j)
+	case workers > 0:
 		n, err = exec.RunBatch(j)
-	} else {
+	default:
 		n, err = exec.Run(j)
 	}
 	elapsed := time.Since(start)
@@ -317,7 +402,7 @@ func runJoinOnce(mode string, workers int) (modeResult, error) {
 	}
 	tuples := n + j.BuildRows() + j.ProbeRows()
 	res := modeResult{
-		Mode:         mode,
+		Mode:         m.name,
 		Workers:      workers,
 		NsPerOp:      elapsed.Nanoseconds(),
 		TuplesPerSec: round2(float64(tuples) / elapsed.Seconds()),

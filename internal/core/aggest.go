@@ -77,6 +77,27 @@ func (a *AggEstimator) ObserveGroupCount(n int64) {
 	}
 }
 
+// ObserveGroupCounts processes a span of group-count transitions — the
+// span-at-a-time form of ObserveGroupCount, delivered once per columnar
+// input batch. The tracker consumes the span in order and the |T|
+// refresh / publish boundaries fall on the same absolute transition
+// indexes as the per-transition hook, so estimator state is identical.
+func (a *AggEstimator) ObserveGroupCounts(ns []int64) {
+	for len(ns) > 0 {
+		chunk := 1024 - a.seen%1024
+		if chunk > int64(len(ns)) {
+			chunk = int64(len(ns))
+		}
+		a.tracker.ObserveCounts(ns[:chunk])
+		a.seen += chunk
+		ns = ns[chunk:]
+		if a.seen%1024 == 0 {
+			a.tracker.SetTotal(a.total())
+			a.publish()
+		}
+	}
+}
+
 // newPushdownAggEstimator attaches a histogram-profile estimator over the
 // output-distribution histogram hist, which the underlying join pipeline
 // fills during its probe pass. joinSize returns the join's current

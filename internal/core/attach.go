@@ -86,6 +86,9 @@ func (a *Attachment) visit(op exec.Operator) {
 		}, func(f func(int64)) {
 			prev := o.OnInputGroupCount
 			o.OnInputGroupCount = compose1(prev, f)
+		}, func(f func([]int64)) {
+			prev := o.OnInputGroupCounts
+			o.OnInputGroupCounts = composeSpan(prev, f)
 		})
 	case *exec.SortAgg:
 		// Observe the *sorter's input* (randomly ordered), not the sorted
@@ -97,7 +100,7 @@ func (a *Attachment) visit(op exec.Operator) {
 		}, func(f func()) {
 			prev := s.OnInputEnd
 			s.OnInputEnd = compose0(prev, f)
-		}, nil)
+		}, nil, nil)
 	case *exec.NestedLoopsJoin:
 		if !a.attachSortedOuterNL(o) && !a.attachSortedOuterThetaNL(o) &&
 			!a.attachSortedOuterDisjunctNL(o) {
@@ -169,6 +172,13 @@ func hashLinkHooks(l *ChainLink, j *exec.HashJoin) {
 	l.SetBuildHook = func(f func(data.Tuple)) {
 		j.OnBuildTuple = compose(j.OnBuildTuple, f)
 	}
+	if j.Columnar() {
+		l.Columnar = true
+		l.SetBuildColHook = func(f func(cb *data.ColBatch)) {
+			j.OnBuildCol = composeCol(j.OnBuildCol, f)
+		}
+		return
+	}
 	if !j.Batched() {
 		return
 	}
@@ -186,6 +196,11 @@ func hashLinkHooks(l *ChainLink, j *exec.HashJoin) {
 // otherwise (per-tuple hooks fire on the reader goroutine even under a
 // batched pass, so a mixed chain stays correct, just unsharded).
 func wireHashProbe(pe *PipelineEstimator, bottom *exec.HashJoin) {
+	if bottom.Columnar() && pe.ColAttached() {
+		bottom.OnProbeCol = composeCol(bottom.OnProbeCol, pe.ObserveProbeCol)
+		bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.MarkConverged)
+		return
+	}
 	if pe.BatchAttached() {
 		bottom.OnProbeBatch = composeBatch(bottom.OnProbeBatch, pe.ObserveProbeBatch)
 		bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.FinishProbe)
@@ -345,10 +360,12 @@ func joinsToOps(joins []*exec.HashJoin) []exec.Operator {
 // input operator is input. setHook/setEndHook install observers on the
 // aggregation's blocking input pass; setCountHook, when non-nil, installs
 // a group-count-transition observer that shares the aggregation's own
-// hash table (HashAgg).
+// hash table (HashAgg); setCountsHook additionally installs the
+// span-at-a-time form of the same observer, which a columnar input pass
+// fires once per batch in place of the per-transition hook.
 func (a *Attachment) attachAgg(agg exec.Operator, input exec.Operator, groupBy []int,
 	setHook func(func(data.Tuple)), setEndHook func(func()),
-	setCountHook func(func(int64))) {
+	setCountHook func(func(int64)), setCountsHook func(func([]int64))) {
 
 	// Push-down opportunity: single grouping column over a join chain,
 	// grouping by an attribute that originates from the chain's bottom
@@ -389,6 +406,9 @@ func (a *Attachment) attachAgg(agg exec.Operator, input exec.Operator, groupBy [
 			return StreamSizeEstimate(input)
 		})
 		setCountHook(est.ObserveGroupCount)
+		if setCountsHook != nil {
+			setCountsHook(est.ObserveGroupCounts)
+		}
 		setEndHook(est.MarkInputEnd)
 		a.Aggs[agg] = est
 		return
@@ -465,6 +485,34 @@ func composeBatch(prev, next func(int, data.Batch)) func(int, data.Batch) {
 	return func(w int, b data.Batch) {
 		prev(w, b)
 		next(w, b)
+	}
+}
+
+// composeCol chains two ColBatch hooks.
+func composeCol(prev, next func(*data.ColBatch)) func(*data.ColBatch) {
+	if prev == nil {
+		return next
+	}
+	if next == nil {
+		return prev
+	}
+	return func(cb *data.ColBatch) {
+		prev(cb)
+		next(cb)
+	}
+}
+
+// composeSpan chains two int64-span hooks.
+func composeSpan(prev, next func([]int64)) func([]int64) {
+	if prev == nil {
+		return next
+	}
+	if next == nil {
+		return prev
+	}
+	return func(ns []int64) {
+		prev(ns)
+		next(ns)
 	}
 }
 

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"qpi/internal/data"
+	"qpi/internal/exec"
+)
+
+// This file implements span-at-a-time estimator observation for columnar
+// chains: instead of one callback per tuple, the build and probe
+// partition passes deliver whole ColBatches at batch boundaries and the
+// estimator walks the key lanes directly. The columnar passes are
+// serial, so the hooks update the histograms in place, in row order —
+// every accumulation happens in exactly the order the per-tuple hooks
+// would have produced, so estimator state stays bit-identical to the
+// tuple path (a property the differential tests assert).
+
+// ColAttached reports whether the estimator observes its chain through
+// the span-at-a-time columnar hooks.
+func (p *PipelineEstimator) ColAttached() bool { return p.colInstalled }
+
+// installColHooks attaches the span-at-a-time build observers for a
+// columnar chain: one callback per build-input ColBatch. The dominant
+// single-integer-key, fold-free case updates the frequency histograms
+// straight off the flat int64 key lane (FreqHistogram.ObserveColumn);
+// relations with folds, composite keys, or non-integer key columns fall
+// back to a per-row loop in row order — histogram state is identical to
+// the per-tuple hooks either way, because integer count increments
+// commute and the fallback preserves the exact row order.
+func (p *PipelineEstimator) installColHooks() {
+	p.colInstalled = true
+	for j := 0; j < p.m; j++ {
+		j := j
+		updates := p.updateTargets(j)
+		buildKeys := p.links[j].BuildKeys
+		var fastHists []*FreqHistogram
+		if len(buildKeys) == 1 && len(p.folds[j]) == 0 {
+			for _, u := range updates {
+				fh, ok := u.hist.(*FreqHistogram)
+				if !ok {
+					fastHists = nil
+					break
+				}
+				fastHists = append(fastHists, fh)
+			}
+		}
+		keyCol := buildKeys[0]
+		p.links[j].SetBuildColHook(func(cb *data.ColBatch) {
+			if fastHists != nil {
+				if kv := cb.Col(keyCol); kv.Homogeneous() && kv.Kind == data.KindInt {
+					for _, fh := range fastHists {
+						fh.ObserveColumn(kv.Ints, cb.Sel, kv.Nulls)
+					}
+					return
+				}
+			}
+			rows := cb.MaterializeRows()
+			observe := func(i int) {
+				key := exec.JoinKeyOf(rows[i], buildKeys)
+				for _, u := range updates {
+					p.hists[u.level][j].AddN(key, p.buildWeight(rows[i], j, u.level))
+				}
+			}
+			if cb.Sel == nil {
+				for i := 0; i < cb.NRows; i++ {
+					observe(i)
+				}
+			} else {
+				for _, i := range cb.Sel {
+					observe(int(i))
+				}
+			}
+		})
+	}
+}
+
+// ObserveProbeCol processes one bottom-stream ColBatch — the
+// span-at-a-time form of ObserveProbe, invoked once per batch by the
+// bottom join's columnar probe partition pass. The single-join
+// single-integer-key case reads the flat key lane directly, performing
+// the same float accumulations in the same order as the tuple path; the
+// general case materializes rows and runs ObserveProbe per live row, so
+// publish cadence, output-distribution accumulation, and the
+// OnProbeObserved callback are preserved exactly.
+func (p *PipelineEstimator) ObserveProbeCol(cb *data.ColBatch) {
+	if p.observeProbeColFast(cb) {
+		return
+	}
+	rows := cb.MaterializeRows()
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			p.ObserveProbe(rows[i])
+		}
+	} else {
+		for _, i := range cb.Sel {
+			p.ObserveProbe(rows[i])
+		}
+	}
+}
+
+// observeProbeColFast handles the vectorizable probe case: a single
+// inner join whose probe key is one homogeneous integer column, no
+// output-distribution accumulation and no per-tuple callback. Each live
+// row performs t++, one CountInt lookup (0 for NULL keys, matching
+// Count over a NULL join key), and the identical float accumulation and
+// publish check ObserveProbe performs — same operations, same order,
+// bit-identical state.
+func (p *PipelineEstimator) observeProbeColFast(cb *data.ColBatch) bool {
+	if p.m != 1 || p.outDistHist != nil || p.OnProbeObserved != nil || p.links[0].Mult != nil {
+		return false
+	}
+	src := p.srcs[0]
+	if !src.fromBottom || len(src.cols) != 1 {
+		return false
+	}
+	fh, ok := p.hists[0][0].(*FreqHistogram)
+	if !ok {
+		return false
+	}
+	kv := cb.Col(src.cols[0])
+	if !kv.Homogeneous() || kv.Kind != data.KindInt {
+		return false
+	}
+	observe := func(i int) {
+		p.t++
+		var delta float64
+		if !kv.Nulls.Get(i) {
+			delta = float64(fh.CountInt(kv.Ints[i]))
+		}
+		p.sums[0] += delta
+		p.sumSqs[0] += delta * delta
+		if p.t%p.publishEvery == 0 {
+			p.publish()
+		}
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			observe(i)
+		}
+	} else {
+		for _, i := range cb.Sel {
+			observe(int(i))
+		}
+	}
+	return true
+}

@@ -105,6 +105,42 @@ func (h *FreqHistogram) AddN(v data.Value, w int64) {
 	h.profShift(old, new)
 }
 
+// ObserveColumn counts one observation of every live value in a flat
+// int64 key column — the span-at-a-time form of Add used by the columnar
+// partition passes. sel selects the live rows (nil = all n values) and
+// nulls flags NULL rows, which are skipped exactly as Add skips NULL
+// values; the resulting histogram state is identical to calling Add row
+// by row over the same span.
+func (h *FreqHistogram) ObserveColumn(vals []int64, sel []int32, nulls data.Bitmap) {
+	add := func(i int) {
+		if nulls.Get(i) {
+			return
+		}
+		p := h.ints.Ref(vals[i])
+		*p++
+		h.total++
+		if h.prof != nil {
+			h.profShift(*p-1, *p)
+		}
+	}
+	if sel == nil {
+		for i := range vals {
+			add(i)
+		}
+	} else {
+		for _, i := range sel {
+			add(int(i))
+		}
+	}
+}
+
+// CountInt returns N_v for an integer key without boxing it in a Value —
+// the probe-side span companion of ObserveColumn.
+func (h *FreqHistogram) CountInt(v int64) int64 {
+	n, _ := h.ints.Get(v)
+	return n
+}
+
 // Count returns N_v.
 func (h *FreqHistogram) Count(v data.Value) int64 {
 	if v.Kind == data.KindInt {

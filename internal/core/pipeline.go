@@ -69,6 +69,15 @@ type ChainLink struct {
 	// batched, the estimator shards its histograms per worker instead of
 	// installing per-tuple hooks.
 	Workers int
+	// SetBuildColHook installs f to run once per build-input ColBatch
+	// during a columnar preprocessing pass (serial, at batch boundaries).
+	// Nil when the physical operator has no columnar pass.
+	SetBuildColHook func(f func(cb *data.ColBatch))
+	// Columnar reports that the physical operator runs the columnar
+	// partition passes. When every link of a chain is columnar, the
+	// estimator observes spans at batch boundaries (see colhooks.go)
+	// instead of installing per-tuple hooks.
+	Columnar bool
 	// Mult transforms the matched build count N into the number of output
 	// tuples per probe tuple (§4.1.1's note on semijoins and outerjoins):
 	// nil means the inner-join identity; semi joins use 1 if N>0, anti
@@ -148,6 +157,11 @@ type PipelineEstimator struct {
 	batchInstalled bool
 	probeShards    []probeShard
 	afterConverge  []func()
+
+	// Columnar attachment state — see colhooks.go. colInstalled reports
+	// that build observation runs through span-at-a-time ColBatch hooks
+	// and probe observation through ObserveProbeCol.
+	colInstalled bool
 
 	// Observability (see internal/obs): the tracer receives one
 	// EstimateRefined event per level at every publish boundary plus
@@ -369,6 +383,10 @@ func (p *PipelineEstimator) buildWeight(tu data.Tuple, j, level int) int64 {
 // default mode, per-worker sharded batch hooks (see shard.go) when every
 // link runs a batched preprocessing pass.
 func (p *PipelineEstimator) installHooks() {
+	if p.chainColumnar() {
+		p.installColHooks()
+		return
+	}
 	if p.chainBatched() {
 		p.installBatchHooks()
 		return
@@ -384,6 +402,17 @@ func (p *PipelineEstimator) installHooks() {
 			}
 		})
 	}
+}
+
+// chainColumnar reports whether every link of the chain runs a columnar
+// preprocessing pass (and therefore supports span observation).
+func (p *PipelineEstimator) chainColumnar() bool {
+	for _, l := range p.links {
+		if !l.Columnar || l.SetBuildColHook == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // chainBatched reports whether every link of the chain runs a batched

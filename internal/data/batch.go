@@ -4,7 +4,28 @@ package data
 // batch-at-a-time executor. 1024 keeps a batch of slice headers around
 // 24 KiB — small enough to stay cache-resident, large enough to amortize
 // the per-call interface dispatch the tuple-at-a-time path pays per row.
+// The qpi-bench -batchsize sweep (recorded in BENCH_join.json) justifies
+// the choice empirically; SetBatchSize overrides it for such sweeps.
 const DefaultBatchSize = 1024
+
+// batchSize is the live batch size used by producers that size their
+// buffers at runtime. It exists so benchmarks can sweep batch sizes; it
+// is not safe to change while plans execute.
+var batchSize = DefaultBatchSize
+
+// BatchSize returns the current batch size (DefaultBatchSize unless
+// overridden).
+func BatchSize() int { return batchSize }
+
+// SetBatchSize overrides the batch size for subsequently constructed
+// batch buffers (n < 1 restores the default). Benchmark sweeps only:
+// changing it while any plan is executing is a data race.
+func SetBatchSize(n int) {
+	if n < 1 {
+		n = DefaultBatchSize
+	}
+	batchSize = n
+}
 
 // Batch is a slice of tuples moved through the executor in one step.
 //
@@ -13,4 +34,16 @@ const DefaultBatchSize = 1024
 // call on the same operator — producers reuse the backing array. Consumers
 // that need the batch beyond that point must copy the slice (the tuples
 // themselves are immutable and may be retained).
+//
+// The columnar counterpart (ColBatch, see colbatch.go) extends the same
+// contract to vectors: a *ColBatch returned by NextColBatch — struct,
+// column lanes and selection vector — is valid until the next
+// NextColBatch call on the same operator. Consumers narrowing a
+// selection copy the struct header and substitute their own selection
+// slice; they never mutate the producer's. Reused lanes retain stale
+// string entries and row references between fills (bounded by one batch,
+// like a reused Batch retaining tuple references), so pooled vectors
+// MUST be length-reset and string-cleared before Put — ColBatch.Release
+// does exactly that, and PutColBatch calls it — ensuring a pooled string
+// column never pins a large backing array.
 type Batch []Tuple

@@ -1,0 +1,593 @@
+package data
+
+import "sync"
+
+// This file is the columnar (SoA) counterpart of Batch: a ColBatch holds
+// one typed vector per column plus a selection vector, so the vectorized
+// kernels in internal/exec can run tight loops over flat []int64 /
+// []float64 / []string lanes instead of dispatching on boxed Values per
+// row. A ColBatch converts losslessly to and from the row representation
+// (FromTuples/ToTuples) and can carry the original rows alongside the
+// vectors, which lets operators pivot only the columns they touch.
+//
+// Ownership contract (the columnar extension of the Batch contract in
+// batch.go): a *ColBatch returned by NextColBatch — the struct, its
+// vectors and its selection — is valid until the next NextColBatch call
+// on the same operator; producers reuse all backing arrays. Consumers
+// narrowing the selection must copy the struct header (a shallow copy
+// sharing the column lanes) and substitute their own selection slice
+// rather than mutate the producer's. String lane entries and row
+// references persist in reused backing arrays until overwritten or the
+// batch is released; Release (and PutColBatch) clears them so a pooled
+// batch never pins string or tuple backing memory.
+
+// Bitmap is a packed per-row bit set, used to mark NULL rows in a column
+// vector. The zero value is an empty bitmap with no bits set; bits past
+// the stored words read as unset.
+type Bitmap []uint64
+
+// Get reports whether bit i is set.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i, growing the bitmap as needed.
+func (b *Bitmap) Set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << uint(i&63)
+}
+
+// Clear unsets every bit, retaining capacity.
+func (b *Bitmap) Clear() {
+	s := *b
+	for i := range s {
+		s[i] = 0
+	}
+	*b = s[:0]
+}
+
+// Any reports whether any bit is set.
+func (b Bitmap) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ColVec is one column's vector: a typed lane per value kind plus a NULL
+// bitmap. Kind is the column's value kind; when every non-NULL row shares
+// one kind (the overwhelmingly common case) only that kind's lane is
+// populated and Tags is nil. Mixed-kind columns carry a per-row Tags
+// slice and populate every lane, trading memory for correctness.
+type ColVec struct {
+	Kind   Kind
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Nulls  Bitmap
+	// Tags holds per-row kinds for mixed columns; nil means homogeneous
+	// (every non-NULL row is v.Kind).
+	Tags []Kind
+
+	built bool
+}
+
+// Homogeneous reports whether the vector is single-kinded (no per-row
+// tags), the precondition of every typed fast path.
+func (v *ColVec) Homogeneous() bool { return v.Tags == nil }
+
+// ValueAt reconstructs the row's Value without allocating.
+func (v *ColVec) ValueAt(i int) Value {
+	if v.Tags != nil {
+		switch v.Tags[i] {
+		case KindInt:
+			return Int(v.Ints[i])
+		case KindFloat:
+			return Float(v.Floats[i])
+		case KindString:
+			return Str(v.Strs[i])
+		default:
+			return Null()
+		}
+	}
+	if v.Nulls.Get(i) {
+		return Null()
+	}
+	switch v.Kind {
+	case KindInt:
+		return Int(v.Ints[i])
+	case KindFloat:
+		return Float(v.Floats[i])
+	case KindString:
+		return Str(v.Strs[i])
+	default:
+		return Null()
+	}
+}
+
+// reset prepares the vector for refilling. Lanes are truncated, not
+// zeroed: stale string entries persist in the backing array until
+// overwritten or Release, mirroring how a reused Batch retains tuple
+// references between fills.
+func (v *ColVec) reset() {
+	v.Kind = KindNull
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strs = v.Strs[:0]
+	v.Nulls.Clear()
+	v.Tags = nil
+	v.built = true
+}
+
+// release clears the vector for pooling: string lane entries are zeroed
+// across the full capacity so a pooled vector never pins string backing
+// arrays.
+func (v *ColVec) release() {
+	clear(v.Strs[:cap(v.Strs)])
+	v.reset()
+	v.built = false
+}
+
+// Reset prepares the vector for refilling (exported for the vectorized
+// expression evaluator, which writes computed columns directly).
+func (v *ColVec) Reset() { v.reset() }
+
+// AppendVal appends val as row index row; rows must be appended in
+// ascending order starting at 0.
+func (v *ColVec) AppendVal(row int, val Value) { v.appendVal(row, val) }
+
+// appendGrow appends x to a lane, reserving a full batch worth of
+// capacity on the lane's first growth: a building vector pays one
+// allocation per lane instead of log2(BatchSize) doublings, and reuse
+// via reset/BeginBuild then never reallocates.
+func appendGrow[T any](s []T, x T) []T {
+	if len(s) == cap(s) {
+		n := 2 * cap(s)
+		if n < batchSize {
+			n = batchSize
+		}
+		ns := make([]T, len(s), n)
+		copy(ns, s)
+		s = ns
+	}
+	return append(s, x)
+}
+
+// padTo extends the active lane with zero values up to length n, so rows
+// written after a NULL- or other-kind prefix still index correctly.
+func (v *ColVec) padTo(n int) {
+	switch v.Kind {
+	case KindInt:
+		for len(v.Ints) < n {
+			v.Ints = appendGrow(v.Ints, 0)
+		}
+	case KindFloat:
+		for len(v.Floats) < n {
+			v.Floats = appendGrow(v.Floats, 0)
+		}
+	case KindString:
+		for len(v.Strs) < n {
+			v.Strs = appendGrow(v.Strs, "")
+		}
+	}
+}
+
+// promoteMixed converts a homogeneous vector holding row rows into the
+// tagged mixed representation.
+func (v *ColVec) promoteMixed(rows int) {
+	tags := make([]Kind, rows)
+	for i := 0; i < rows; i++ {
+		if v.Nulls.Get(i) {
+			tags[i] = KindNull
+		} else {
+			tags[i] = v.Kind
+		}
+	}
+	v.Tags = tags
+	v.padTo(rows)
+	for len(v.Ints) < rows {
+		v.Ints = append(v.Ints, 0)
+	}
+	for len(v.Floats) < rows {
+		v.Floats = append(v.Floats, 0)
+	}
+	for len(v.Strs) < rows {
+		v.Strs = append(v.Strs, "")
+	}
+}
+
+// appendVal appends val as row index row (rows must be appended in
+// order starting at 0). The leading branch is the dense hot path — a
+// matching-kind value landing exactly at the lane's end, which is every
+// value of a homogeneous NULL-free column — and touches one lane once;
+// padding, kind adoption and mixed promotion live in the cold tail.
+func (v *ColVec) appendVal(row int, val Value) {
+	if v.Tags != nil {
+		v.appendMixed(val)
+		return
+	}
+	if k := val.Kind; k == v.Kind && k != KindNull {
+		switch k {
+		case KindInt:
+			if len(v.Ints) == row {
+				v.Ints = appendGrow(v.Ints, val.I)
+				return
+			}
+		case KindFloat:
+			if len(v.Floats) == row {
+				v.Floats = appendGrow(v.Floats, val.F)
+				return
+			}
+		case KindString:
+			if len(v.Strs) == row {
+				v.Strs = appendGrow(v.Strs, val.S)
+				return
+			}
+		}
+		// Sparse lane (a NULL run left it short): pad, then push.
+		v.padTo(row)
+		v.push(val)
+		return
+	}
+	switch {
+	case val.Kind == KindNull:
+		v.Nulls.Set(row)
+		v.padTo(row + 1)
+	case v.Kind == KindNull:
+		// First non-NULL value: the vector adopts its kind.
+		v.Kind = val.Kind
+		v.padTo(row)
+		v.push(val)
+	default:
+		v.promoteMixed(row)
+		v.appendMixed(val)
+	}
+}
+
+// push appends val to the active lane (val.Kind == v.Kind).
+func (v *ColVec) push(val Value) {
+	switch val.Kind {
+	case KindInt:
+		v.Ints = appendGrow(v.Ints, val.I)
+	case KindFloat:
+		v.Floats = appendGrow(v.Floats, val.F)
+	case KindString:
+		v.Strs = appendGrow(v.Strs, val.S)
+	}
+}
+
+// appendMixed appends val to a tagged vector, keeping every lane aligned.
+func (v *ColVec) appendMixed(val Value) {
+	v.Tags = append(v.Tags, val.Kind)
+	var iv int64
+	var fv float64
+	var sv string
+	switch val.Kind {
+	case KindInt:
+		iv = val.I
+	case KindFloat:
+		fv = val.F
+	case KindString:
+		sv = val.S
+	}
+	v.Ints = appendGrow(v.Ints, iv)
+	v.Floats = appendGrow(v.Floats, fv)
+	v.Strs = appendGrow(v.Strs, sv)
+}
+
+// ColBatch is a batch in columnar form: NRows rows across len(Cols)
+// columns, with an optional selection vector and an optional row-major
+// cache of the same rows.
+type ColBatch struct {
+	NRows int
+	Cols  []ColVec
+	// Sel is the selection vector: the live row indexes in ascending
+	// order. nil selects all NRows rows (the fast path); an empty non-nil
+	// Sel selects none.
+	Sel []int32
+	// Rows optionally carries the same rows in row-major form, indexed by
+	// row number like the vectors. Operators wrapping a row producer set
+	// Rows and pivot columns lazily via Col; purely columnar producers
+	// leave it nil.
+	Rows []Tuple
+}
+
+// Width returns the number of columns.
+func (cb *ColBatch) Width() int { return len(cb.Cols) }
+
+// Live returns the number of selected rows.
+func (cb *ColBatch) Live() int {
+	if cb.Sel != nil {
+		return len(cb.Sel)
+	}
+	return cb.NRows
+}
+
+// ensureWidth sizes Cols to w columns, retaining existing vector buffers.
+func (cb *ColBatch) ensureWidth(w int) {
+	if cap(cb.Cols) >= w {
+		cb.Cols = cb.Cols[:w]
+		return
+	}
+	nc := make([]ColVec, w)
+	copy(nc, cb.Cols)
+	cb.Cols = nc
+}
+
+// EnsureWidth sizes the batch to w columns, retaining vector buffers
+// (exported for columnar operators assembling output batches).
+func (cb *ColBatch) EnsureWidth(w int) { cb.ensureWidth(w) }
+
+// ShareCol makes column i a shallow copy of v, sharing its lanes — the
+// projection pass-through path. The share is valid exactly as long as v
+// is (until the producer's next NextColBatch).
+func (cb *ColBatch) ShareCol(i int, v *ColVec) { cb.Cols[i] = *v }
+
+// OwnCol returns column i for in-place vector writing (computed
+// projection columns), marking it built.
+func (cb *ColBatch) OwnCol(i int) *ColVec {
+	v := &cb.Cols[i]
+	v.built = true
+	return v
+}
+
+// SetRows points the batch at a row-major slice without pivoting any
+// column: columns materialize lazily on first Col access. The rows are
+// referenced, not copied, and must stay valid for the batch's lifetime.
+func (cb *ColBatch) SetRows(rows []Tuple, width int) {
+	cb.ensureWidth(width)
+	cb.NRows = len(rows)
+	cb.Sel = nil
+	cb.Rows = rows
+	for c := range cb.Cols {
+		cb.Cols[c].built = false
+	}
+}
+
+// Col returns column c, pivoting it out of the row cache on first
+// access. Untouched columns of a row-backed batch are never pivoted —
+// that is the pass-through path projections and scans rely on.
+func (cb *ColBatch) Col(c int) *ColVec {
+	v := &cb.Cols[c]
+	if !v.built {
+		cb.materialize(c)
+	}
+	return v
+}
+
+// materialize pivots column c from the row cache.
+func (cb *ColBatch) materialize(c int) {
+	if cb.Rows == nil {
+		panic("data: ColBatch.Col: column not built and no row cache")
+	}
+	v := &cb.Cols[c]
+	v.reset()
+	n := cb.NRows
+	// Detect the column's kind profile over all rows (selection
+	// independent, so a narrowed view shares the pivot).
+	kind := KindNull
+	mixed := false
+	for i := 0; i < n; i++ {
+		k := cb.Rows[i][c].Kind
+		if k == KindNull || k == kind {
+			continue
+		}
+		if kind == KindNull {
+			kind = k
+			continue
+		}
+		mixed = true
+		break
+	}
+	if mixed {
+		for i := 0; i < n; i++ {
+			v.appendVal(i, cb.Rows[i][c])
+		}
+		return
+	}
+	v.Kind = kind
+	switch kind {
+	case KindInt:
+		v.Ints = growLane(v.Ints, n)
+		for i := 0; i < n; i++ {
+			if val := cb.Rows[i][c]; val.Kind == KindNull {
+				v.Ints[i] = 0
+				v.Nulls.Set(i)
+			} else {
+				v.Ints[i] = val.I
+			}
+		}
+	case KindFloat:
+		v.Floats = growLane(v.Floats, n)
+		for i := 0; i < n; i++ {
+			if val := cb.Rows[i][c]; val.Kind == KindNull {
+				v.Floats[i] = 0
+				v.Nulls.Set(i)
+			} else {
+				v.Floats[i] = val.F
+			}
+		}
+	case KindString:
+		v.Strs = growLane(v.Strs, n)
+		for i := 0; i < n; i++ {
+			if val := cb.Rows[i][c]; val.Kind == KindNull {
+				v.Strs[i] = ""
+				v.Nulls.Set(i)
+			} else {
+				v.Strs[i] = val.S
+			}
+		}
+	default:
+		// All-NULL column: no lane, ValueAt returns NULL for every row.
+		for i := 0; i < n; i++ {
+			v.Nulls.Set(i)
+		}
+	}
+}
+
+func growLane[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// Value returns the value at (col, row) without allocating, preferring
+// the row cache so reads never force a pivot.
+func (cb *ColBatch) Value(col, row int) Value {
+	if cb.Rows != nil {
+		return cb.Rows[row][col]
+	}
+	return cb.Col(col).ValueAt(row)
+}
+
+// FromTuples pivots rows into a pure columnar image: every column is
+// materialized eagerly and the row cache is dropped, so the result
+// depends only on the vectors. width is the schema arity (needed when
+// rows is empty).
+func (cb *ColBatch) FromTuples(rows []Tuple, width int) {
+	cb.SetRows(rows, width)
+	for c := range cb.Cols {
+		cb.Col(c)
+	}
+	cb.Rows = nil
+}
+
+// ToTuples appends the live rows to buf in selection order and returns
+// it. Row-backed batches hand out the cached tuples; columnar batches
+// materialize fresh tuples carved from one arena allocation.
+func (cb *ColBatch) ToTuples(buf Batch) Batch {
+	if cb.Rows != nil {
+		if cb.Sel == nil {
+			return append(buf, cb.Rows[:cb.NRows]...)
+		}
+		for _, i := range cb.Sel {
+			buf = append(buf, cb.Rows[i])
+		}
+		return buf
+	}
+	w := len(cb.Cols)
+	live := cb.Live()
+	arena := make([]Value, live*w)
+	emitRow := func(i int) {
+		row := arena[:w:w]
+		arena = arena[w:]
+		for c := range cb.Cols {
+			row[c] = cb.Cols[c].ValueAt(i)
+		}
+		buf = append(buf, Tuple(row))
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			emitRow(i)
+		}
+	} else {
+		for _, i := range cb.Sel {
+			emitRow(int(i))
+		}
+	}
+	return buf
+}
+
+// MaterializeRows builds and caches the row-major form of a columnar
+// batch. Only live rows are filled; dead row slots stay nil. The cache
+// is stored on the batch, so repeated calls are free.
+func (cb *ColBatch) MaterializeRows() []Tuple {
+	if cb.Rows != nil {
+		return cb.Rows
+	}
+	w := len(cb.Cols)
+	rows := make([]Tuple, cb.NRows)
+	arena := make([]Value, cb.Live()*w)
+	fill := func(i int) {
+		row := arena[:w:w]
+		arena = arena[w:]
+		for c := range cb.Cols {
+			row[c] = cb.Cols[c].ValueAt(i)
+		}
+		rows[i] = Tuple(row)
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			fill(i)
+		}
+	} else {
+		for _, i := range cb.Sel {
+			fill(int(i))
+		}
+	}
+	cb.Rows = rows
+	return rows
+}
+
+// BeginBuild prepares the batch for row-at-a-time appending via
+// AppendRow/AppendRow2: width columns, all built, no selection, no row
+// cache. Lane backing arrays are retained across calls; stale string
+// entries beyond the new fill persist until Release, exactly like tuple
+// references in a reused Batch.
+func (cb *ColBatch) BeginBuild(width int) {
+	cb.ensureWidth(width)
+	cb.NRows = 0
+	cb.Sel = nil
+	cb.Rows = nil
+	for c := range cb.Cols {
+		cb.Cols[c].reset()
+	}
+}
+
+// AppendRow appends t as the next row.
+func (cb *ColBatch) AppendRow(t Tuple) {
+	row := cb.NRows
+	for c := range cb.Cols {
+		cb.Cols[c].appendVal(row, t[c])
+	}
+	cb.NRows++
+}
+
+// AppendRow2 appends the concatenation a ⧺ b as the next row without
+// materializing the concatenated tuple — the join's zero-copy output
+// path.
+func (cb *ColBatch) AppendRow2(a, b Tuple) {
+	row := cb.NRows
+	for c := range a {
+		cb.Cols[c].appendVal(row, a[c])
+	}
+	off := len(a)
+	for c := range b {
+		cb.Cols[off+c].appendVal(row, b[c])
+	}
+	cb.NRows++
+}
+
+// Release clears the batch for reuse or pooling: row references are
+// dropped and string lane entries zeroed across their full capacity, so
+// a released batch never pins tuple or string backing arrays. The lane
+// backing arrays themselves are retained.
+func (cb *ColBatch) Release() {
+	for c := range cb.Cols {
+		cb.Cols[c].release()
+	}
+	cb.NRows = 0
+	cb.Sel = nil
+	cb.Rows = nil
+}
+
+// colBatchPool recycles ColBatch structs (and their lane capacity)
+// across operators; see GetColBatch/PutColBatch.
+var colBatchPool = sync.Pool{New: func() any { return new(ColBatch) }}
+
+// GetColBatch takes a cleared batch from the pool.
+func GetColBatch() *ColBatch { return colBatchPool.Get().(*ColBatch) }
+
+// PutColBatch releases cb (clearing row and string references, see
+// Release) and returns it to the pool.
+func PutColBatch(cb *ColBatch) {
+	cb.Release()
+	colBatchPool.Put(cb)
+}

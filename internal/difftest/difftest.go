@@ -1,8 +1,8 @@
 // Package difftest is the randomized differential-testing harness: it
 // runs every qgen-generated plan through all execution modes of the real
 // engine (tuple-at-a-time, batch, batch-parallel, forced-spill,
-// parallel-spill and mid-query cancel/re-run) and checks each run
-// against the exact oracle
+// parallel-spill, columnar, columnar-spill and mid-query cancel/re-run)
+// and checks each run against the exact oracle
 // and the paper's estimator invariants:
 //
 //   - result-set equivalence: the run's output multiset equals the
@@ -60,10 +60,17 @@ const (
 	// tuple, verifies the terminal state, then re-runs a fresh build to
 	// completion with full checks.
 	ModeCancelRerun
+	// ModeColumnar drives the plan column-at-a-time: hash joins run the
+	// columnar partition passes with span-at-a-time estimator observation
+	// and gather output straight into column lanes.
+	ModeColumnar
+	// ModeColumnarSpill combines the columnar passes with a tiny budget,
+	// forcing partitions through the columnar spill frame codec.
+	ModeColumnarSpill
 )
 
 // AllModes is every execution mode, in suite order.
-var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeCancelRerun}
+var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeColumnar, ModeColumnarSpill, ModeCancelRerun}
 
 func (m Mode) String() string {
 	switch m {
@@ -77,6 +84,10 @@ func (m Mode) String() string {
 		return "parallel-spill"
 	case ModeCancelRerun:
 		return "cancel-rerun"
+	case ModeColumnar:
+		return "columnar"
+	case ModeColumnarSpill:
+		return "columnar-spill"
 	default:
 		return "tuple"
 	}
@@ -147,6 +158,11 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 	case ModeParallelSpill:
 		setParallelism(b.Root, 3)
 		setBudget(b.Root, spillBudget)
+	case ModeColumnar:
+		setColumnar(b.Root)
+	case ModeColumnarSpill:
+		setColumnar(b.Root)
+		setBudget(b.Root, spillBudget)
 	}
 	att := core.Attach(b.Root)
 	mon := progress.NewMonitorWith(b.Root, progress.ModeOnce, att)
@@ -210,7 +226,7 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		}
 	}
 	exec.Bind(b.Root, ctx)
-	rows, runErr := drain(b.Root, m == ModeBatch || m == ModeParallel || m == ModeParallelSpill)
+	rows, runErr := drain(b.Root, m)
 	mon.Finish(runErr)
 
 	if progErr != nil {
@@ -245,7 +261,7 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		if got := j.Stats().Emitted.Load(); got != want.JoinCards[i] {
 			return fmt.Errorf("join %d (%s) emitted %d, oracle says %d", i, j.Name(), got, want.JoinCards[i])
 		}
-		if m == ModeSpill || m == ModeParallelSpill {
+		if m == ModeSpill || m == ModeParallelSpill || m == ModeColumnarSpill {
 			st.SpillFiles += j.Stats().SpillFiles.Load()
 		}
 	}
@@ -356,15 +372,18 @@ func checkAgg(b *qgen.Built, att *core.Attachment, want *oracle.Result, st *Suit
 	return nil
 }
 
-func drain(root exec.Operator, batched bool) ([]data.Tuple, error) {
+func drain(root exec.Operator, m Mode) ([]data.Tuple, error) {
 	if err := root.Open(); err != nil {
 		return nil, err
 	}
 	var rows []data.Tuple
 	var err error
-	if batched {
+	switch m {
+	case ModeBatch, ModeParallel, ModeParallelSpill:
 		rows, err = exec.DrainBatch(exec.AsBatch(root))
-	} else {
+	case ModeColumnar, ModeColumnarSpill:
+		rows, err = exec.DrainCol(exec.AsColOperator(root))
+	default:
 		rows, err = exec.Drain(root)
 	}
 	if cerr := root.Close(); err == nil {
@@ -377,6 +396,14 @@ func setParallelism(root exec.Operator, workers int) {
 	exec.Walk(root, func(op exec.Operator) {
 		if j, ok := op.(*exec.HashJoin); ok {
 			j.SetParallelism(workers)
+		}
+	})
+}
+
+func setColumnar(root exec.Operator) {
+	exec.Walk(root, func(op exec.Operator) {
+		if j, ok := op.(*exec.HashJoin); ok {
+			j.SetColumnar(true)
 		}
 	})
 }

@@ -81,6 +81,16 @@ func (p *ProfileTracker) ObserveCount(n int64) {
 	}
 }
 
+// ObserveCounts consumes a span of group-count transitions in order —
+// the span-at-a-time form of ObserveCount, delivered once per columnar
+// input batch. Tracker state (profile, moments, MLE recompute cadence)
+// is identical to observing each transition individually.
+func (p *ProfileTracker) ObserveCounts(ns []int64) {
+	for _, n := range ns {
+		p.ObserveCount(n)
+	}
+}
+
 func (p *ProfileTracker) recomputeMLE() {
 	old := p.mleCached
 	p.recomputes.Add(1)

@@ -152,6 +152,14 @@ type HashAgg struct {
 	OnInputGroupCount func(n int64)
 	// OnInputEnd fires when the input is exhausted.
 	OnInputEnd func()
+	// OnInputGroupCounts is the span-at-a-time form of OnInputGroupCount:
+	// during a columnar input pass the per-row counts of one batch are
+	// collected and delivered in a single call at the batch boundary,
+	// suppressing the per-row hook for those rows. Row-at-a-time passes
+	// ignore it. Consumers must process the span in order to stay
+	// state-identical with the per-row hook (see
+	// core.AggEstimator.ObserveGroupCounts).
+	OnInputGroupCounts func(ns []int64)
 
 	// Integer group keys — the dominant case — live in an open-addressing
 	// table; everything else shares a Value-keyed map. order preserves
@@ -164,6 +172,14 @@ type HashAgg struct {
 	inputRows int64
 	buf       data.Batch
 	spanEnded bool
+
+	// Columnar input state: colBuf re-exposes emitted group batches,
+	// countsBuf accumulates one batch's group counts for the span hook,
+	// collectCounts suppresses the per-row count hook while a span is
+	// being collected.
+	colBuf        data.ColBatch
+	countsBuf     []int64
+	collectCounts bool
 }
 
 // endEmitSpan closes the emit span exactly once, when all groups are out.
@@ -277,6 +293,127 @@ func (a *HashAgg) consumeBatched() error {
 	return nil
 }
 
+// consumeColumnar is consume driven through the child's columnar path.
+// When the group key is a single homogeneous int64 column and no
+// per-row input hook is attached, grouping runs vectorized over the
+// flat key lane (see observeKeyVector); otherwise each live row is
+// observed exactly as in the row passes. Group-count observations are
+// delivered span-at-a-time through OnInputGroupCounts when set; the
+// span preserves row order so consumers stay state-identical with the
+// per-row hook.
+func (a *HashAgg) consumeColumnar() error {
+	a.initGroups()
+	a.traceBegin("input")
+	in := AsColOperator(a.child)
+	for {
+		if err := a.ctxErr(); err != nil {
+			return err
+		}
+		cb, err := in.NextColBatch()
+		if err != nil {
+			return err
+		}
+		if cb == nil {
+			break
+		}
+		a.collectCounts = a.OnInputGroupCounts != nil
+		a.countsBuf = a.countsBuf[:0]
+		a.observeColBatch(cb)
+		if a.collectCounts {
+			a.collectCounts = false
+			a.OnInputGroupCounts(a.countsBuf)
+		}
+	}
+	a.traceEnd("input", a.inputRows, 0, 0)
+	a.traceBegin("emit")
+	if a.OnInputEnd != nil {
+		a.OnInputEnd()
+	}
+	a.computed = true
+	return nil
+}
+
+// observeColBatch folds one columnar input batch into the groups.
+func (a *HashAgg) observeColBatch(cb *data.ColBatch) {
+	if len(a.groupBy) == 1 && a.OnInput == nil {
+		kv := cb.Col(a.groupBy[0])
+		if kv.Homogeneous() && kv.Kind == data.KindInt {
+			a.observeKeyVector(cb, kv)
+			return
+		}
+	}
+	rows := cb.MaterializeRows()
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			a.observe(rows[i])
+		}
+		return
+	}
+	for _, i := range cb.Sel {
+		a.observe(rows[i])
+	}
+}
+
+// observeKeyVector is the vectorized grouping loop over a flat int64
+// key lane: the group lookup indexes the open-addressing table straight
+// from the lane, and a representative tuple is materialized only when a
+// group is first seen. State, hook order and group emission order are
+// identical to per-row observe.
+func (a *HashAgg) observeKeyVector(cb *data.ColBatch, kv *data.ColVec) {
+	observeRow := func(i int) {
+		a.inputRows++
+		var gs *groupState
+		if kv.Nulls.Get(i) {
+			var ok bool
+			gs, ok = a.groups[data.Null()]
+			if !ok {
+				gs = a.newGroup(a.rowTuple(cb, i))
+				a.groups[data.Null()] = gs
+			}
+		} else {
+			p := a.intGroups.Ref(kv.Ints[i])
+			if *p == nil {
+				*p = a.newGroup(a.rowTuple(cb, i))
+			}
+			gs = *p
+		}
+		gs.n++
+		if a.collectCounts {
+			a.countsBuf = append(a.countsBuf, gs.n)
+		} else if a.OnInputGroupCount != nil {
+			a.OnInputGroupCount(gs.n)
+		}
+		for si, spec := range a.aggs {
+			var v data.Value
+			if spec.Func != CountStar {
+				v = cb.Value(spec.Col, i)
+			}
+			gs.states[si].add(spec.Func, v)
+		}
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			observeRow(i)
+		}
+		return
+	}
+	for _, i := range cb.Sel {
+		observeRow(int(i))
+	}
+}
+
+// rowTuple returns row i as a tuple, preferring the batch's row cache.
+func (a *HashAgg) rowTuple(cb *data.ColBatch, i int) data.Tuple {
+	if cb.Rows != nil {
+		return cb.Rows[i]
+	}
+	t := make(data.Tuple, cb.Width())
+	for c := range t {
+		t[c] = cb.Cols[c].ValueAt(i)
+	}
+	return t
+}
+
 func (a *HashAgg) initGroups() {
 	a.intGroups.Reset()
 	a.groups = map[data.Value]*groupState{}
@@ -311,7 +448,9 @@ func (a *HashAgg) observe(t data.Tuple) {
 		}
 	}
 	gs.n++
-	if a.OnInputGroupCount != nil {
+	if a.collectCounts {
+		a.countsBuf = append(a.countsBuf, gs.n)
+	} else if a.OnInputGroupCount != nil {
 		a.OnInputGroupCount(gs.n)
 	}
 	for i, spec := range a.aggs {
@@ -333,7 +472,7 @@ func (a *HashAgg) NextBatch() (data.Batch, error) {
 		}
 	}
 	if a.buf == nil {
-		a.buf = make(data.Batch, 0, data.DefaultBatchSize)
+		a.buf = make(data.Batch, 0, data.BatchSize())
 	}
 	out := a.buf[:0]
 	for len(out) < cap(out) && a.pos < len(a.order) {

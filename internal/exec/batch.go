@@ -37,7 +37,7 @@ type batchAdapter struct {
 
 func (a *batchAdapter) NextBatch() (data.Batch, error) {
 	if a.buf == nil {
-		a.buf = make(data.Batch, 0, data.DefaultBatchSize)
+		a.buf = make(data.Batch, 0, data.BatchSize())
 	}
 	b := a.buf[:0]
 	for len(b) < cap(b) {

@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"qpi/internal/data"
+	"qpi/internal/expr"
+)
+
+// This file is the columnar execution layer, stacked on the batch layer
+// the way batch.go stacks on Volcano: operators that can serve typed
+// column vectors implement ColOperator natively (Scan, Filter, Project,
+// Limit, HashJoin, HashAgg); everything else composes through
+// AsColOperator, which wraps the operator's batch path and exposes the
+// rows as a lazily-pivoted ColBatch. Selection vectors flow through
+// filters without copying tuples, and the join's columnar output path
+// gathers values straight into pooled lanes (see hashjoin_col.go).
+
+// ColOperator is the columnar executor contract. NextColBatch returns
+// the next batch in columnar form, or nil at end of stream. The batch
+// (struct, vectors, selection) is valid until the next NextColBatch call
+// on the same operator — see the ColBatch ownership contract in
+// internal/data/batch.go.
+type ColOperator interface {
+	Operator
+	NextColBatch() (*data.ColBatch, error)
+}
+
+// AsColOperator returns op as a ColOperator: native implementations are
+// returned as-is, anything else is wrapped in an adapter over the batch
+// path whose ColBatch carries the rows and pivots columns on demand.
+func AsColOperator(op Operator) ColOperator {
+	if c, ok := op.(ColOperator); ok {
+		return c
+	}
+	return &colAdapter{Operator: op}
+}
+
+// colAdapter lifts a row-producing operator to the columnar contract.
+type colAdapter struct {
+	Operator
+	bchild BatchOperator
+	buf    data.ColBatch
+}
+
+func (a *colAdapter) NextColBatch() (*data.ColBatch, error) {
+	if a.bchild == nil {
+		a.bchild = AsBatch(a.Operator)
+	}
+	b, err := a.bchild.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	a.buf.SetRows(b, a.Operator.Schema().Len())
+	return &a.buf, nil
+}
+
+// Unwrap exposes the adapted operator.
+func (a *colAdapter) Unwrap() Operator { return a.Operator }
+
+// emitColBatch counts a columnar emission; nil or empty-selection
+// batches mark the operator done.
+func (b *base) emitColBatch(cb *data.ColBatch) (*data.ColBatch, error) {
+	if cb == nil || cb.Live() == 0 {
+		b.stats.MarkDone()
+		return nil, nil
+	}
+	b.stats.Emitted.Add(int64(cb.Live()))
+	b.stats.Batches.Add(1)
+	return cb, nil
+}
+
+// DrainCol runs an opened operator to exhaustion through its columnar
+// path, returning all live rows as tuples (copied out of the reused
+// batches, safe to retain).
+func DrainCol(op ColOperator) ([]data.Tuple, error) {
+	var out []data.Tuple
+	for {
+		cb, err := op.NextColBatch()
+		if err != nil {
+			return out, err
+		}
+		if cb == nil {
+			return out, nil
+		}
+		out = cb.ToTuples(out)
+	}
+}
+
+// RunCol opens, drains and closes an operator through its columnar path,
+// returning the live row count — the columnar counterpart of Run and
+// RunBatch. No tuples are materialized at the root.
+func RunCol(op ColOperator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		cb, err := op.NextColBatch()
+		if err != nil {
+			op.Close()
+			return n, err
+		}
+		if cb == nil {
+			break
+		}
+		n += int64(cb.Live())
+	}
+	return n, op.Close()
+}
+
+// NextColBatch implements ColOperator for Scan: the row batch from
+// NextBatch (hooks, punctuation and counters fire there exactly once) is
+// exposed columnar, with columns pivoted only if a consumer touches
+// them.
+func (s *Scan) NextColBatch() (*data.ColBatch, error) {
+	b, err := s.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil
+	}
+	s.colBuf.SetRows(b, s.schema.Len())
+	return &s.colBuf, nil
+}
+
+// NextColBatch implements ColOperator for Filter: the predicate
+// evaluates over whole column spans into a selection vector — no tuples
+// are copied, the output is a shallow view of the child's batch with a
+// narrowed selection. Fully filtered batches are skipped without
+// returning.
+func (f *Filter) NextColBatch() (*data.ColBatch, error) {
+	if f.cchild == nil {
+		f.cchild = AsColOperator(f.child)
+	}
+	for {
+		if err := f.ctxErr(); err != nil {
+			return nil, err
+		}
+		in, err := f.cchild.NextColBatch()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return f.emitColBatch(nil)
+		}
+		f.selBuf = expr.EvalSel(f.pred, in, in.Sel, f.selBuf[:0])
+		if len(f.selBuf) == 0 {
+			continue
+		}
+		f.colView = *in
+		f.colView.Sel = f.selBuf
+		return f.emitColBatch(&f.colView)
+	}
+}
+
+// NextColBatch implements ColOperator for Project: pass-through columns
+// (bare column references) share the child's vectors without copying;
+// computed columns are evaluated vector-at-a-time into reused lanes. The
+// output keeps the child's selection geometry.
+func (p *Project) NextColBatch() (*data.ColBatch, error) {
+	if p.cchild == nil {
+		p.cchild = AsColOperator(p.child)
+	}
+	in, err := p.cchild.NextColBatch()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return p.emitColBatch(nil)
+	}
+	out := &p.colOut
+	out.EnsureWidth(len(p.exprs))
+	out.NRows = in.NRows
+	out.Sel = in.Sel
+	out.Rows = nil
+	for i, e := range p.exprs {
+		if c, ok := e.(expr.Col); ok {
+			out.ShareCol(i, in.Col(c.Index))
+			continue
+		}
+		expr.EvalVec(e, in, out.OwnCol(i))
+	}
+	return p.emitColBatch(out)
+}
+
+// NextColBatch implements ColOperator for Limit, truncating the final
+// batch's selection at the limit.
+func (l *Limit) NextColBatch() (*data.ColBatch, error) {
+	rem := l.n - l.stats.Emitted.Load()
+	if rem <= 0 {
+		return l.emitColBatch(nil)
+	}
+	if l.cchild == nil {
+		l.cchild = AsColOperator(l.child)
+	}
+	in, err := l.cchild.NextColBatch()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return l.emitColBatch(nil)
+	}
+	if int64(in.Live()) <= rem {
+		return l.emitColBatch(in)
+	}
+	l.colView = *in
+	if in.Sel != nil {
+		l.colView.Sel = in.Sel[:rem]
+	} else {
+		l.selBuf = l.selBuf[:0]
+		for i := int64(0); i < rem; i++ {
+			l.selBuf = append(l.selBuf, int32(i))
+		}
+		l.colView.Sel = l.selBuf
+	}
+	return l.emitColBatch(&l.colView)
+}
+
+// NextColBatch implements ColOperator for HashAgg: input is consumed
+// through the columnar path (vectorized grouping over the key column,
+// identical hook order — see consumeColumnar in agg.go), and the group
+// emission reuses the row batches exposed columnar.
+func (a *HashAgg) NextColBatch() (*data.ColBatch, error) {
+	if !a.computed {
+		if err := a.consumeColumnar(); err != nil {
+			return nil, err
+		}
+	}
+	if a.buf == nil {
+		a.buf = make(data.Batch, 0, data.BatchSize())
+	}
+	out := a.buf[:0]
+	for len(out) < cap(out) && a.pos < len(a.order) {
+		out = append(out, a.groupTuple(a.order[a.pos]))
+		a.pos++
+	}
+	a.buf = out
+	bt, err := a.emitBatch(out)
+	if bt == nil || err != nil {
+		a.endEmitSpan()
+		return nil, err
+	}
+	a.colBuf.SetRows(bt, a.schema.Len())
+	return &a.colBuf, nil
+}

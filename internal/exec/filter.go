@@ -15,6 +15,10 @@ type Filter struct {
 
 	bchild BatchOperator
 	buf    data.Batch
+
+	cchild  ColOperator
+	selBuf  []int32
+	colView data.ColBatch
 }
 
 // NewFilter creates a selection over child.
@@ -57,7 +61,7 @@ func (f *Filter) Next() (data.Tuple, error) {
 func (f *Filter) NextBatch() (data.Batch, error) {
 	if f.bchild == nil {
 		f.bchild = AsBatch(f.child)
-		f.buf = make(data.Batch, 0, data.DefaultBatchSize)
+		f.buf = make(data.Batch, 0, data.BatchSize())
 	}
 	for {
 		in, err := f.bchild.NextBatch()
@@ -91,6 +95,9 @@ type Project struct {
 
 	bchild BatchOperator
 	buf    data.Batch
+
+	cchild ColOperator
+	colOut data.ColBatch
 }
 
 // NewProject creates a projection. names supplies the output column names
@@ -154,7 +161,7 @@ func (p *Project) Next() (data.Tuple, error) {
 func (p *Project) NextBatch() (data.Batch, error) {
 	if p.bchild == nil {
 		p.bchild = AsBatch(p.child)
-		p.buf = make(data.Batch, 0, data.DefaultBatchSize)
+		p.buf = make(data.Batch, 0, data.BatchSize())
 	}
 	in, err := p.bchild.NextBatch()
 	if err != nil {
@@ -187,6 +194,10 @@ type Limit struct {
 	child  Operator
 	n      int64
 	bchild BatchOperator
+
+	cchild  ColOperator
+	selBuf  []int32
+	colView data.ColBatch
 }
 
 // NewLimit creates a LIMIT n operator.

@@ -67,10 +67,26 @@ type HashJoin struct {
 	OnProbeBatch func(worker int, b data.Batch)
 	OnBuildEnd   func()
 
+	// Columnar-pass hooks (set alongside the per-tuple hooks). During a
+	// columnar partition pass OnBuildCol / OnProbeCol fire once per input
+	// ColBatch, after the per-tuple hooks have fired for the batch's live
+	// rows; the pass is serial, so consumers need no locking. The batch is
+	// only valid for the duration of the call (see the ColBatch ownership
+	// contract in internal/data).
+	OnBuildCol func(cb *data.ColBatch)
+	OnProbeCol func(cb *data.ColBatch)
+
 	// workers > 0 selects the batch-at-a-time partition passes with that
 	// many scatter workers (see SetParallelism); 0 is the legacy
 	// tuple-at-a-time pass.
 	workers int
+
+	// colMode selects the columnar partition passes (serial, vectorized
+	// key hashing off flat int64 lanes) and the columnar spill frame
+	// format; see SetColumnar. It takes precedence over workers for the
+	// partition passes; the join (second) phase still parallelizes per
+	// JoinWorkers.
+	colMode bool
 
 	state      hjState
 	buildParts [][]data.Tuple
@@ -112,6 +128,12 @@ type HashJoin struct {
 	// bump allocator backing concatenated output tuples in batch mode.
 	outBuf data.Batch
 	arena  []data.Value
+
+	// Columnar output state: colOut is the reused output ColBatch;
+	// gatherFn caches the bound gatherConcat method value so advance is
+	// not handed a fresh closure per batch.
+	colOut   data.ColBatch
+	gatherFn func(a, b data.Tuple) data.Tuple
 
 	joinType  JoinType
 	nullBuild data.Tuple // all-NULL build-side padding for ProbeOuterJoin
@@ -412,6 +434,9 @@ func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
 	if err != nil {
 		return err
 	}
+	if j.colMode {
+		f.setColumnar()
+	}
 	for _, buf := range parts[p] {
 		if err := f.append(buf); err != nil {
 			f.close()
@@ -506,7 +531,7 @@ func (j *HashJoin) NextBatch() (data.Batch, error) {
 		return j.nextParallelOutBatch()
 	}
 	if j.outBuf == nil {
-		j.outBuf = make(data.Batch, 0, data.DefaultBatchSize)
+		j.outBuf = make(data.Batch, 0, data.BatchSize())
 	}
 	out := j.outBuf[:0]
 	for len(out) < cap(out) {
@@ -533,9 +558,12 @@ func (j *HashJoin) ensurePartitioned() error {
 		return nil
 	}
 	var err error
-	if j.workers > 0 {
+	switch {
+	case j.colMode:
+		err = j.partitionPhasesColumnar()
+	case j.workers > 0:
 		err = j.partitionPhasesBatched()
-	} else {
+	default:
 		err = j.partitionPhases()
 	}
 	if err != nil {
@@ -562,7 +590,7 @@ func (j *HashJoin) beginJoinPhase() error {
 func (j *HashJoin) arenaConcat(a, b data.Tuple) data.Tuple {
 	n := len(a) + len(b)
 	if len(j.arena) < n {
-		j.arena = make([]data.Value, n*data.DefaultBatchSize)
+		j.arena = make([]data.Value, n*data.BatchSize())
 	}
 	out := j.arena[:n:n]
 	j.arena = j.arena[n:]

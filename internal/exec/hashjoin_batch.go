@@ -134,7 +134,7 @@ func (j *HashJoin) partitionPassParallel(cfg *passConfig) error {
 	work := make(chan data.Batch, workers)
 	free := make(chan data.Batch, workers+1)
 	for i := 0; i < workers+1; i++ {
-		free <- make(data.Batch, 0, data.DefaultBatchSize)
+		free <- make(data.Batch, 0, data.BatchSize())
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

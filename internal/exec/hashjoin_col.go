@@ -1,0 +1,266 @@
+package exec
+
+import (
+	"qpi/internal/data"
+)
+
+// This file implements the columnar grace partition passes and the
+// columnar join output. The partition passes consume ColBatches and, for
+// the dominant single-integer-key case, hash partition assignments
+// straight off the flat int64 key lane without materializing a key Value
+// per row. Partition assignment hashes the identical data.Value either
+// way, so the partition layout — and therefore the join's
+// partition-clustered output order — is byte-identical to the row
+// passes. The join (second) pass gathers output values directly into
+// reused column lanes: no per-row tuple concatenation, no Value copies
+// into an arena (the dominant allocation cost of the batch output path
+// on wide outputs).
+
+// SetColumnar selects the columnar partition passes, columnar spill
+// frames, and the columnar join output (NextColBatch). The passes are
+// serial — vectorized scatter replaces worker parallelism — and take
+// precedence over SetParallelism for the partition phase; the join
+// (second) phase still parallelizes per JoinWorkers.
+func (j *HashJoin) SetColumnar(on bool) *HashJoin {
+	j.colMode = on
+	return j
+}
+
+// Columnar reports whether the columnar partition passes are selected.
+func (j *HashJoin) Columnar() bool { return j.colMode }
+
+// colPassConfig describes one columnar partition pass (build or probe
+// side); the mirror of passConfig for the columnar scatter.
+type colPassConfig struct {
+	child     Operator
+	keys      []int
+	tupleHook func(data.Tuple)
+	colHook   func(cb *data.ColBatch)
+	parts     [][]data.Tuple
+	spill     []*spillFile
+	bytes     []int64
+	width     int
+	rows      *int64
+	// keepNull routes NULL-key tuples to partition 0 instead of dropping
+	// them (probe side of the probe-preserving join types).
+	keepNull bool
+}
+
+// partitionPhasesColumnar is partitionPhases driven ColBatch-at-a-time.
+func (j *HashJoin) partitionPhasesColumnar() error {
+	j.initPartitions()
+	build := colPassConfig{
+		child:     j.build,
+		keys:      j.buildKeys,
+		tupleHook: j.OnBuildTuple,
+		colHook:   j.OnBuildCol,
+		parts:     j.buildParts,
+		spill:     j.buildSpill,
+		bytes:     j.buildBytes,
+		width:     j.build.Schema().Len(),
+		rows:      &j.buildRows,
+	}
+	j.traceBegin("build")
+	if err := j.partitionPassColumnar(&build); err != nil {
+		return err
+	}
+	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
+	if j.OnBuildEnd != nil {
+		j.OnBuildEnd()
+	}
+	probe := colPassConfig{
+		child:     j.probe,
+		keys:      j.probeKeys,
+		tupleHook: j.OnProbeTuple,
+		colHook:   j.OnProbeCol,
+		parts:     j.probeParts,
+		spill:     j.probeSpill,
+		bytes:     j.probeBytes,
+		width:     j.probe.Schema().Len(),
+		rows:      &j.probeRows,
+		keepNull:  j.joinType == ProbeOuterJoin || j.joinType == AntiJoin,
+	}
+	j.traceBegin("probe")
+	if err := j.partitionPassColumnar(&probe); err != nil {
+		return err
+	}
+	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
+	if j.OnProbeEnd != nil {
+		j.OnProbeEnd()
+	}
+	return j.beginJoinPhase()
+}
+
+// partitionPassColumnar runs one partition pass over whole ColBatches.
+// Per-tuple hooks fire in row order before the columnar hook, matching
+// the hook ordering contract of the row passes.
+func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
+	in := AsColOperator(cfg.child)
+	for {
+		if err := j.ctxErr(); err != nil {
+			return err
+		}
+		cb, err := in.NextColBatch()
+		if err != nil {
+			return err
+		}
+		if cb == nil {
+			return nil
+		}
+		*cfg.rows += int64(cb.Live())
+		var rows []data.Tuple
+		if cfg.tupleHook != nil {
+			rows = cb.MaterializeRows()
+			if cb.Sel == nil {
+				for i := 0; i < cb.NRows; i++ {
+					cfg.tupleHook(rows[i])
+				}
+			} else {
+				for _, i := range cb.Sel {
+					cfg.tupleHook(rows[i])
+				}
+			}
+		}
+		if cfg.colHook != nil {
+			cfg.colHook(cb)
+		}
+		if err := j.scatterColBatch(cfg, cb, rows); err != nil {
+			return err
+		}
+	}
+}
+
+// scatterColBatch partitions one batch's live rows. Single homogeneous
+// integer keys partition straight off the flat Ints lane; everything
+// else goes through JoinKeyOf per row.
+func (j *HashJoin) scatterColBatch(cfg *colPassConfig, cb *data.ColBatch, rows []data.Tuple) error {
+	if rows == nil {
+		rows = cb.MaterializeRows()
+	}
+	if len(cfg.keys) == 1 {
+		kv := cb.Col(cfg.keys[0])
+		if kv.Homogeneous() && kv.Kind == data.KindInt {
+			return j.scatterIntKey(cfg, cb, kv, rows)
+		}
+	}
+	scatter := func(i int) error {
+		k := JoinKeyOf(rows[i], cfg.keys)
+		p := 0
+		if k.IsNull() {
+			if !cfg.keepNull {
+				return nil
+			}
+		} else {
+			p = int(hashValue(k) % uint64(j.parts))
+		}
+		return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, p, rows[i], cfg.width)
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			if err := scatter(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range cb.Sel {
+		if err := scatter(int(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scatterIntKey is the vectorized scatter for a single homogeneous
+// integer key column: partition assignment reads the flat int64 lane and
+// hashes data.Int(v) — the exact Value JoinKeyOf would produce — so the
+// layout matches the row passes bit for bit.
+func (j *HashJoin) scatterIntKey(cfg *colPassConfig, cb *data.ColBatch, kv *data.ColVec, rows []data.Tuple) error {
+	nparts := uint64(j.parts)
+	scatter := func(i int) error {
+		if kv.Nulls.Get(i) {
+			if !cfg.keepNull {
+				return nil
+			}
+			return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, 0, rows[i], cfg.width)
+		}
+		p := int(hashValue(data.Int(kv.Ints[i])) % nparts)
+		return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, p, rows[i], cfg.width)
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			if err := scatter(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range cb.Sel {
+		if err := scatter(int(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hjColSentinel marks a join row already gathered into the columnar
+// output lanes by gatherConcat; advance returns it in place of a
+// materialized concatenation. Distinguishable from real rows because
+// every join output schema has at least one column.
+var hjColSentinel = make(data.Tuple, 0)
+
+// gatherConcat appends the concatenated output row straight into the
+// columnar output lanes and returns the sentinel — no per-row Value copy
+// into an arena, no output tuple headers. (A column-at-a-time transpose
+// of buffered pairs was tried and measured no faster: it trades the
+// lane-cycling dispatch for a pointer chase into 2×BatchSize scattered
+// tuples per lane, and the source-side misses dominate.)
+func (j *HashJoin) gatherConcat(a, b data.Tuple) data.Tuple {
+	j.colOut.AppendRow2(a, b)
+	return hjColSentinel
+}
+
+// NextColBatch implements ColOperator: the join (second) pass gathers
+// output values directly into reused column lanes. When a per-tuple
+// output hook is attached (progress monitors) or the parallel join phase
+// is active, output falls back to the row batch path — hooks see
+// materialized tuples, parallel drains stay row-oriented — and the rows
+// are re-exposed columnar without copying.
+func (j *HashJoin) NextColBatch() (*data.ColBatch, error) {
+	if err := j.ensurePartitioned(); err != nil {
+		return nil, err
+	}
+	if j.joinPar != nil || j.OnOutput != nil {
+		b, err := j.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			return nil, nil
+		}
+		j.colOut.SetRows(b, j.schema.Len())
+		return &j.colOut, nil
+	}
+	if j.gatherFn == nil {
+		j.gatherFn = j.gatherConcat
+	}
+	out := &j.colOut
+	out.BeginBuild(j.schema.Len())
+	limit := data.BatchSize()
+	for out.NRows < limit {
+		t, err := j.advance(j.gatherFn)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		if len(t) != 0 {
+			// Semi/anti joins return the probe tuple itself rather than a
+			// concatenation; gathered concatenations (inner and outer
+			// output) already landed in the lanes via the sentinel.
+			out.AppendRow(t)
+		}
+	}
+	return j.emitColBatch(out)
+}

@@ -45,7 +45,7 @@ const joinQueueDepth = 2
 // data.Batch reuse contract).
 var batchPool = sync.Pool{
 	New: func() any {
-		b := make(data.Batch, 0, data.DefaultBatchSize)
+		b := make(data.Batch, 0, data.BatchSize())
 		return &b
 	},
 }
@@ -55,7 +55,10 @@ func getBatch() data.Batch {
 }
 
 func putBatch(b data.Batch) {
-	if cap(b) == 0 {
+	// Drop buffers whose capacity no longer matches the active batch size
+	// (a bench sweep may change it between runs), so the pool never serves
+	// stale-sized buffers.
+	if cap(b) == 0 || cap(b) != data.BatchSize() {
 		return
 	}
 	b = b[:0]
@@ -189,7 +192,7 @@ func (j *HashJoin) joinOnePartition(p int, jt *joinTable, arena *[]data.Value,
 	concat := func(a, b data.Tuple) data.Tuple {
 		n := len(a) + len(b)
 		if len(*arena) < n {
-			*arena = make([]data.Value, n*data.DefaultBatchSize)
+			*arena = make([]data.Value, n*data.BatchSize())
 		}
 		o := (*arena)[:n:n]
 		*arena = (*arena)[n:]

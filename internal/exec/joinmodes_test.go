@@ -89,16 +89,19 @@ func sortedStrings(rows []data.Tuple) []string {
 	return out
 }
 
-func drainMode(t *testing.T, op Operator, batched bool) []data.Tuple {
+func drainMode(t *testing.T, op Operator, batched, columnar bool) []data.Tuple {
 	t.Helper()
 	if err := op.Open(); err != nil {
 		t.Fatalf("Open: %v", err)
 	}
 	var rows []data.Tuple
 	var err error
-	if batched {
+	switch {
+	case columnar:
+		rows, err = DrainCol(AsColOperator(op))
+	case batched:
 		rows, err = DrainBatch(AsBatch(op))
-	} else {
+	default:
 		rows, err = Drain(op)
 	}
 	if err != nil {
@@ -138,21 +141,24 @@ func randKeys(rng *rand.Rand, n, dom int, nullFrac float64) []int64 {
 }
 
 // checkHashJoinModes runs one (build, probe, type) input through tuple,
-// batch, parallel and forced-spill execution and compares each against
-// the reference.
+// batch, parallel, forced-spill, columnar and columnar-spill execution
+// and compares each against the reference.
 func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 	t.Helper()
 	want := refJoin(build, probe, jt)
 	modes := []struct {
-		name    string
-		batched bool
-		workers int
-		budget  int64
+		name     string
+		batched  bool
+		columnar bool
+		workers  int
+		budget   int64
 	}{
 		{name: "tuple"},
 		{name: "batch", batched: true, workers: 1},
 		{name: "parallel", batched: true, workers: 3},
 		{name: "spill", budget: 128},
+		{name: "columnar", columnar: true},
+		{name: "columnar-spill", columnar: true, budget: 128},
 	}
 	for _, m := range modes {
 		j := NewHashJoinMulti(
@@ -166,9 +172,12 @@ func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 		if m.budget > 0 {
 			j.SetMemoryBudget(m.budget)
 		}
-		equalMultisets(t, jt.String()+"/"+m.name, drainMode(t, j, m.batched), want)
+		if m.columnar {
+			j.SetColumnar(true)
+		}
+		equalMultisets(t, jt.String()+"/"+m.name, drainMode(t, j, m.batched, m.columnar), want)
 		if m.budget > 0 && j.Stats().SpillFiles.Load() == 0 {
-			t.Errorf("%s/spill: no spill files created", jt)
+			t.Errorf("%s/%s: no spill files created", jt, m.name)
 		}
 	}
 }
@@ -219,7 +228,7 @@ func TestMergeJoinTupleBatchEquivalence(t *testing.T) {
 			if batched {
 				label = "merge/batch"
 			}
-			equalMultisets(t, label, drainMode(t, mj, batched), want)
+			equalMultisets(t, label, drainMode(t, mj, batched, false), want)
 		}
 	}
 }
@@ -242,7 +251,7 @@ func TestNLJoinTupleBatchEquivalence(t *testing.T) {
 			if batched {
 				label = "nl/batch"
 			}
-			equalMultisets(t, label, drainMode(t, nl, batched), want)
+			equalMultisets(t, label, drainMode(t, nl, batched, false), want)
 		}
 	}
 }

@@ -33,6 +33,7 @@ type Scan struct {
 	punctuated bool
 	spanEnded  bool
 	batch      data.Batch
+	colBuf     data.ColBatch
 }
 
 // NewScan creates a sequential scan over a table. alias renames the output
@@ -133,7 +134,7 @@ func (s *Scan) NextBatch() (data.Batch, error) {
 		return nil, err
 	}
 	if s.batch == nil {
-		s.batch = make(data.Batch, 0, data.DefaultBatchSize)
+		s.batch = make(data.Batch, 0, data.BatchSize())
 	}
 	b := s.batch[:0]
 	for len(b) < cap(b) {

@@ -36,7 +36,28 @@ type spillFile struct {
 	r     *bufio.Reader
 	ncols int
 	rows  int64
+
+	// Columnar frame mode (setColumnar): append buffers tuples and
+	// flushes them to disk as columnar frames of up to colFrameRows rows
+	// (data.EncodeColFrame); next decodes one frame at a time and serves
+	// its rows sequentially. The scratch ColBatches are pooled.
+	col     bool
+	pending data.Batch
+	enc     *data.ColBatch
+	dec     *data.ColBatch
+	decRows data.Batch
+	decPos  int
 }
+
+// colFrameRows is the number of tuples per columnar spill frame: large
+// enough to amortize the frame header and give the typed spans some
+// length, small enough that a partially filled partition flushes
+// promptly.
+const colFrameRows = 256
+
+// setColumnar switches the file to the columnar frame format; must be
+// called before the first append.
+func (s *spillFile) setColumnar() { s.col = true }
 
 // newSpillFile creates a spill file in the default temp directory via fs
 // (nil = the real filesystem).
@@ -56,10 +77,32 @@ func newSpillFile(fs vfs.FS, ncols int) (*spillFile, error) {
 	return &spillFile{f: f, w: w, ncols: ncols}, nil
 }
 
-// append writes one tuple.
+// append writes one tuple (columnar mode: buffers it toward the next
+// frame flush).
 func (s *spillFile) append(t data.Tuple) error {
 	s.rows++
-	return data.EncodeTuple(s.w, t)
+	if !s.col {
+		return data.EncodeTuple(s.w, t)
+	}
+	s.pending = append(s.pending, t)
+	if len(s.pending) >= colFrameRows {
+		return s.flushFrame()
+	}
+	return nil
+}
+
+// flushFrame writes the buffered tuples as one columnar frame.
+func (s *spillFile) flushFrame() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	if s.enc == nil {
+		s.enc = data.GetColBatch()
+	}
+	s.enc.SetRows(s.pending, s.ncols)
+	err := data.EncodeColFrame(s.w, s.enc)
+	s.pending = s.pending[:0]
+	return err
 }
 
 // releaseBuffers returns the bufio pair to the pools, detached from the
@@ -80,6 +123,12 @@ func (s *spillFile) releaseBuffers() {
 
 // startRead flushes writes and rewinds for iteration.
 func (s *spillFile) startRead() error {
+	if s.col && s.w != nil {
+		if err := s.flushFrame(); err != nil {
+			return err
+		}
+		s.pending = nil
+	}
 	if s.w != nil {
 		err := s.w.Flush()
 		s.w.Reset(nil)
@@ -99,11 +148,35 @@ func (s *spillFile) startRead() error {
 
 // next returns the next tuple, or (nil, nil) at end of file.
 func (s *spillFile) next() (data.Tuple, error) {
+	if s.col {
+		return s.nextCol()
+	}
 	t, err := data.DecodeTuple(s.r, s.ncols)
 	if err == io.EOF {
 		return nil, nil
 	}
 	return t, err
+}
+
+// nextCol serves tuples out of decoded columnar frames.
+func (s *spillFile) nextCol() (data.Tuple, error) {
+	for s.decPos >= len(s.decRows) {
+		if s.dec == nil {
+			s.dec = data.GetColBatch()
+		}
+		err := data.DecodeColFrame(s.r, s.ncols, s.dec)
+		if err == io.EOF {
+			return nil, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.decRows = s.dec.ToTuples(s.decRows[:0])
+		s.decPos = 0
+	}
+	t := s.decRows[s.decPos]
+	s.decPos++
+	return t, nil
 }
 
 // readAll materializes the remaining tuples.
@@ -129,6 +202,15 @@ func (s *spillFile) close() error {
 	if s.f == nil {
 		return nil
 	}
+	if s.enc != nil {
+		data.PutColBatch(s.enc)
+		s.enc = nil
+	}
+	if s.dec != nil {
+		data.PutColBatch(s.dec)
+		s.dec = nil
+	}
+	s.pending, s.decRows = nil, nil
 	s.releaseBuffers()
 	err := s.f.Close()
 	s.f = nil
