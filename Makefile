@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck bench-join bench-columnar bench-guard lint-deprecated fuzz cover
+.PHONY: build test vet race check leakcheck bench-join bench-columnar bench-matrix bench-guard lint-deprecated fuzz cover
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,10 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The parallel grace partition passes run under the race detector here;
-# this is the gate CI runs (vet + plain tests + race tests).
+# The parallel grace partition passes, the morsel-driven scan workers
+# and the data.BatchSize knob writes (TestBatchSizeKnobStartRace) all run
+# under the race detector here; this is the gate CI runs (vet + plain
+# tests + race tests).
 race:
 	$(GO) test -race -timeout 120s ./...
 
@@ -86,9 +88,20 @@ bench-join:
 bench-columnar:
 	$(GO) run ./cmd/qpi-bench -json -json-file /dev/null -modes batch,columnar
 
+# The SF-scaled worker matrix: serial vs morsel-driven scans at SF 0.1
+# and 1, worker sweep {1,2,4,NumCPU}. Generated tables are cached under
+# testdata/benchcache/ (gitignored) so re-runs skip the ~minute of SF 1
+# generation. Rewrites BENCH_join.json including the sf_matrix section.
+bench-matrix:
+	$(GO) run ./cmd/qpi-bench -json -matrix
+
 # Re-measure those modes and fail on a >15% ns/op or allocs/op
-# regression against the committed BENCH_join.json, after failing loudly
-# when the current cpu/num_cpu/gomaxprocs don't match the baseline's
-# recorded environment.
+# regression against the committed BENCH_join.json (the tolerance is
+# documented next to the environment check in cmd/qpi-bench), after
+# failing loudly when the current cpu/num_cpu/gomaxprocs don't match the
+# baseline's recorded environment. Parallel/morsel modes wider than
+# GOMAXPROCS are refused loudly, never silently passed: time-sliced
+# "parallel" timings are artifacts. Add -matrix to validate the recorded
+# sf_matrix cells too.
 bench-guard:
 	$(GO) run ./cmd/qpi-bench -guard

@@ -14,14 +14,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"qpi/internal/catalog"
 	"qpi/internal/data"
+	"qpi/internal/disk"
 	"qpi/internal/exec"
 	"qpi/internal/experiments"
 	"qpi/internal/plan"
+	"qpi/internal/storage"
 	"qpi/internal/tpch"
 )
 
@@ -41,6 +45,7 @@ func main() {
 		maxprocs = flag.Int("gomaxprocs", 0, "GOMAXPROCS for the benchmark (0 = runtime default, i.e. NumCPU)")
 		sweep    = flag.String("batchsize", "256,1024,4096", "comma-separated batch sizes swept in -json mode (recorded under batch_sweep; empty disables)")
 		modes    = flag.String("modes", "", "comma-separated mode filter for -json (e.g. batch,columnar; empty = all)")
+		matrix   = flag.Bool("matrix", false, "with -json: also measure the SF-scaled worker matrix (SF 0.1/1, cached under testdata/benchcache/); with -guard: validate the recorded matrix cells too")
 	)
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -48,14 +53,14 @@ func main() {
 	}
 
 	if *guard {
-		if err := guardJoinBench(*jsonFile, *tol); err != nil {
+		if err := guardJoinBench(*jsonFile, *tol, *matrix); err != nil {
 			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *jsonOut {
-		if err := writeJoinBench(*jsonFile, *sweep, *modes); err != nil {
+		if err := writeJoinBench(*jsonFile, *sweep, *modes, *matrix); err != nil {
 			fmt.Fprintf(os.Stderr, "qpi-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -146,18 +151,36 @@ type sweepResult struct {
 	AllocsOp         uint64  `json:"allocs_per_op"`
 }
 
+// matrixResult is one (scale factor, worker count) cell of the SF-scaled
+// matrix: the scaling story of the morsel-driven scans, measured on
+// workloads big enough that per-claim overheads amortize.
+type matrixResult struct {
+	SF               float64 `json:"sf"`
+	Mode             string  `json:"mode"`
+	Workers          int     `json:"workers"`
+	NsPerOp          int64   `json:"ns_per_op"`
+	TuplesPerSec     float64 `json:"tuples_per_sec,omitempty"`
+	JoinTuplesPerSec float64 `json:"join_tuples_per_sec,omitempty"`
+	AllocsOp         uint64  `json:"allocs_per_op"`
+	// SpeedupW1 is this cell's wall-time speedup over the 1-worker cell
+	// at the same scale factor.
+	SpeedupW1 float64 `json:"speedup_vs_w1,omitempty"`
+}
+
 // joinBenchReport is the BENCH_join.json document. The guard compares
-// Modes only; BatchSweep is informational (it varies data.SetBatchSize,
-// which the default-configuration guard runs never do).
+// Modes (and SFMatrix when asked); BatchSweep is informational (it varies
+// data.SetBatchSize, which the default-configuration guard runs never
+// do).
 type joinBenchReport struct {
-	Benchmark    string        `json:"benchmark"`
-	CPU          string        `json:"cpu"`
-	NumCPU       int           `json:"num_cpu"`
-	MaxProcs     int           `json:"gomaxprocs"`
-	Runs         int           `json:"runs_per_mode"`
-	SeedBaseline modeResult    `json:"seed_baseline"`
-	Modes        []modeResult  `json:"modes"`
-	BatchSweep   []sweepResult `json:"batch_sweep,omitempty"`
+	Benchmark    string         `json:"benchmark"`
+	CPU          string         `json:"cpu"`
+	NumCPU       int            `json:"num_cpu"`
+	MaxProcs     int            `json:"gomaxprocs"`
+	Runs         int            `json:"runs_per_mode"`
+	SeedBaseline modeResult     `json:"seed_baseline"`
+	Modes        []modeResult   `json:"modes"`
+	BatchSweep   []sweepResult  `json:"batch_sweep,omitempty"`
+	SFMatrix     []matrixResult `json:"sf_matrix,omitempty"`
 }
 
 // benchMode identifies one execution mode of the measured sweep.
@@ -165,6 +188,7 @@ type benchMode struct {
 	name     string
 	workers  int
 	columnar bool
+	morsel   bool
 }
 
 // benchModes is the measured sweep: the tuple, serial-batch and columnar
@@ -187,6 +211,12 @@ func benchModes() []benchMode {
 		seen[w] = true
 		modes = append(modes, benchMode{name: fmt.Sprintf("parallel-w%d", w), workers: w})
 	}
+	// Morsel-driven scans: the partition passes themselves fan out (the
+	// parallel-w modes above parallelize only the join phase's partition
+	// work plus the single-reader scatter).
+	for _, w := range []int{2, 4} {
+		modes = append(modes, benchMode{name: fmt.Sprintf("morsel-w%d", w), workers: w, morsel: true})
+	}
 	return modes
 }
 
@@ -194,7 +224,7 @@ func benchModes() []benchMode {
 // BenchmarkJoinBaseline workload (TPC-H SF 0.01 orders ⋈ lineitem) and
 // writes the results as JSON. Best-of-N timing, allocation deltas from
 // runtime.MemStats.
-func writeJoinBench(path, sweep, modes string) error {
+func writeJoinBench(path, sweep, modes string, matrix bool) error {
 	const runs = 7
 	report := joinBenchReport{
 		Benchmark:    "grace hash join, TPC-H SF=0.01 orders ⋈ lineitem (no estimators)",
@@ -226,6 +256,11 @@ func writeJoinBench(path, sweep, modes string) error {
 	var err error
 	if report.BatchSweep, err = runBatchSweep(sweep, runs); err != nil {
 		return err
+	}
+	if matrix {
+		if report.SFMatrix, err = runSFMatrix(); err != nil {
+			return err
+		}
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -272,8 +307,10 @@ func runBatchSweep(sweep string, runs int) ([]sweepResult, error) {
 // path and fails when wall time or allocations regressed by more than tol
 // (fractional). Modes in the baseline that the current sweep no longer
 // produces are skipped with a note, so renaming a mode cannot silently
-// disable the guard for the others.
-func guardJoinBench(path string, tol float64) error {
+// disable the guard for the others. With matrix set, the recorded
+// sf_matrix cells are re-measured too (the cached tables under
+// testdata/benchcache/ make this cheap after the first -json -matrix).
+func guardJoinBench(path string, tol float64, matrix bool) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("guard: reading baseline: %w", err)
@@ -285,7 +322,10 @@ func guardJoinBench(path string, tol float64) error {
 	// Environment check: a baseline recorded on different hardware or a
 	// different GOMAXPROCS is not comparable, and silently "passing"
 	// against it would make the guard worthless. Fail loudly and say how
-	// to reconcile.
+	// to reconcile. (The tol tolerance — default 15%, see -tolerance —
+	// absorbs run-to-run scheduler noise on *matching* hardware only; it
+	// is far too tight to paper over a hardware or GOMAXPROCS change,
+	// which shifts wall time by integer factors.)
 	if base.CPU != runtime.GOARCH ||
 		(base.NumCPU != 0 && base.NumCPU != runtime.NumCPU()) ||
 		base.MaxProcs != runtime.GOMAXPROCS(0) {
@@ -302,33 +342,54 @@ func guardJoinBench(path string, tol float64) error {
 	const runs = 7
 	var failures []string
 	checked := 0
+	check := func(label string, gotNs, baseNs int64, gotAllocs, baseAllocs uint64) {
+		checked++
+		nsRatio := float64(gotNs) / float64(baseNs)
+		allocRatio := float64(gotAllocs) / float64(baseAllocs)
+		status := "ok"
+		if nsRatio > 1+tol {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
+				label, gotNs, baseNs, 100*(nsRatio-1), 100*tol))
+		}
+		if allocRatio > 1+tol {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
+				label, gotAllocs, baseAllocs, 100*(allocRatio-1), 100*tol))
+		}
+		fmt.Printf("%-14s %11d ns/op (baseline %11d, %+5.1f%%) %7d allocs/op (baseline %7d, %+5.1f%%)  %s\n",
+			label, gotNs, baseNs, 100*(nsRatio-1),
+			gotAllocs, baseAllocs, 100*(allocRatio-1), status)
+	}
 	for _, b := range base.Modes {
 		m, ok := current[b.Mode]
 		if !ok {
 			fmt.Printf("%-14s skipped (not in current sweep)\n", b.Mode)
 			continue
 		}
+		if err := refuseUnderCored(m.name, m.workers, m.morsel || m.workers > 1); err != nil {
+			fmt.Println(err)
+			continue
+		}
 		got, err := bestJoinRun(m, runs)
 		if err != nil {
 			return err
 		}
-		checked++
-		nsRatio := float64(got.NsPerOp) / float64(b.NsPerOp)
-		allocRatio := float64(got.AllocsOp) / float64(b.AllocsOp)
-		status := "ok"
-		if nsRatio > 1+tol {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
-				b.Mode, got.NsPerOp, b.NsPerOp, 100*(nsRatio-1), 100*tol))
+		check(b.Mode, got.NsPerOp, b.NsPerOp, got.AllocsOp, b.AllocsOp)
+	}
+	if matrix {
+		for _, b := range base.SFMatrix {
+			label := fmt.Sprintf("sf%g/%s", b.SF, b.Mode)
+			if err := refuseUnderCored(label, b.Workers, b.Workers > 1); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			got, err := bestMatrixRun(b.SF, b.Workers, 3)
+			if err != nil {
+				return err
+			}
+			check(label, got.NsPerOp, b.NsPerOp, got.AllocsOp, b.AllocsOp)
 		}
-		if allocRatio > 1+tol {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (%.0f%% over, tolerance %.0f%%)",
-				b.Mode, got.AllocsOp, b.AllocsOp, 100*(allocRatio-1), 100*tol))
-		}
-		fmt.Printf("%-14s %11d ns/op (baseline %11d, %+5.1f%%) %7d allocs/op (baseline %7d, %+5.1f%%)  %s\n",
-			b.Mode, got.NsPerOp, b.NsPerOp, 100*(nsRatio-1),
-			got.AllocsOp, b.AllocsOp, 100*(allocRatio-1), status)
 	}
 	if checked == 0 {
 		return fmt.Errorf("guard: no baseline mode matches the current sweep; regenerate %s with -json", path)
@@ -337,6 +398,22 @@ func guardJoinBench(path string, tol float64) error {
 		return fmt.Errorf("guard: %d regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// refuseUnderCored returns a loud refusal when a parallel or morsel mode
+// would be "validated" with fewer scheduler cores than workers: at
+// GOMAXPROCS < workers the workers time-slice one core, so the measured
+// figure says nothing about the mode's parallel throughput — comparing
+// it against a baseline (or worse, recording it as a parallel speedup)
+// is a benchmarking artifact, not a measurement. The mode is skipped,
+// never silently passed.
+func refuseUnderCored(label string, workers int, parallel bool) error {
+	if !parallel || workers <= runtime.GOMAXPROCS(0) {
+		return nil
+	}
+	return fmt.Errorf("%-14s REFUSED: %d workers > GOMAXPROCS %d — time-sliced 'parallel' timings are artifacts; "+
+		"validate on a machine with >= %d cores (or -gomaxprocs %d)",
+		label, workers, runtime.GOMAXPROCS(0), workers, workers)
 }
 
 // bestJoinRun runs one mode n times and keeps the fastest run (allocation
@@ -357,22 +434,32 @@ func bestJoinRun(m benchMode, n int) (modeResult, error) {
 	return best, nil
 }
 
-// runJoinOnce builds and runs the benchmark join in one mode, splitting
-// wall time at the partition/join phase boundary (OnProbeEnd fires when
-// the probe scatter pass is done, before the first join-phase output).
+// runJoinOnce builds and runs the benchmark join in one mode on freshly
+// generated SF 0.01 tables (the historical BenchmarkJoinBaseline
+// workload, regenerated per run so allocator state stays comparable with
+// the recorded seed baseline).
 func runJoinOnce(m benchMode) (modeResult, error) {
 	cat, err := tpch.Generate(tpch.Config{SF: 0.01, Seed: 1, Tables: []string{"orders", "lineitem"}})
 	if err != nil {
 		return modeResult{}, err
 	}
-	orders := cat.MustLookup("orders").Table
-	lineitem := cat.MustLookup("lineitem").Table
+	return runJoinOn(cat.MustLookup("orders").Table, cat.MustLookup("lineitem").Table, cat, m)
+}
+
+// runJoinOn runs the orders ⋈ lineitem benchmark join in one mode over
+// the given tables, splitting wall time at the partition/join phase
+// boundary (OnProbeEnd fires when the probe scatter pass is done, before
+// the first join-phase output). cat may be nil (matrix cells run without
+// plan-time cardinality annotation; it does not affect execution).
+func runJoinOn(orders, lineitem *storage.Table, cat *catalog.Catalog, m benchMode) (modeResult, error) {
 	bs := exec.NewScan(orders, "")
 	ps := exec.NewScan(lineitem, "")
 	j := exec.NewHashJoin(bs, ps,
 		bs.Schema().MustResolve("orders", "orderkey"),
 		ps.Schema().MustResolve("lineitem", "orderkey"))
-	plan.EstimateCardinalities(j, cat)
+	if cat != nil {
+		plan.EstimateCardinalities(j, cat)
+	}
 	workers := m.workers
 	if workers > 0 {
 		j.SetParallelism(workers)
@@ -380,6 +467,10 @@ func runJoinOnce(m benchMode) (modeResult, error) {
 	if m.columnar {
 		j.SetColumnar(true)
 	}
+	if m.morsel {
+		j.SetMorsel(true)
+	}
+	var err error
 	var partitionDone time.Time
 	j.OnProbeEnd = func() { partitionDone = time.Now() }
 	runtime.GC()
@@ -424,6 +515,133 @@ func runJoinOnce(m benchMode) (modeResult, error) {
 		res.SpillBytes += st.SpillBytes.Load()
 	})
 	return res, nil
+}
+
+// matrixMode maps a matrix worker count to its execution mode: the
+// 1-worker cell is the serial span-at-a-time reference; every wider cell
+// runs the morsel-driven scans.
+func matrixMode(workers int) benchMode {
+	if workers <= 1 {
+		return benchMode{name: "batch-w1", workers: 1}
+	}
+	return benchMode{name: fmt.Sprintf("morsel-w%d", workers), workers: workers, morsel: true}
+}
+
+// bestMatrixRun measures one (scale factor, worker count) cell best-of-n
+// over the cached tables.
+func bestMatrixRun(sf float64, workers, runs int) (matrixResult, error) {
+	orders, lineitem, err := benchTables(sf)
+	if err != nil {
+		return matrixResult{}, err
+	}
+	m := matrixMode(workers)
+	var best modeResult
+	for r := 0; r < runs; r++ {
+		res, err := runJoinOn(orders, lineitem, nil, m)
+		if err != nil {
+			return matrixResult{}, err
+		}
+		if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	return matrixResult{
+		SF:               sf,
+		Mode:             m.name,
+		Workers:          m.workers,
+		NsPerOp:          best.NsPerOp,
+		TuplesPerSec:     best.TuplesPerSec,
+		JoinTuplesPerSec: best.JoinTuplesPerSec,
+		AllocsOp:         best.AllocsOp,
+	}, nil
+}
+
+// runSFMatrix measures the SF-scaled worker matrix: scale factors big
+// enough that per-morsel claim overheads amortize, worker sweep
+// {1, 2, 4, NumCPU} deduplicated. Speedups are against the 1-worker cell
+// at the same scale factor.
+func runSFMatrix() ([]matrixResult, error) {
+	const runs = 3
+	var out []matrixResult
+	for _, sf := range []float64{0.1, 1} {
+		var w1ns int64
+		seen := map[int]bool{}
+		for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+			if w < 1 || seen[w] {
+				continue
+			}
+			seen[w] = true
+			cell, err := bestMatrixRun(sf, w, runs)
+			if err != nil {
+				return nil, err
+			}
+			if w == 1 {
+				w1ns = cell.NsPerOp
+			} else if w1ns > 0 {
+				cell.SpeedupW1 = round2(float64(w1ns) / float64(cell.NsPerOp))
+			}
+			out = append(out, cell)
+			fmt.Printf("matrix sf=%-4g %-10s %11d ns/op %11.0f join-tuples/sec %8d allocs/op  %.2fx vs w1\n",
+				sf, cell.Mode, cell.NsPerOp, cell.JoinTuplesPerSec, cell.AllocsOp, cell.SpeedupW1)
+		}
+	}
+	return out, nil
+}
+
+// benchTableCache shares loaded matrix tables across cells at the same
+// scale factor within one process.
+var benchTableCache = map[float64][2]*storage.Table{}
+
+// benchTables returns the orders/lineitem pair at the given scale factor.
+// Tables are generated once and serialized under testdata/benchcache/
+// (SF 1 generation takes about a minute; reloading the cache takes
+// seconds), so repeated -matrix and -guard runs measure identical data.
+func benchTables(sf float64) (*storage.Table, *storage.Table, error) {
+	if c, ok := benchTableCache[sf]; ok {
+		return c[0], c[1], nil
+	}
+	dir := filepath.Join("testdata", "benchcache")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	names := [2]string{"orders", "lineitem"}
+	var paths [2]string
+	missing := false
+	for i, name := range names {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("sf%g_%s.qpt", sf, name))
+		if _, err := os.Stat(paths[i]); err != nil {
+			missing = true
+		}
+	}
+	if missing {
+		fmt.Printf("matrix: generating TPC-H SF %g into %s ...\n", sf, dir)
+		cat, err := tpch.Generate(tpch.Config{SF: sf, Seed: 1, Tables: names[:]})
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, name := range names {
+			if err := disk.WriteTable(paths[i], cat.MustLookup(name).Table); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	var tabs [2]*storage.Table
+	for i, name := range names {
+		tf, err := disk.OpenTable(paths[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		t, lerr := tf.Load(name)
+		if cerr := tf.Close(); lerr == nil {
+			lerr = cerr
+		}
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		tabs[i] = t
+	}
+	benchTableCache[sf] = tabs
+	return tabs[0], tabs[1], nil
 }
 
 func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

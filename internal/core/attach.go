@@ -177,6 +177,19 @@ func hashLinkHooks(l *ChainLink, j *exec.HashJoin) {
 		l.SetBuildColHook = func(f func(cb *data.ColBatch)) {
 			j.OnBuildCol = composeCol(j.OnBuildCol, f)
 		}
+		if j.Morseled() {
+			// Morsel-driven columnar passes deliver ColBatches from
+			// concurrent scan workers: offer the worker-indexed setters so
+			// the estimator can shard (it does only if the whole chain is
+			// morselized; a serial fallback pass fires them as worker 0).
+			l.Workers = j.Workers()
+			l.SetBuildColBatchHook = func(f func(worker int, cb *data.ColBatch)) {
+				j.OnBuildColBatch = composeColW(j.OnBuildColBatch, f)
+			}
+			l.SetBuildEndHook = func(f func()) {
+				j.OnBuildEnd = compose0(j.OnBuildEnd, f)
+			}
+		}
 		return
 	}
 	if !j.Batched() {
@@ -196,6 +209,11 @@ func hashLinkHooks(l *ChainLink, j *exec.HashJoin) {
 // otherwise (per-tuple hooks fire on the reader goroutine even under a
 // batched pass, so a mixed chain stays correct, just unsharded).
 func wireHashProbe(pe *PipelineEstimator, bottom *exec.HashJoin) {
+	if bottom.Columnar() && pe.ColShardAttached() {
+		bottom.OnProbeColBatch = composeColW(bottom.OnProbeColBatch, pe.ObserveProbeColShard)
+		bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.FinishProbe)
+		return
+	}
 	if bottom.Columnar() && pe.ColAttached() {
 		bottom.OnProbeCol = composeCol(bottom.OnProbeCol, pe.ObserveProbeCol)
 		bottom.OnProbeEnd = compose0(bottom.OnProbeEnd, pe.MarkConverged)
@@ -387,7 +405,7 @@ func (a *Attachment) attachAgg(agg exec.Operator, input exec.Operator, groupBy [
 					pe.OnProbeObserved = compose1(pe.OnProbeObserved, func(int64) {
 						est.pushdownTick()
 					})
-					if pe.BatchAttached() {
+					if pe.BatchAttached() || pe.ColShardAttached() {
 						// Sharded probe observation publishes only at the
 						// pass barrier; publish the final aggregation
 						// estimate there too.
@@ -499,6 +517,20 @@ func composeCol(prev, next func(*data.ColBatch)) func(*data.ColBatch) {
 	return func(cb *data.ColBatch) {
 		prev(cb)
 		next(cb)
+	}
+}
+
+// composeColW chains two worker-indexed ColBatch hooks.
+func composeColW(prev, next func(int, *data.ColBatch)) func(int, *data.ColBatch) {
+	if prev == nil {
+		return next
+	}
+	if next == nil {
+		return prev
+	}
+	return func(w int, cb *data.ColBatch) {
+		prev(w, cb)
+		next(w, cb)
 	}
 }
 

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"qpi/internal/data"
+	"qpi/internal/exec"
+)
+
+// This file is the sharded columnar attachment mode of the pipeline
+// estimator, backing the executor's morsel-driven columnar partition
+// passes: the intersection of the batched (sharded) mode of shard.go and
+// the span-at-a-time columnar mode of colhooks.go. Under a morselized
+// columnar pass K scan workers deliver ColBatches concurrently, so the
+// estimator gives every worker a private shard — per-relation frequency-
+// histogram shards for the build passes, probeShard moment shards for the
+// bottom probe pass — and walks the flat key lanes inside the shard.
+// Shards merge single-threaded at the pass barriers (the build-end hook,
+// FinishProbe on probe end), exactly as in the batched row mode.
+//
+// The bit-identical-to-serial argument is the union of the two parent
+// modes': every histogram mutation is an integer AddN into a private
+// FreqHistogram shard, merged in fixed worker order (counts commute);
+// probe moment deltas are integer-valued float64 sums accumulated per
+// shard and folded at the barrier (exact below 2^53, order-independent);
+// build weights and probe deltas read only histograms frozen at earlier
+// barriers. Estimates publish only at barriers, on the coordinator.
+
+// ColShardAttached reports whether the estimator observes its chain
+// through worker-indexed columnar span hooks.
+func (p *PipelineEstimator) ColShardAttached() bool { return p.colShardInstalled }
+
+// installColShardHooks wires the sharded span-at-a-time build observers
+// for a morselized columnar chain. Per relation j, each of the pass's
+// workers gets one FreqHistogram shard per distinct update target; the
+// dominant single-integer-key, fold-free case observes the flat int64
+// key lane straight into the worker's shard, and the barrier hook merges
+// shards into the shared derived histograms in worker order.
+func (p *PipelineEstimator) installColShardHooks() {
+	p.colShardInstalled = true
+	for j := 0; j < p.m; j++ {
+		j := j
+		updates := p.updateTargets(j)
+		buildKeys := p.links[j].BuildKeys
+		// Unlike the serial columnar fast path, shard targets are always
+		// FreqHistograms regardless of the shared histogram implementation,
+		// so lane observation only needs a single key and no folds.
+		laneFast := len(buildKeys) == 1 && len(p.folds[j]) == 0
+		keyCol := buildKeys[0]
+		shards := make([][]*FreqHistogram, p.links[j].Workers)
+		for w := range shards {
+			shards[w] = make([]*FreqHistogram, len(updates))
+			for u := range shards[w] {
+				shards[w][u] = NewFreqHistogram()
+			}
+		}
+		p.links[j].SetBuildColBatchHook(func(worker int, cb *data.ColBatch) {
+			sh := shards[worker]
+			if laneFast {
+				if kv := cb.Col(keyCol); kv.Homogeneous() && kv.Kind == data.KindInt {
+					for _, fh := range sh {
+						fh.ObserveColumn(kv.Ints, cb.Sel, kv.Nulls)
+					}
+					return
+				}
+			}
+			rows := cb.MaterializeRows()
+			observe := func(i int) {
+				key := exec.JoinKeyOf(rows[i], buildKeys)
+				for ui, u := range updates {
+					sh[ui].AddN(key, p.buildWeight(rows[i], j, u.level))
+				}
+			}
+			if cb.Sel == nil {
+				for i := 0; i < cb.NRows; i++ {
+					observe(i)
+				}
+			} else {
+				for _, i := range cb.Sel {
+					observe(int(i))
+				}
+			}
+		})
+		p.links[j].SetBuildEndHook(func() {
+			for _, sh := range shards {
+				for ui, u := range updates {
+					dst := p.hists[u.level][j]
+					sh[ui].Each(func(v data.Value, n int64) bool {
+						dst.AddN(v, n)
+						return true
+					})
+				}
+			}
+		})
+	}
+	p.probeShards = make([]probeShard, p.links[p.m-1].Workers)
+	for i := range p.probeShards {
+		p.probeShards[i] = probeShard{
+			sums:   make([]float64, p.m),
+			sumSqs: make([]float64, p.m),
+		}
+	}
+}
+
+// ObserveProbeColShard processes one bottom-stream ColBatch on behalf of
+// worker w — the sharded form of ObserveProbeCol, invoked lock-free by
+// the owning scan worker of a morselized probe pass. No estimate is
+// published until FinishProbe merges the shards at the pass barrier.
+func (p *PipelineEstimator) ObserveProbeColShard(w int, cb *data.ColBatch) {
+	sh := &p.probeShards[w]
+	if p.observeProbeColShardFast(sh, cb) {
+		return
+	}
+	rows := cb.MaterializeRows()
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			p.observeProbeShard(sh, rows[i])
+		}
+	} else {
+		for _, i := range cb.Sel {
+			p.observeProbeShard(sh, rows[i])
+		}
+	}
+}
+
+// observeProbeColShardFast is the vectorizable probe case of the sharded
+// columnar mode: a single inner join whose probe key is one homogeneous
+// integer column and no output-distribution accumulation. Each live row
+// performs t++, one CountInt lookup (0 for NULL keys) and the moment
+// accumulation into the worker's shard — the same arithmetic the serial
+// fast path performs, minus the publish check (sharded mode publishes at
+// the barrier). OnProbeObserved does not bail the fast path: as in the
+// batched row mode it fires once from FinishProbe with the merged count.
+func (p *PipelineEstimator) observeProbeColShardFast(sh *probeShard, cb *data.ColBatch) bool {
+	if p.m != 1 || p.outDistHist != nil || p.links[0].Mult != nil {
+		return false
+	}
+	src := p.srcs[0]
+	if !src.fromBottom || len(src.cols) != 1 {
+		return false
+	}
+	fh, ok := p.hists[0][0].(*FreqHistogram)
+	if !ok {
+		return false
+	}
+	kv := cb.Col(src.cols[0])
+	if !kv.Homogeneous() || kv.Kind != data.KindInt {
+		return false
+	}
+	observe := func(i int) {
+		sh.t++
+		var delta float64
+		if !kv.Nulls.Get(i) {
+			delta = float64(fh.CountInt(kv.Ints[i]))
+		}
+		sh.sums[0] += delta
+		sh.sumSqs[0] += delta * delta
+	}
+	if cb.Sel == nil {
+		for i := 0; i < cb.NRows; i++ {
+			observe(i)
+		}
+	} else {
+		for _, i := range cb.Sel {
+			observe(int(i))
+		}
+	}
+	return true
+}

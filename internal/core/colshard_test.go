@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qpi/internal/exec"
+)
+
+// Tests for the sharded columnar estimator attachment backing the
+// morsel-driven columnar partition passes. The headline contract is
+// stronger than convergence: because every histogram mutation is an
+// integer AddN into a worker shard merged in fixed order, and every probe
+// moment delta is an integer-valued float64 (exact below 2^53), the
+// converged estimator state must be BIT-IDENTICAL to the serial columnar
+// run — asserted here with ==, not a tolerance.
+
+// morselizeCol marks every hash join in the plan columnar + morselized
+// with k workers and single-block morsels. Must run before Attach.
+func morselizeCol(op exec.Operator, k int) {
+	if j, ok := op.(*exec.HashJoin); ok {
+		j.SetParallelism(k)
+		j.SetColumnar(true)
+		j.SetMorsel(true).SetMorselBlocks(1)
+	}
+	for _, c := range op.Children() {
+		morselizeCol(c, k)
+	}
+}
+
+// columnarize marks every hash join columnar (serial passes).
+func columnarize(op exec.Operator) {
+	if j, ok := op.(*exec.HashJoin); ok {
+		j.SetColumnar(true)
+	}
+	for _, c := range op.Children() {
+		columnarize(c)
+	}
+}
+
+// drainColPlan drains a columnar plan and returns the row count.
+func drainColPlan(t *testing.T, top exec.Operator) int64 {
+	t.Helper()
+	if err := top.Open(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.DrainCol(exec.AsColOperator(top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := top.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(rows))
+}
+
+func TestColShardChainsExactOnPaperShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		mk   func() *exec.HashJoin
+	}{
+		{"fig3-binary", func() *exec.HashJoin { return fig3Plan(40) }},
+		{"fig5-same-attr", func() *exec.HashJoin { return fig5Plan(41) }},
+		{"fig6-case1", func() *exec.HashJoin { return fig6Plan(42, false) }},
+		{"fig6-case2", func() *exec.HashJoin { return fig6Plan(43, true) }},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			top := sh.mk()
+			morselizeCol(top, 3)
+			att := Attach(top)
+			pe := att.ChainOf[top]
+			if pe == nil {
+				t.Fatal("no chain estimator attached")
+			}
+			if !pe.ColShardAttached() {
+				t.Fatal("morselized columnar chain did not attach sharded")
+			}
+			drainColPlan(t, top)
+			if !pe.Converged() {
+				t.Fatal("estimator did not converge")
+			}
+			for k, j := range chainJoins(top) {
+				truth := float64(j.Stats().Emitted.Load())
+				if got := pe.Estimate(k); math.Abs(got-truth) > 1e-6 {
+					t.Errorf("level %d: converged estimate %g != true cardinality %g", k, got, truth)
+				}
+				if j.Stats().Source() != "once-exact" {
+					t.Errorf("level %d: est source = %q", k, j.Stats().Source())
+				}
+			}
+		})
+	}
+}
+
+// TestColShardBitIdenticalToSerialColumnar: the converged estimates of
+// the sharded columnar run must equal the serial columnar run's exactly
+// (==): integer histogram counts commute, and the probe moment sums
+// accumulate integer-valued deltas, so no accumulation order can perturb
+// a bit.
+func TestColShardBitIdenticalToSerialColumnar(t *testing.T) {
+	shapes := []func() *exec.HashJoin{
+		func() *exec.HashJoin { return fig3Plan(50) },
+		func() *exec.HashJoin { return fig5Plan(51) },
+		func() *exec.HashJoin { return fig6Plan(52, false) },
+		func() *exec.HashJoin { return fig6Plan(53, true) },
+	}
+	for si, mk := range shapes {
+		run := func(morsel bool, workers int) (est, lo, hi []float64, probes, rows int64) {
+			top := mk()
+			if morsel {
+				morselizeCol(top, workers)
+			} else {
+				columnarize(top)
+			}
+			att := Attach(top)
+			pe := att.ChainOf[top]
+			if pe.ColShardAttached() != morsel {
+				t.Fatalf("shape %d: ColShardAttached = %v, want %v", si, pe.ColShardAttached(), morsel)
+			}
+			pe.OnProbeObserved = func(n int64) { probes = n }
+			rows = drainColPlan(t, top)
+			for k := range chainJoins(top) {
+				est = append(est, pe.Estimate(k))
+				l, h := pe.ConfidenceInterval(k, 0.95)
+				lo, hi = append(lo, l), append(hi, h)
+			}
+			return
+		}
+		serialEst, serialLo, serialHi, serialProbes, serialRows := run(false, 0)
+		for _, workers := range []int{2, 4} {
+			est, lo, hi, probes, rows := run(true, workers)
+			if rows != serialRows || probes != serialProbes {
+				t.Errorf("shape %d workers %d: rows/probes %d/%d vs serial %d/%d",
+					si, workers, rows, probes, serialRows, serialProbes)
+			}
+			for k := range est {
+				if est[k] != serialEst[k] {
+					t.Errorf("shape %d workers %d level %d: estimate %v != serial %v (must be bit-identical)",
+						si, workers, k, est[k], serialEst[k])
+				}
+				if lo[k] != serialLo[k] || hi[k] != serialHi[k] {
+					t.Errorf("shape %d workers %d level %d: CI [%v,%v] != serial [%v,%v]",
+						si, workers, k, lo[k], hi[k], serialLo[k], serialHi[k])
+				}
+			}
+		}
+	}
+}
+
+// TestColShardMixedChainFallsBackToSerialColHooks: morselizing only part
+// of a columnar chain must keep the serial span hooks (which morselized
+// passes then fire under the pass mutex) and stay exact.
+func TestColShardMixedChainFallsBackToSerialColHooks(t *testing.T) {
+	top := fig5Plan(60)
+	columnarize(top)
+	lower := top.Probe().(*exec.HashJoin)
+	lower.SetParallelism(3)
+	lower.SetMorsel(true).SetMorselBlocks(1)
+	att := Attach(top)
+	pe := att.ChainOf[top]
+	if pe.ColShardAttached() {
+		t.Fatal("partially morselized chain attached sharded")
+	}
+	if !pe.ColAttached() {
+		t.Fatal("columnar chain did not attach span hooks")
+	}
+	drainColPlan(t, top)
+	if !pe.Converged() {
+		t.Fatal("estimator did not converge")
+	}
+	for k, j := range chainJoins(top) {
+		truth := float64(j.Stats().Emitted.Load())
+		if got := pe.Estimate(k); math.Abs(got-truth) > 1e-6 {
+			t.Errorf("level %d: converged estimate %g != %g", k, got, truth)
+		}
+	}
+}
+
+// TestColShardAggPushdownExact: GROUP BY over a morselized columnar chain
+// publishes the exact push-down estimate at the probe barrier.
+func TestColShardAggPushdownExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := table("a", []string{"k"}, randCol(rng, 300, 25))
+	b := table("b", []string{"k"}, randCol(rng, 500, 25))
+	j := exec.NewHashJoinOn(exec.NewScan(a, ""), exec.NewScan(b, ""), "a", "k", "b", "k")
+	morselizeCol(j, 3)
+	gcol := j.Schema().MustResolve("b", "k")
+	agg := exec.NewHashAgg(j, []int{gcol}, []exec.AggSpec{{Func: exec.CountStar, Name: "c"}})
+	att := Attach(agg)
+	est := att.Aggs[agg]
+	if est == nil || est.Source() != "agg-pushdown" {
+		t.Fatal("expected pushdown estimator")
+	}
+	if !att.ChainOf[j].ColShardAttached() {
+		t.Fatal("chain should attach col-sharded")
+	}
+	rows, err := exec.RunBatch(exec.AsBatch(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := est.Estimate(); math.Abs(got-float64(rows)) > 1e-6 {
+		t.Errorf("pushdown estimate %g != true group count %d", got, rows)
+	}
+	if got := agg.Stats().Estimate(); math.Abs(got-float64(rows)) > 1e-6 {
+		t.Errorf("published agg estimate %g != %d", got, rows)
+	}
+}

@@ -73,6 +73,13 @@ type ChainLink struct {
 	// during a columnar preprocessing pass (serial, at batch boundaries).
 	// Nil when the physical operator has no columnar pass.
 	SetBuildColHook func(f func(cb *data.ColBatch))
+	// SetBuildColBatchHook installs f to run once per build-input ColBatch
+	// during a morselized columnar pass, on the scan worker that owns the
+	// batch. Nil when the columnar pass is serial; when every link of a
+	// columnar chain provides it (plus SetBuildEndHook and Workers), the
+	// estimator shards per worker instead of observing serially (see
+	// colshard.go).
+	SetBuildColBatchHook func(f func(worker int, cb *data.ColBatch))
 	// Columnar reports that the physical operator runs the columnar
 	// partition passes. When every link of a chain is columnar, the
 	// estimator observes spans at batch boundaries (see colhooks.go)
@@ -160,8 +167,12 @@ type PipelineEstimator struct {
 
 	// Columnar attachment state — see colhooks.go. colInstalled reports
 	// that build observation runs through span-at-a-time ColBatch hooks
-	// and probe observation through ObserveProbeCol.
-	colInstalled bool
+	// and probe observation through ObserveProbeCol. colShardInstalled
+	// (see colshard.go) is the sharded variant backing morselized columnar
+	// passes: worker-indexed ColBatch hooks into per-worker shards, probe
+	// observation through ObserveProbeColShard/FinishProbe.
+	colInstalled      bool
+	colShardInstalled bool
 
 	// Observability (see internal/obs): the tracer receives one
 	// EstimateRefined event per level at every publish boundary plus
@@ -381,8 +392,16 @@ func (p *PipelineEstimator) buildWeight(tu data.Tuple, j, level int) int64 {
 
 // installHooks attaches the build-pass observers: per-tuple hooks in the
 // default mode, per-worker sharded batch hooks (see shard.go) when every
-// link runs a batched preprocessing pass.
+// link runs a batched preprocessing pass, span-at-a-time columnar hooks
+// (colhooks.go) when every link is columnar — sharded per worker
+// (colshard.go) when the columnar passes are morselized. The sharded
+// columnar check runs first: a morselized chain also satisfies
+// chainColumnar, and the serial hooks would race under concurrent scans.
 func (p *PipelineEstimator) installHooks() {
+	if p.chainColSharded() {
+		p.installColShardHooks()
+		return
+	}
 	if p.chainColumnar() {
 		p.installColHooks()
 		return
@@ -409,6 +428,18 @@ func (p *PipelineEstimator) installHooks() {
 func (p *PipelineEstimator) chainColumnar() bool {
 	for _, l := range p.links {
 		if !l.Columnar || l.SetBuildColHook == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// chainColSharded reports whether every link of the chain runs a
+// morselized columnar preprocessing pass (and therefore needs — and
+// supports — worker-sharded span observation).
+func (p *PipelineEstimator) chainColSharded() bool {
+	for _, l := range p.links {
+		if !l.Columnar || l.Workers < 1 || l.SetBuildColBatchHook == nil || l.SetBuildEndHook == nil {
 			return false
 		}
 	}

@@ -98,17 +98,24 @@ func (p *PipelineEstimator) BatchAttached() bool { return p.batchInstalled }
 func (p *PipelineEstimator) ObserveProbeBatch(w int, b data.Batch) {
 	sh := &p.probeShards[w]
 	for _, c := range b {
-		sh.t++
-		for k := 0; k < p.m; k++ {
-			delta := p.probeDelta(c, k)
-			sh.sums[k] += delta
-			sh.sumSqs[k] += delta * delta
-			if k == 0 && p.outDistHist != nil {
-				if sh.outDist == nil {
-					sh.outDist = NewFreqHistogram()
-				}
-				sh.outDist.AddN(c[p.outDistCol], int64(delta))
+		p.observeProbeShard(sh, c)
+	}
+}
+
+// observeProbeShard accumulates one bottom-stream tuple into a worker's
+// probe shard: the shard-local body of ObserveProbe, shared by the
+// batched row mode and the sharded columnar mode (colshard.go).
+func (p *PipelineEstimator) observeProbeShard(sh *probeShard, c data.Tuple) {
+	sh.t++
+	for k := 0; k < p.m; k++ {
+		delta := p.probeDelta(c, k)
+		sh.sums[k] += delta
+		sh.sumSqs[k] += delta * delta
+		if k == 0 && p.outDistHist != nil {
+			if sh.outDist == nil {
+				sh.outDist = NewFreqHistogram()
 			}
+			sh.outDist.AddN(c[p.outDistCol], int64(delta))
 		}
 	}
 }

@@ -1,5 +1,7 @@
 package data
 
+import "sync/atomic"
+
 // DefaultBatchSize is the number of tuples moved per NextBatch call in the
 // batch-at-a-time executor. 1024 keeps a batch of slice headers around
 // 24 KiB — small enough to stay cache-resident, large enough to amortize
@@ -9,22 +11,32 @@ package data
 const DefaultBatchSize = 1024
 
 // batchSize is the live batch size used by producers that size their
-// buffers at runtime. It exists so benchmarks can sweep batch sizes; it
-// is not safe to change while plans execute.
-var batchSize = DefaultBatchSize
+// buffers at runtime. It exists so benchmarks can sweep batch sizes.
+// Atomic: sweeps may flip it while unrelated plans execute (qpi-bench
+// runs next to a live registry; tests run queries concurrently with knob
+// writes). A plan that straddles a change may size successive buffers
+// differently — harmless, since every consumer handles short batches —
+// but no read tears. Zero means "unset" so the default needs no init().
+var batchSize atomic.Int64
 
 // BatchSize returns the current batch size (DefaultBatchSize unless
 // overridden).
-func BatchSize() int { return batchSize }
+func BatchSize() int {
+	if n := batchSize.Load(); n > 0 {
+		return int(n)
+	}
+	return DefaultBatchSize
+}
 
 // SetBatchSize overrides the batch size for subsequently constructed
-// batch buffers (n < 1 restores the default). Benchmark sweeps only:
-// changing it while any plan is executing is a data race.
+// batch buffers (n < 1 restores the default). Safe to call concurrently
+// with executing plans: they pick the new size up at their next buffer
+// construction.
 func SetBatchSize(n int) {
 	if n < 1 {
 		n = DefaultBatchSize
 	}
-	batchSize = n
+	batchSize.Store(int64(n))
 }
 
 // Batch is a slice of tuples moved through the executor in one step.

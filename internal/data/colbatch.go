@@ -149,8 +149,8 @@ func (v *ColVec) AppendVal(row int, val Value) { v.appendVal(row, val) }
 func appendGrow[T any](s []T, x T) []T {
 	if len(s) == cap(s) {
 		n := 2 * cap(s)
-		if n < batchSize {
-			n = batchSize
+		if bs := BatchSize(); n < bs {
+			n = bs
 		}
 		ns := make([]T, len(s), n)
 		copy(ns, s)

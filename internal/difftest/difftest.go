@@ -1,7 +1,8 @@
 // Package difftest is the randomized differential-testing harness: it
 // runs every qgen-generated plan through all execution modes of the real
 // engine (tuple-at-a-time, batch, batch-parallel, forced-spill,
-// parallel-spill, columnar, columnar-spill and mid-query cancel/re-run)
+// parallel-spill, columnar, columnar-spill, morsel-driven row and
+// columnar scans, and mid-query cancel/re-run)
 // and checks each run against the exact oracle
 // and the paper's estimator invariants:
 //
@@ -67,10 +68,19 @@ const (
 	// ModeColumnarSpill combines the columnar passes with a tiny budget,
 	// forcing partitions through the columnar spill frame codec.
 	ModeColumnarSpill
+	// ModeMorsel runs the row partition passes morsel-driven: 3 scan
+	// workers claim single-block morsels (forcing many claims even on tiny
+	// qgen tables) and scatter concurrently, exercising the sharded
+	// estimator observation and the hook serialization under real
+	// concurrency.
+	ModeMorsel
+	// ModeColMorsel is ModeMorsel over the columnar partition passes, with
+	// worker-sharded span-at-a-time estimator observation.
+	ModeColMorsel
 )
 
 // AllModes is every execution mode, in suite order.
-var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeColumnar, ModeColumnarSpill, ModeCancelRerun}
+var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeColumnar, ModeColumnarSpill, ModeMorsel, ModeColMorsel, ModeCancelRerun}
 
 func (m Mode) String() string {
 	switch m {
@@ -88,6 +98,10 @@ func (m Mode) String() string {
 		return "columnar"
 	case ModeColumnarSpill:
 		return "columnar-spill"
+	case ModeMorsel:
+		return "morsel"
+	case ModeColMorsel:
+		return "columnar-morsel"
 	default:
 		return "tuple"
 	}
@@ -163,6 +177,11 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 	case ModeColumnarSpill:
 		setColumnar(b.Root)
 		setBudget(b.Root, spillBudget)
+	case ModeMorsel:
+		setMorsel(b.Root)
+	case ModeColMorsel:
+		setColumnar(b.Root)
+		setMorsel(b.Root)
 	}
 	att := core.Attach(b.Root)
 	mon := progress.NewMonitorWith(b.Root, progress.ModeOnce, att)
@@ -379,9 +398,9 @@ func drain(root exec.Operator, m Mode) ([]data.Tuple, error) {
 	var rows []data.Tuple
 	var err error
 	switch m {
-	case ModeBatch, ModeParallel, ModeParallelSpill:
+	case ModeBatch, ModeParallel, ModeParallelSpill, ModeMorsel:
 		rows, err = exec.DrainBatch(exec.AsBatch(root))
-	case ModeColumnar, ModeColumnarSpill:
+	case ModeColumnar, ModeColumnarSpill, ModeColMorsel:
 		rows, err = exec.DrainCol(exec.AsColOperator(root))
 	default:
 		rows, err = exec.Drain(root)
@@ -396,6 +415,19 @@ func setParallelism(root exec.Operator, workers int) {
 	exec.Walk(root, func(op exec.Operator) {
 		if j, ok := op.(*exec.HashJoin); ok {
 			j.SetParallelism(workers)
+		}
+	})
+}
+
+// setMorsel enables morsel-driven scans with 3 workers and single-block
+// morsels, so even the smallest qgen tables split into many concurrent
+// claims.
+func setMorsel(root exec.Operator) {
+	exec.Walk(root, func(op exec.Operator) {
+		if j, ok := op.(*exec.HashJoin); ok {
+			j.SetParallelism(3)
+			j.SetMorsel(true)
+			j.SetMorselBlocks(1)
 		}
 	})
 }

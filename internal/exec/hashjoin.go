@@ -70,11 +70,21 @@ type HashJoin struct {
 	// Columnar-pass hooks (set alongside the per-tuple hooks). During a
 	// columnar partition pass OnBuildCol / OnProbeCol fire once per input
 	// ColBatch, after the per-tuple hooks have fired for the batch's live
-	// rows; the pass is serial, so consumers need no locking. The batch is
+	// rows; the serial pass needs no consumer locking, and a morselized
+	// pass serializes these hooks under its pass mutex. The batch is
 	// only valid for the duration of the call (see the ColBatch ownership
 	// contract in internal/data).
 	OnBuildCol func(cb *data.ColBatch)
 	OnProbeCol func(cb *data.ColBatch)
+
+	// Worker-indexed columnar hooks: the columnar counterpart of
+	// OnBuildBatch/OnProbeBatch, firing once per ColBatch on the scan
+	// worker that owns it during a morselized columnar pass (worker 0 on
+	// the serial columnar pass). The estimation framework backs them with
+	// per-worker histogram shards merged at the pass barriers, keeping
+	// estimates bit-identical to serial execution.
+	OnBuildColBatch func(worker int, cb *data.ColBatch)
+	OnProbeColBatch func(worker int, cb *data.ColBatch)
 
 	// workers > 0 selects the batch-at-a-time partition passes with that
 	// many scatter workers (see SetParallelism); 0 is the legacy
@@ -87,6 +97,12 @@ type HashJoin struct {
 	// partition passes; the join (second) phase still parallelizes per
 	// JoinWorkers.
 	colMode bool
+
+	// morsel enables morsel-driven parallel scans for the partition
+	// passes (row and columnar); morselBlocks overrides the blocks per
+	// claim. See hashjoin_morsel.go.
+	morsel       bool
+	morselBlocks int
 
 	state      hjState
 	buildParts [][]data.Tuple
@@ -383,10 +399,15 @@ func (j *HashJoin) SetParallelism(k int) *HashJoin {
 func (j *HashJoin) Batched() bool { return j.workers > 0 }
 
 // Workers returns the number of scatter workers the batched partition
-// passes will use (≥ 1, GOMAXPROCS-capped; 1 when batching is off).
+// passes will use (≥ 1; 1 when batching is off). Without morsel scans
+// the count is capped at GOMAXPROCS — extra single-reader scatter
+// workers only add handoff cost. Morsel mode lifts the cap, like
+// JoinWorkers: goroutines time-slice, and the differential tests
+// exercise the concurrent claim path on any machine. A memory budget
+// always forces 1 (spill accounting is single-threaded).
 func (j *HashJoin) Workers() int {
 	k := j.workers
-	if max := runtime.GOMAXPROCS(0); k > max {
+	if max := runtime.GOMAXPROCS(0); !j.morsel && k > max {
 		k = max
 	}
 	if j.memBudget > 0 || k < 1 {

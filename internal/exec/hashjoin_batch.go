@@ -78,8 +78,13 @@ func (j *HashJoin) partitionPhasesBatched() error {
 	return j.beginJoinPhase()
 }
 
-// partitionPassBatched runs one partition pass over whole batches.
+// partitionPassBatched runs one partition pass over whole batches:
+// morsel-driven when the child is an eligible scan, single-reader
+// parallel scatter when workers are configured, serial otherwise.
 func (j *HashJoin) partitionPassBatched(cfg *passConfig) error {
+	if sc := j.morselScanOf(cfg.child); sc != nil {
+		return j.partitionPassMorsel(cfg, sc)
+	}
 	if j.Workers() > 1 {
 		return j.partitionPassParallel(cfg)
 	}
@@ -146,18 +151,7 @@ func (j *HashJoin) partitionPassParallel(cfg *passConfig) error {
 				if cfg.batchHook != nil {
 					cfg.batchHook(w, b)
 				}
-				for _, t := range b {
-					k := JoinKeyOf(t, cfg.keys)
-					p := 0
-					if k.IsNull() {
-						if !cfg.keepNull {
-							continue
-						}
-					} else {
-						p = int(hashValue(k) % uint64(j.parts))
-					}
-					local[p] = append(local[p], t)
-				}
+				j.scatterBatchLocal(local, b, cfg.keys, cfg.keepNull)
 				free <- b[:0]
 			}
 			locals[w] = local
@@ -196,20 +190,6 @@ func (j *HashJoin) partitionPassParallel(cfg *passConfig) error {
 	if readErr != nil {
 		return readErr
 	}
-	for p := 0; p < j.parts; p++ {
-		n := len(cfg.parts[p])
-		for w := 0; w < workers; w++ {
-			n += len(locals[w][p])
-		}
-		if n == 0 {
-			continue
-		}
-		merged := make([]data.Tuple, 0, n)
-		merged = append(merged, cfg.parts[p]...)
-		for w := 0; w < workers; w++ {
-			merged = append(merged, locals[w][p]...)
-		}
-		cfg.parts[p] = merged
-	}
+	j.mergeLocals(cfg.parts, locals)
 	return nil
 }

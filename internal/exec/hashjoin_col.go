@@ -36,11 +36,16 @@ type colPassConfig struct {
 	keys      []int
 	tupleHook func(data.Tuple)
 	colHook   func(cb *data.ColBatch)
-	parts     [][]data.Tuple
-	spill     []*spillFile
-	bytes     []int64
-	width     int
-	rows      *int64
+	// colBatchHook is the worker-indexed span hook
+	// (OnBuildColBatch/OnProbeColBatch): fired by the owning scan worker
+	// under a morselized pass, by the single pass goroutine as worker 0
+	// otherwise.
+	colBatchHook func(worker int, cb *data.ColBatch)
+	parts        [][]data.Tuple
+	spill        []*spillFile
+	bytes        []int64
+	width        int
+	rows         *int64
 	// keepNull routes NULL-key tuples to partition 0 instead of dropping
 	// them (probe side of the probe-preserving join types).
 	keepNull bool
@@ -50,15 +55,16 @@ type colPassConfig struct {
 func (j *HashJoin) partitionPhasesColumnar() error {
 	j.initPartitions()
 	build := colPassConfig{
-		child:     j.build,
-		keys:      j.buildKeys,
-		tupleHook: j.OnBuildTuple,
-		colHook:   j.OnBuildCol,
-		parts:     j.buildParts,
-		spill:     j.buildSpill,
-		bytes:     j.buildBytes,
-		width:     j.build.Schema().Len(),
-		rows:      &j.buildRows,
+		child:        j.build,
+		keys:         j.buildKeys,
+		tupleHook:    j.OnBuildTuple,
+		colHook:      j.OnBuildCol,
+		colBatchHook: j.OnBuildColBatch,
+		parts:        j.buildParts,
+		spill:        j.buildSpill,
+		bytes:        j.buildBytes,
+		width:        j.build.Schema().Len(),
+		rows:         &j.buildRows,
 	}
 	j.traceBegin("build")
 	if err := j.partitionPassColumnar(&build); err != nil {
@@ -69,16 +75,17 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 		j.OnBuildEnd()
 	}
 	probe := colPassConfig{
-		child:     j.probe,
-		keys:      j.probeKeys,
-		tupleHook: j.OnProbeTuple,
-		colHook:   j.OnProbeCol,
-		parts:     j.probeParts,
-		spill:     j.probeSpill,
-		bytes:     j.probeBytes,
-		width:     j.probe.Schema().Len(),
-		rows:      &j.probeRows,
-		keepNull:  j.joinType == ProbeOuterJoin || j.joinType == AntiJoin,
+		child:        j.probe,
+		keys:         j.probeKeys,
+		tupleHook:    j.OnProbeTuple,
+		colHook:      j.OnProbeCol,
+		colBatchHook: j.OnProbeColBatch,
+		parts:        j.probeParts,
+		spill:        j.probeSpill,
+		bytes:        j.probeBytes,
+		width:        j.probe.Schema().Len(),
+		rows:         &j.probeRows,
+		keepNull:     j.joinType == ProbeOuterJoin || j.joinType == AntiJoin,
 	}
 	j.traceBegin("probe")
 	if err := j.partitionPassColumnar(&probe); err != nil {
@@ -91,10 +98,14 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 	return j.beginJoinPhase()
 }
 
-// partitionPassColumnar runs one partition pass over whole ColBatches.
-// Per-tuple hooks fire in row order before the columnar hook, matching
+// partitionPassColumnar runs one partition pass over whole ColBatches —
+// morsel-driven when the child is an eligible scan, serial otherwise.
+// Per-tuple hooks fire in row order before the columnar hooks, matching
 // the hook ordering contract of the row passes.
 func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
+	if sc := j.morselScanOf(cfg.child); sc != nil {
+		return j.partitionPassColMorsel(cfg, sc)
+	}
 	in := AsColOperator(cfg.child)
 	for {
 		if err := j.ctxErr(); err != nil {
@@ -123,6 +134,9 @@ func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
 		}
 		if cfg.colHook != nil {
 			cfg.colHook(cb)
+		}
+		if cfg.colBatchHook != nil {
+			cfg.colBatchHook(0, cb)
 		}
 		if err := j.scatterColBatch(cfg, cb, rows); err != nil {
 			return err

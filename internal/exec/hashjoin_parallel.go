@@ -10,22 +10,28 @@ import (
 
 // This file implements the partition-parallel join (second) phase of the
 // grace hash join. After the partition passes the P partitions are fully
-// independent, so JoinWorkers() goroutines claim partitions in ascending
-// order from an atomic counter; each worker builds its partition's hash
-// table (reusing one worker-private joinTable across the partitions it
-// processes), streams the partition's probe rows — from the in-memory
+// independent, so JoinWorkers() goroutines claim contiguous partition
+// ranges in ascending order from an atomic counter (see
+// joinAffinitySpan); each worker builds its partitions' hash tables
+// (reusing one worker-private joinTable across the partitions it
+// processes), streams each partition's probe rows — from the in-memory
 // buffer or back from its spill file — and emits output batches into a
 // bounded per-partition queue. Next/NextBatch drain the queues strictly
 // in partition order, so the output is byte-for-byte the serial join's
 // clustered output, and all hooks (OnOutput), Stats writes and trace
 // spans still fire on the single consumer goroutine.
 //
-// Why this cannot deadlock: partitions are claimed in ascending order,
-// the consumer drains in ascending order, and queues are per-partition.
-// If the consumer is blocked on partition p's queue, either p's worker is
-// producing into it (progress), or p is unclaimed — but then some worker
-// is still on a partition < p whose queue the consumer has already
-// drained to close, so that worker finishes and claims p (progress).
+// Why this cannot deadlock: ranges are claimed in ascending order, a
+// worker processes its range's partitions in ascending order, and the
+// consumer drains in ascending partition order. If the consumer is
+// blocked on partition p's queue, every queue before p has been drained
+// to close. Either p's range is claimed — its owner finished everything
+// before p in the range (those queues closed), so it is producing into
+// p's queue or about to close it (progress) — or p's range is unclaimed,
+// in which case no later range is claimed either, and a worker mid-way
+// through an earlier range would contradict those queues being closed;
+// so some worker is finishing its claim loop and will claim the next
+// range ≤ p's (progress).
 //
 // Cancellation and teardown: workers poll the plan context and a stop
 // channel on an amortized tick and on every (blocking) queue send; the
@@ -96,6 +102,21 @@ func (st *parallelJoinState) shutdown() {
 	st.wg.Wait()
 }
 
+// joinAffinitySpan is the number of contiguous partitions one join-phase
+// claim covers: per-core partition affinity. Claiming ranges instead of
+// interleaved singles keeps one worker's consecutive partitions — their
+// build tables and probe buffers — streaming through the same core's
+// cache instead of ping-ponging claim order across cores. Two ranges per
+// worker (rather than one) leaves the tail balanced when partitions are
+// skewed: a worker that drew cheap partitions picks up a second range.
+func (j *HashJoin) joinAffinitySpan(workers int) int {
+	span := j.parts / (2 * workers)
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
 // startParallelJoin launches the join-phase workers. It cannot fail;
 // worker errors surface on the partition they occurred in, in partition
 // order, from nextParallelBatch.
@@ -109,6 +130,8 @@ func (j *HashJoin) startParallelJoin() {
 	}
 	j.joinPar = st
 	workers := j.JoinWorkers()
+	span := j.joinAffinitySpan(workers)
+	nRanges := (j.parts + span - 1) / span
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		st.wg.Add(1)
@@ -117,17 +140,23 @@ func (j *HashJoin) startParallelJoin() {
 			var jt joinTable
 			var arena []data.Value
 			for {
-				p := int(next.Add(1) - 1)
-				if p >= j.parts {
+				r := int(next.Add(1) - 1)
+				if r >= nRanges {
 					return
 				}
-				out := &st.res[p]
-				out.err = j.joinOnePartition(p, &jt, &arena, out, st.stop)
-				close(out.ch)
-				if out.err != nil {
-					// The consumer will stop at this partition; stop
-					// claiming so later queues close promptly too.
-					return
+				hi := (r + 1) * span
+				if hi > j.parts {
+					hi = j.parts
+				}
+				for p := r * span; p < hi; p++ {
+					out := &st.res[p]
+					out.err = j.joinOnePartition(p, &jt, &arena, out, st.stop)
+					close(out.ch)
+					if out.err != nil {
+						// The consumer will stop at this partition; stop
+						// claiming so later queues close promptly too.
+						return
+					}
 				}
 			}
 		}()

@@ -150,6 +150,7 @@ func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 		name     string
 		batched  bool
 		columnar bool
+		morsel   bool
 		workers  int
 		budget   int64
 	}{
@@ -159,6 +160,8 @@ func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 		{name: "spill", budget: 128},
 		{name: "columnar", columnar: true},
 		{name: "columnar-spill", columnar: true, budget: 128},
+		{name: "morsel", batched: true, morsel: true, workers: 3},
+		{name: "columnar-morsel", columnar: true, morsel: true, workers: 3},
 	}
 	for _, m := range modes {
 		j := NewHashJoinMulti(
@@ -174,6 +177,11 @@ func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 		}
 		if m.columnar {
 			j.SetColumnar(true)
+		}
+		if m.morsel {
+			// Single-block morsels force many concurrent claims even on
+			// these small tables.
+			j.SetMorsel(true).SetMorselBlocks(1)
 		}
 		equalMultisets(t, jt.String()+"/"+m.name, drainMode(t, j, m.batched, m.columnar), want)
 		if m.budget > 0 && j.Stats().SpillFiles.Load() == 0 {
