@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck bench-join bench-columnar bench-matrix bench-guard lint-deprecated fuzz cover
+.PHONY: build test vet race check leakcheck serve-check bench-join bench-columnar bench-matrix bench-serve bench-guard lint-deprecated fuzz cover
 
 build:
 	$(GO) build ./...
@@ -28,13 +28,22 @@ leakcheck:
 		-run 'Cancel|SpillFault|FaultFS|CloseErrors|StartRace|Leak' \
 		./internal/exec/ ./internal/vfs/ .
 
-# Examples and commands must not use the deprecated pre-option-style
-# entry points (RunContext/StartContext); they exist only as migration
-# wrappers and tests of wrapper behaviour.
+# The qpi-server service layer under the race detector: admission
+# governor stress (grant-sum invariant), plan-cache concurrency,
+# httptest-driven endpoint lifecycle, and the churn goroutine/FD leak
+# check. `make race` covers these too; this is the focused gate for
+# service work.
+serve-check:
+	$(GO) test -race -count=1 -timeout 300s ./internal/service/
+	$(GO) test -race -count=1 -timeout 300s -run 'TestPrepare|TestWithSpillFS|TestServe' .
+
+# The pre-option-style entry points (RunContext/StartContext) are
+# removed from the API; nothing anywhere in the repo may reference them,
+# so stray revivals in merges get caught here.
 lint-deprecated:
-	@bad=$$(grep -rn --include='*.go' -E '\.(RunContext|StartContext)\(' examples cmd || true); \
+	@bad=$$(grep -rn --include='*.go' -E '\.(RunContext|StartContext)\(' . || true); \
 	if [ -n "$$bad" ]; then \
-		echo "deprecated Run/Start signatures in examples or commands:"; \
+		echo "removed Run/Start signatures referenced:"; \
 		echo "$$bad"; \
 		exit 1; \
 	fi
@@ -95,6 +104,13 @@ bench-columnar:
 bench-matrix:
 	$(GO) run ./cmd/qpi-bench -json -matrix
 
+# Drive qpi-server with 1000 concurrent HTTP streams for 10s and record
+# throughput, latency percentiles, plan-cache hit rate and admission
+# behaviour into BENCH_serve.json. The run also enforces the hard
+# invariants (no goroutine/FD leaks, grant sum bounded by the budget).
+bench-serve:
+	$(GO) run ./cmd/qpi-loadtest -json
+
 # Re-measure those modes and fail on a >15% ns/op or allocs/op
 # regression against the committed BENCH_join.json (the tolerance is
 # documented next to the environment check in cmd/qpi-bench), after
@@ -103,5 +119,10 @@ bench-matrix:
 # GOMAXPROCS are refused loudly, never silently passed: time-sliced
 # "parallel" timings are artifacts. Add -matrix to validate the recorded
 # sf_matrix cells too.
+# The serve guard re-drives the load test and compares throughput/p99
+# against BENCH_serve.json with a wide (50%) tolerance — serving numbers
+# are noisier than microbenchmarks — after the same environment check;
+# on foreign hardware it skips loudly instead of guarding noise.
 bench-guard:
 	$(GO) run ./cmd/qpi-bench -guard
+	$(GO) run ./cmd/qpi-loadtest -guard

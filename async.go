@@ -68,18 +68,6 @@ func (q *Query) Start(ctx context.Context, opts ...RunOption) (*Running, error) 
 	return r, nil
 }
 
-// StartContext is the pre-option-style Start signature, publishing a
-// snapshot approximately every `every` units of work (every < 1 defaults
-// to 4096).
-//
-// Deprecated: use Start(ctx, WithInterval(every)).
-func (q *Query) StartContext(ctx context.Context, every int64) (*Running, error) {
-	if every < 1 {
-		every = defaultEvery
-	}
-	return q.Start(ctx, WithInterval(every))
-}
-
 // latest drains every snapshot buffered in the subscription and returns
 // the freshest one. Caller holds r.mu.
 func (r *Running) latest() Report {

@@ -1,0 +1,370 @@
+// Command qpi-loadtest drives a live qpi-server over HTTP with many
+// concurrent query streams and reports sustained throughput, latency
+// percentiles, plan-cache effectiveness and admission-control behaviour
+// — then verifies the service unwound cleanly (no goroutine growth, no
+// open spill descriptors).
+//
+// Usage:
+//
+//	qpi-loadtest                      # 1000 streams for 10s, print report
+//	qpi-loadtest -json                # also write BENCH_serve.json
+//	qpi-loadtest -guard               # regression-check BENCH_serve.json
+//	qpi-loadtest -streams 200 -duration 5s
+//
+// The workload mixes a cheap cached aggregate (most traffic), a spilling
+// join and a deadline-bounded join that exercises the cancellation path,
+// all against two generated skewed tables.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpi"
+	"qpi/internal/service"
+	"qpi/internal/vfs"
+)
+
+const (
+	quickSQL = "SELECT COUNT(*) c FROM r WHERE r.k < 50"
+	joinSQL  = "SELECT r.k FROM r JOIN s ON r.k = s.k"
+)
+
+// serveBenchReport is the BENCH_serve.json document. The guard compares
+// throughput and p99 latency after checking the recorded environment;
+// the leak fields are invariants (always asserted, never tolerated).
+type serveBenchReport struct {
+	Benchmark string `json:"benchmark"`
+	CPU       string `json:"cpu"`
+	NumCPU    int    `json:"num_cpu"`
+	MaxProcs  int    `json:"gomaxprocs"`
+	GoVersion string `json:"go_version"`
+
+	Streams     int     `json:"streams"`
+	DurationSec float64 `json:"duration_sec"`
+	Rows        int     `json:"table_rows"`
+
+	Requests    int64   `json:"requests"`
+	Completed   int64   `json:"completed"`
+	Cancelled   int64   `json:"cancelled"`
+	Rejected429 int64   `json:"rejected_429"`
+	Errors      int64   `json:"errors"`
+	Throughput  float64 `json:"requests_per_sec"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+
+	CacheHitRate     float64 `json:"plan_cache_hit_rate"`
+	BudgetBytes      int64   `json:"admission_budget_bytes"`
+	PeakGrantedBytes int64   `json:"admission_peak_granted_bytes"`
+	PeakQueueDepth   int     `json:"admission_peak_queue_depth"`
+	SpillBytes       int64   `json:"spill_bytes"`
+
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+	OpenSpillFiles   int `json:"open_spill_files_after"`
+}
+
+func main() {
+	var (
+		streams  = flag.Int("streams", 1000, "concurrent query streams")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		rows     = flag.Int("rows", 5000, "rows per generated table")
+		budget   = flag.Int64("budget", 32<<20, "global spill-memory budget (bytes)")
+		qBudget  = flag.Int64("query-budget", 1<<20, "per-query spill budget (bytes)")
+		jsonOut  = flag.Bool("json", false, "write the report to -json-file")
+		jsonFile = flag.String("json-file", "BENCH_serve.json", "report path for -json (baseline for -guard)")
+		guard    = flag.Bool("guard", false, "regression-check against the recorded baseline instead of writing")
+		tol      = flag.Float64("tolerance", 0.5, "allowed fractional regression in -guard mode (throughput and p99; wall-clock numbers on a shared box are noisy)")
+	)
+	flag.Parse()
+
+	if *guard {
+		if err := guardServeBench(*jsonFile, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "qpi-loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report, err := runLoad(*streams, *duration, *rows, *budget, *qBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qpi-loadtest: %v\n", err)
+		os.Exit(1)
+	}
+	printReport(report)
+	if *jsonOut {
+		buf, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(*jsonFile, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "qpi-loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonFile)
+	}
+}
+
+// runLoad stands up a real server on a loopback listener and drives it
+// with `streams` concurrent keep-alive connections for `duration`.
+func runLoad(streams int, duration time.Duration, rows int, budget, qBudget int64) (*serveBenchReport, error) {
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("r", rows, 1, qpi.SkewedColumn{Name: "k", Domain: 500, Zipf: 1, PermSeed: 1})
+	eng.MustCreateSkewedTable("s", rows, 2, qpi.SkewedColumn{Name: "k", Domain: 500, Zipf: 1, PermSeed: 2})
+
+	fault := vfs.NewFaultFS(nil)
+	svc, err := service.New(service.Config{
+		Engine:       eng,
+		GlobalBudget: budget,
+		QueryBudget:  qBudget,
+		MaxQueued:    2 * streams, // queueing, not rejection, is the backpressure under test
+		QueueTimeout: time.Minute,
+		SpillFS:      fault,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        streams + 64,
+		MaxIdleConnsPerHost: streams + 64,
+	}}
+
+	// Warm the plan cache so the measured window reflects steady state.
+	for _, q := range []string{quickSQL, joinSQL} {
+		if _, code, err := post(client, base, q, 0); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("warm-up %q: status %d, %v", q, code, err)
+		}
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+	var requests, rejected, errors atomic.Int64
+	latencies := make([][]float64, streams)
+	deadline := time.Now().Add(duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]float64, 0, 256)
+			for i := 0; time.Now().Before(deadline); i++ {
+				// 8:1:1 quick aggregate : spilling join : deadline-bounded join.
+				sql, deadlineMs := quickSQL, 0
+				switch (w + i) % 10 {
+				case 3:
+					sql = joinSQL
+				case 7:
+					sql, deadlineMs = joinSQL, 20
+				}
+				start := time.Now()
+				_, code, err := post(client, base, sql, deadlineMs)
+				elapsed := time.Since(start)
+				switch {
+				case err != nil:
+					errors.Add(1)
+				case code == http.StatusOK:
+					requests.Add(1)
+					mine = append(mine, float64(elapsed)/float64(time.Millisecond))
+				case code == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errors.Add(1)
+				}
+			}
+			latencies[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := duration.Seconds()
+
+	st := svc.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = svc.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("shutdown did not drain: %w", err)
+	}
+	srv.Close()
+	client.CloseIdleConnections()
+
+	// Let connection goroutines unwind before sampling the leak check.
+	goroutinesAfter := runtime.NumGoroutine()
+	for settle := time.Now().Add(10 * time.Second); goroutinesAfter > goroutinesBefore && time.Now().Before(settle); {
+		time.Sleep(50 * time.Millisecond)
+		runtime.GC()
+		goroutinesAfter = runtime.NumGoroutine()
+	}
+
+	all := make([]float64, 0, requests.Load())
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+
+	report := &serveBenchReport{
+		Benchmark:        fmt.Sprintf("qpi-server loopback HTTP, %d streams, mixed aggregate/join/deadline workload", streams),
+		CPU:              runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		MaxProcs:         runtime.GOMAXPROCS(0),
+		GoVersion:        runtime.Version(),
+		Streams:          streams,
+		DurationSec:      elapsed,
+		Rows:             rows,
+		Requests:         requests.Load(),
+		Completed:        st.Completed,
+		Cancelled:        st.Cancelled,
+		Rejected429:      rejected.Load(),
+		Errors:           errors.Load(),
+		Throughput:       float64(requests.Load()) / elapsed,
+		P50Ms:            percentile(all, 0.50),
+		P95Ms:            percentile(all, 0.95),
+		P99Ms:            percentile(all, 0.99),
+		CacheHitRate:     st.PlanCache.HitRate,
+		BudgetBytes:      st.Admission.Budget,
+		PeakGrantedBytes: st.Admission.PeakGranted,
+		PeakQueueDepth:   st.Admission.PeakQueueDepth,
+		SpillBytes:       st.SpillBytes,
+		GoroutinesBefore: goroutinesBefore,
+		GoroutinesAfter:  goroutinesAfter,
+		OpenSpillFiles:   fault.OpenFiles(),
+	}
+	return report, checkInvariants(report, st)
+}
+
+// checkInvariants enforces the outcomes that must hold on any machine,
+// regardless of wall-clock numbers.
+func checkInvariants(r *serveBenchReport, st service.Stats) error {
+	switch {
+	case r.Errors > 0:
+		return fmt.Errorf("%d requests failed with unexpected statuses or transport errors", r.Errors)
+	case st.Failed > 0:
+		return fmt.Errorf("%d queries finished in the failed state", st.Failed)
+	case st.Admission.PeakGranted > st.Admission.Budget:
+		return fmt.Errorf("admission invariant violated: peak granted %d > budget %d",
+			st.Admission.PeakGranted, st.Admission.Budget)
+	case r.OpenSpillFiles != 0:
+		return fmt.Errorf("descriptor leak: %d spill files still open", r.OpenSpillFiles)
+	case r.GoroutinesAfter > r.GoroutinesBefore+5:
+		return fmt.Errorf("goroutine leak: %d before the load, %d after shutdown",
+			r.GoroutinesBefore, r.GoroutinesAfter)
+	case r.SpillBytes == 0:
+		return fmt.Errorf("workload never spilled: the join/budget mix is not exercising the memory governor")
+	}
+	return nil
+}
+
+// guardServeBench re-runs a shortened load and fails on regression
+// against the committed baseline. Serving throughput only means
+// something on hardware comparable to the baseline's, so a mismatched
+// environment skips — loudly, so CI output shows the guard did not run.
+func guardServeBench(path string, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("guard: reading baseline: %w", err)
+	}
+	var baseline serveBenchReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("guard: parsing baseline: %w", err)
+	}
+	if baseline.CPU != runtime.GOARCH || baseline.NumCPU != runtime.NumCPU() ||
+		baseline.MaxProcs != runtime.GOMAXPROCS(0) {
+		fmt.Printf("SKIP serve guard: environment mismatch — baseline %s recorded with cpu=%s num_cpu=%d gomaxprocs=%d, this machine is cpu=%s num_cpu=%d gomaxprocs=%d; regenerate with qpi-loadtest -json to guard here\n",
+			path, baseline.CPU, baseline.NumCPU, baseline.MaxProcs,
+			runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+		return nil
+	}
+
+	dur := time.Duration(baseline.DurationSec * float64(time.Second))
+	if dur > 5*time.Second {
+		dur = 5 * time.Second
+	}
+	report, err := runLoad(baseline.Streams, dur, baseline.Rows, baseline.BudgetBytes, 1<<20)
+	if err != nil {
+		return fmt.Errorf("guard: %w", err)
+	}
+	printReport(report)
+	if floor := baseline.Throughput * (1 - tol); report.Throughput < floor {
+		return fmt.Errorf("guard: throughput regression: %.0f req/s < floor %.0f (baseline %.0f, tolerance %.0f%%)",
+			report.Throughput, floor, baseline.Throughput, tol*100)
+	}
+	if ceil := baseline.P99Ms * (1 + tol); report.P99Ms > ceil {
+		return fmt.Errorf("guard: p99 latency regression: %.1fms > ceiling %.1fms (baseline %.1fms, tolerance %.0f%%)",
+			report.P99Ms, ceil, baseline.P99Ms, tol*100)
+	}
+	fmt.Printf("serve guard OK: %.0f req/s (baseline %.0f), p99 %.1fms (baseline %.1fms)\n",
+		report.Throughput, baseline.Throughput, report.P99Ms, baseline.P99Ms)
+	return nil
+}
+
+func post(client *http.Client, base, sql string, deadlineMs int) (state string, code int, err error) {
+	body, _ := json.Marshal(map[string]any{"sql": sql, "deadline_ms": deadlineMs})
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	var res struct {
+		State string `json:"state"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&res)
+	return res.State, resp.StatusCode, nil
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func printReport(r *serveBenchReport) {
+	fmt.Printf("%s\n", r.Benchmark)
+	fmt.Printf("  env           %s, %d cpu, GOMAXPROCS %d, %s\n", r.CPU, r.NumCPU, r.MaxProcs, r.GoVersion)
+	fmt.Printf("  window        %.1fs, %d streams over %d-row tables\n", r.DurationSec, r.Streams, r.Rows)
+	fmt.Printf("  requests      %d ok (%d done, %d cancelled), %d rejected 429, %d errors\n",
+		r.Requests, r.Completed, r.Cancelled, r.Rejected429, r.Errors)
+	fmt.Printf("  throughput    %.0f req/s\n", r.Throughput)
+	fmt.Printf("  latency       p50 %.1fms  p95 %.1fms  p99 %.1fms\n", r.P50Ms, r.P95Ms, r.P99Ms)
+	fmt.Printf("  plan cache    %.1f%% hit rate\n", 100*r.CacheHitRate)
+	fmt.Printf("  admission     peak %s of %s granted, peak queue %d\n",
+		fmtBytes(r.PeakGrantedBytes), fmtBytes(r.BudgetBytes), r.PeakQueueDepth)
+	fmt.Printf("  spill         %s through the governed budget\n", fmtBytes(r.SpillBytes))
+	fmt.Printf("  leak check    goroutines %d → %d, open spill files %d\n",
+		r.GoroutinesBefore, r.GoroutinesAfter, r.OpenSpillFiles)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

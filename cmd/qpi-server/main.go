@@ -1,0 +1,187 @@
+// Command qpi-server runs the multi-tenant query service: an HTTP
+// server executing SQL over an in-memory engine with a prepared-
+// statement plan cache, admission control under a global spill-memory
+// budget, per-query deadlines, and the progress dashboard as the fleet
+// view.
+//
+// Usage:
+//
+//	qpi-server -addr :8080 -tpch 0.05                 # TPC-H data
+//	qpi-server -db ./tables                           # *.qpit directory
+//	qpi-server -demo                                  # small demo tables
+//	qpi-server -budget 256MB -query-budget 16MB ...   # memory governor
+//
+// Endpoints: POST /v1/prepare, /v1/query, /v1/cancel; GET /v1/sessions,
+// /v1/stats, /metrics, /dashboard, /debug/vars, /healthz.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"qpi"
+	"qpi/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		tpchSF       = flag.Float64("tpch", 0, "load TPC-H-style tables at this scale factor")
+		tpchSkew     = flag.Float64("skew", 1, "Zipf skew for TPC-H foreign keys (with -tpch)")
+		dbDir        = flag.String("db", "", "load every *.qpit table file in this directory")
+		demo         = flag.Bool("demo", false, "load two small skewed demo tables r and s")
+		budget       = flag.String("budget", "0", "global spill-memory budget (e.g. 256MB; 0 disables admission control)")
+		queryBudget  = flag.String("query-budget", "32MB", "default per-query spill budget")
+		maxQueued    = flag.Int("queue", 256, "admission queue capacity (0 rejects at saturation)")
+		queueTimeout = flag.Duration("queue-timeout", 10*time.Second, "max admission queue wait")
+		deadline     = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		cacheSize    = flag.Int("plan-cache", 256, "prepared-statement cache capacity")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *tpchSF, *tpchSkew, *dbDir, *demo, *budget, *queryBudget,
+		*maxQueued, *queueTimeout, *deadline, *cacheSize, *drainWait); err != nil {
+		fmt.Fprintf(os.Stderr, "qpi-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, tpchSF, tpchSkew float64, dbDir string, demo bool,
+	budgetStr, queryBudgetStr string, maxQueued int, queueTimeout, deadline time.Duration,
+	cacheSize int, drainWait time.Duration) error {
+
+	globalBudget, err := parseBytes(budgetStr)
+	if err != nil {
+		return fmt.Errorf("-budget: %w", err)
+	}
+	perQuery, err := parseBytes(queryBudgetStr)
+	if err != nil {
+		return fmt.Errorf("-query-budget: %w", err)
+	}
+
+	eng := qpi.New()
+	switch {
+	case tpchSF > 0:
+		fmt.Printf("loading TPC-H SF %g (skew %g)...\n", tpchSF, tpchSkew)
+		if err := eng.LoadTPCH(qpi.TPCHConfig{SF: tpchSF, Seed: 1, Skew: tpchSkew}); err != nil {
+			return err
+		}
+	case dbDir != "":
+		names, err := eng.LoadDatabase(dbDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d tables from %s\n", len(names), dbDir)
+	case demo:
+		eng.MustCreateSkewedTable("r", 50000, 1, qpi.SkewedColumn{Name: "k", Domain: 2000, Zipf: 1})
+		eng.MustCreateSkewedTable("s", 50000, 2, qpi.SkewedColumn{Name: "k", Domain: 2000, Zipf: 1, PermSeed: 9})
+	default:
+		return fmt.Errorf("no data: pass -tpch SF, -db DIR or -demo")
+	}
+	for _, name := range eng.Tables() {
+		rows, _ := eng.TableRows(name)
+		fmt.Printf("  %-12s %8d rows\n", name, rows)
+	}
+
+	svc, err := service.New(service.Config{
+		Engine:          eng,
+		GlobalBudget:    globalBudget,
+		QueryBudget:     perQuery,
+		MaxQueued:       maxQueued,
+		QueueTimeout:    queueTimeout,
+		DefaultDeadline: deadline,
+		PlanCacheSize:   cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if globalBudget > 0 {
+		fmt.Printf("memory governor: %s global / %s per query, queue %d (timeout %v)\n",
+			fmtBytes(globalBudget), fmtBytes(perQuery), maxQueued, queueTimeout)
+	} else {
+		fmt.Println("memory governor: disabled (-budget 0)")
+	}
+	fmt.Printf("qpi-server listening on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("\n%v: draining (up to %v)...\n", sig, drainWait)
+	case err := <-errc:
+		return err
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight queries, then
+	// drain HTTP connections. The service cancels stragglers when the
+	// drain window expires.
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Printf("drain expired: cancelled remaining sessions (%v)\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	st := svc.Stats()
+	fmt.Printf("served %d queries (%d cancelled, %d failed), plan-cache hit rate %.1f%%\n",
+		st.Completed+st.Cancelled+st.Failed, st.Cancelled, st.Failed, 100*st.PlanCache.HitRate)
+	return nil
+}
+
+// parseBytes parses "4096", "64KB", "32MB", "2GB" (case-insensitive,
+// optional "iB" spellings) into bytes.
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -79,7 +79,7 @@ func (d *Dashboard) Snapshot() []QueryStatus {
 	for i, s := range snap {
 		out[i] = QueryStatus{
 			Label:  s.Label,
-			Status: Status{Progress: s.Progress, C: s.C, T: s.T, State: s.State.String()},
+			Status: statusOf(s.Progress, s.C, s.T, s.State),
 			Done:   s.Done,
 		}
 	}

@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"qpi/internal/data"
 	"qpi/internal/storage"
@@ -41,19 +42,34 @@ type Entry struct {
 	Stats *TableStats
 }
 
-// Catalog maps table names to entries.
+// Catalog maps table names to entries. A monotonically increasing
+// version number changes on every mutation (table registration, row
+// insertion, re-ANALYZE); plan caches key on it to detect stale
+// prepared statements.
 type Catalog struct {
 	entries map[string]*Entry
+	version atomic.Int64
 }
 
 // New creates an empty catalog.
 func New() *Catalog { return &Catalog{entries: map[string]*Entry{}} }
+
+// Version returns the catalog's current mutation version. It increases
+// on Register/RegisterWithoutStats and every explicit Bump (callers bump
+// on row insertion and re-ANALYZE); a plan compiled at version v is
+// stale whenever Version() != v. Safe for concurrent readers.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// Bump advances the catalog version, marking every previously prepared
+// plan stale.
+func (c *Catalog) Bump() { c.version.Add(1) }
 
 // Register adds a table and computes its statistics (a full ANALYZE; data
 // generation is the only writer so statistics never go stale).
 func (c *Catalog) Register(t *storage.Table) *Entry {
 	e := &Entry{Table: t, Stats: Analyze(t)}
 	c.entries[t.Name()] = e
+	c.Bump()
 	return e
 }
 
@@ -65,6 +81,7 @@ func (c *Catalog) RegisterWithoutStats(t *storage.Table) *Entry {
 		Columns: map[string]*ColumnStats{},
 	}}
 	c.entries[t.Name()] = e
+	c.Bump()
 	return e
 }
 

@@ -338,7 +338,7 @@ func TestCancelHashAgg(t *testing.T) {
 }
 
 // TestBindIsUniform verifies Bind reaches every operator in a bushy plan
-// (the contract RunContext relies on).
+// (the contract Query.Run relies on).
 func TestBindIsUniform(t *testing.T) {
 	j := NewHashJoinOn(
 		NewScan(makeTable("a", []int64{1, 2}), ""),

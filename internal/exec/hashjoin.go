@@ -107,8 +107,13 @@ type HashJoin struct {
 	state      hjState
 	buildParts [][]data.Tuple
 	probeParts [][]data.Tuple
-	buildRows  int64
-	probeRows  int64
+	// buildRows/probeRows and done are read by monitor goroutines
+	// (Report/Metrics via BuildRows/ProbeRows/JoinedProbeFraction) while
+	// the executor advances, so they are atomics; state itself stays an
+	// executor-private field.
+	buildRows atomic.Int64
+	probeRows atomic.Int64
+	done      atomic.Bool
 
 	// Memory-budgeted (spilling) mode: when memBudget > 0, partitions
 	// whose buffered bytes exceed the per-partition share spill to temp
@@ -683,6 +688,7 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 		j.curPart++
 		if j.curPart >= j.parts {
 			j.state = hjDone
+			j.done.Store(true)
 			break
 		}
 		if err := j.loadPartition(j.curPart); err != nil {
@@ -720,7 +726,7 @@ func (j *HashJoin) partitionPhases() error {
 		if t == nil {
 			break
 		}
-		j.buildRows++
+		j.buildRows.Add(1)
 		if j.OnBuildTuple != nil {
 			j.OnBuildTuple(t)
 		}
@@ -733,7 +739,7 @@ func (j *HashJoin) partitionPhases() error {
 			return err
 		}
 	}
-	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
+	j.traceEnd("build", j.buildRows.Load(), 0, int64(j.spilled))
 	j.traceBegin("probe")
 	for {
 		if err := j.pollCtx(); err != nil {
@@ -746,7 +752,7 @@ func (j *HashJoin) partitionPhases() error {
 		if t == nil {
 			break
 		}
-		j.probeRows++
+		j.probeRows.Add(1)
 		if j.OnProbeTuple != nil {
 			j.OnProbeTuple(t)
 		}
@@ -766,7 +772,7 @@ func (j *HashJoin) partitionPhases() error {
 			return err
 		}
 	}
-	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
+	j.traceEnd("probe", j.probeRows.Load(), 0, int64(j.spilled))
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
@@ -863,20 +869,21 @@ func (j *HashJoin) Close() error {
 
 // BuildRows returns the number of build tuples read (available after the
 // first Next call).
-func (j *HashJoin) BuildRows() int64 { return j.buildRows }
+func (j *HashJoin) BuildRows() int64 { return j.buildRows.Load() }
 
 // ProbeRows returns the number of probe tuples read.
-func (j *HashJoin) ProbeRows() int64 { return j.probeRows }
+func (j *HashJoin) ProbeRows() int64 { return j.probeRows.Load() }
 
 // JoinedProbeFraction returns the fraction of the probe input consumed by
 // the join (second) pass — the x-axis of the paper's Figure 4 and the
 // driver progress the dne/byte estimators observe for hash joins.
 func (j *HashJoin) JoinedProbeFraction() float64 {
-	if j.probeRows == 0 {
-		if j.state == hjDone {
+	probed := j.probeRows.Load()
+	if probed == 0 {
+		if j.done.Load() {
 			return 1
 		}
 		return 0
 	}
-	return float64(j.joinedProbes.Load()) / float64(j.probeRows)
+	return float64(j.joinedProbes.Load()) / float64(probed)
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"qpi/internal/data"
 )
@@ -25,7 +26,7 @@ type passConfig struct {
 	spill     []*spillFile
 	bytes     []int64
 	width     int
-	rows      *int64
+	rows      *atomic.Int64
 	// keepNull routes NULL-key tuples to partition 0 instead of dropping
 	// them (probe side of the probe-preserving join types).
 	keepNull bool
@@ -51,7 +52,7 @@ func (j *HashJoin) partitionPhasesBatched() error {
 	if err := j.partitionPassBatched(&build); err != nil {
 		return err
 	}
-	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
+	j.traceEnd("build", j.buildRows.Load(), 0, int64(j.spilled))
 	if j.OnBuildEnd != nil {
 		j.OnBuildEnd()
 	}
@@ -71,7 +72,7 @@ func (j *HashJoin) partitionPhasesBatched() error {
 	if err := j.partitionPassBatched(&probe); err != nil {
 		return err
 	}
-	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
+	j.traceEnd("probe", j.probeRows.Load(), 0, int64(j.spilled))
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
@@ -100,7 +101,7 @@ func (j *HashJoin) partitionPassBatched(cfg *passConfig) error {
 		if len(b) == 0 {
 			return nil
 		}
-		*cfg.rows += int64(len(b))
+		cfg.rows.Add(int64(len(b)))
 		if cfg.tupleHook != nil {
 			for _, t := range b {
 				cfg.tupleHook(t)
@@ -176,7 +177,7 @@ func (j *HashJoin) partitionPassParallel(cfg *passConfig) error {
 		if len(b) == 0 {
 			break
 		}
-		*cfg.rows += int64(len(b))
+		cfg.rows.Add(int64(len(b)))
 		if cfg.tupleHook != nil {
 			for _, t := range b {
 				cfg.tupleHook(t)

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"qpi/internal/data"
 )
 
@@ -45,7 +47,7 @@ type colPassConfig struct {
 	spill        []*spillFile
 	bytes        []int64
 	width        int
-	rows         *int64
+	rows         *atomic.Int64
 	// keepNull routes NULL-key tuples to partition 0 instead of dropping
 	// them (probe side of the probe-preserving join types).
 	keepNull bool
@@ -70,7 +72,7 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 	if err := j.partitionPassColumnar(&build); err != nil {
 		return err
 	}
-	j.traceEnd("build", j.buildRows, 0, int64(j.spilled))
+	j.traceEnd("build", j.buildRows.Load(), 0, int64(j.spilled))
 	if j.OnBuildEnd != nil {
 		j.OnBuildEnd()
 	}
@@ -91,7 +93,7 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 	if err := j.partitionPassColumnar(&probe); err != nil {
 		return err
 	}
-	j.traceEnd("probe", j.probeRows, 0, int64(j.spilled))
+	j.traceEnd("probe", j.probeRows.Load(), 0, int64(j.spilled))
 	if j.OnProbeEnd != nil {
 		j.OnProbeEnd()
 	}
@@ -118,7 +120,7 @@ func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
 		if cb == nil {
 			return nil
 		}
-		*cfg.rows += int64(cb.Live())
+		cfg.rows.Add(int64(cb.Live()))
 		var rows []data.Tuple
 		if cfg.tupleHook != nil {
 			rows = cb.MaterializeRows()

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"qpi/internal/data"
 )
@@ -132,7 +133,7 @@ func newMorselPassState(workers, parts int) *morselPassState {
 
 // finish joins the workers and folds the pass results into the shared
 // partition state; it returns the first worker error (context expiry).
-func (j *HashJoin) finishMorselPass(st *morselPassState, sc *Scan, rows *int64, parts [][]data.Tuple) error {
+func (j *HashJoin) finishMorselPass(st *morselPassState, sc *Scan, rows *atomic.Int64, parts [][]data.Tuple) error {
 	st.wg.Wait()
 	for _, err := range st.errs {
 		if err != nil {
@@ -141,7 +142,7 @@ func (j *HashJoin) finishMorselPass(st *morselPassState, sc *Scan, rows *int64, 
 	}
 	sc.finishMorselPass()
 	for _, n := range st.rows {
-		*rows += n
+		rows.Add(n)
 	}
 	j.mergeLocals(parts, st.locals)
 	return nil

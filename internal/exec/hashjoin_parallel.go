@@ -327,6 +327,7 @@ func (j *HashJoin) nextParallelBatch() (data.Batch, error) {
 		}
 		if st.cur >= j.parts {
 			j.state = hjDone
+			j.done.Store(true)
 			break
 		}
 		out := &st.res[st.cur]

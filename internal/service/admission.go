@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Typed admission errors. HTTP handlers map them onto status codes
+// (429 for pressure, 400 for an unsatisfiable request) and callers
+// branch with errors.Is.
+var (
+	// ErrQueueFull rejects work outright: the global budget is saturated
+	// and the admission queue is at capacity.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrQueueTimeout rejects work that waited in the admission queue for
+	// the configured maximum without capacity freeing up.
+	ErrQueueTimeout = errors.New("service: admission queue timeout")
+	// ErrBudgetTooLarge rejects a per-query budget request that exceeds
+	// the whole global budget — it could never be admitted.
+	ErrBudgetTooLarge = errors.New("service: requested budget exceeds global memory budget")
+	// ErrShuttingDown rejects new work during graceful shutdown.
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Governor is the memory governor: it partitions a global spill-memory
+// budget into per-query grants. A query acquires its grant before
+// compiling (the grant becomes its WithMemoryBudget cap, so the
+// engine's spill machinery enforces it) and releases it when execution
+// finishes. The invariant the governor maintains — and tests assert via
+// PeakGranted — is that the sum of outstanding grants never exceeds the
+// global budget.
+//
+// When the budget is saturated, acquirers queue FIFO (no small-request
+// bypass: a large query at the head cannot be starved) up to a queue
+// capacity, beyond which work is rejected with ErrQueueFull; a queued
+// acquirer gives up after the configured timeout (ErrQueueTimeout) or
+// when its context is cancelled.
+type Governor struct {
+	budget   int64
+	maxQueue int
+	timeout  time.Duration
+
+	mu          sync.Mutex
+	granted     int64
+	outstanding int
+	waiters     []*waiter
+
+	admitted       int64
+	queuedTotal    int64
+	rejectedFull   int64
+	rejectedBudget int64
+	timedOut       int64
+	peakGranted    int64
+	peakQueue      int
+}
+
+// waiter is one queued admission request. ch is buffered so the waker
+// never blocks handing over a grant.
+type waiter struct {
+	want int64
+	ch   chan int64
+}
+
+// NewGovernor creates a governor over a global budget of `budget`
+// bytes. budget <= 0 means ungoverned: every Acquire succeeds
+// immediately with an unlimited grant. maxQueue <= 0 disables queueing
+// (saturation rejects immediately); timeout <= 0 waits indefinitely
+// (until the caller's context cancels).
+func NewGovernor(budget int64, maxQueue int, timeout time.Duration) *Governor {
+	return &Governor{budget: budget, maxQueue: maxQueue, timeout: timeout}
+}
+
+// Governed reports whether a global budget is being enforced.
+func (g *Governor) Governed() bool { return g.budget > 0 }
+
+// Acquire reserves want bytes of the global budget, queueing when
+// saturated. It returns the granted budget (0 meaning unlimited, on an
+// ungoverned governor) and an idempotent release function; exactly one
+// of (release, error) is non-nil.
+func (g *Governor) Acquire(ctx context.Context, want int64) (grant int64, release func(), err error) {
+	if !g.Governed() {
+		return 0, func() {}, nil
+	}
+	if want > g.budget {
+		g.mu.Lock()
+		g.rejectedBudget++
+		g.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: want %d, budget %d", ErrBudgetTooLarge, want, g.budget)
+	}
+
+	g.mu.Lock()
+	// Immediate grant only when nobody is queued ahead (FIFO fairness).
+	if len(g.waiters) == 0 && g.granted+want <= g.budget {
+		g.grantLocked(want)
+		g.mu.Unlock()
+		return want, g.onceRelease(want), nil
+	}
+	if len(g.waiters) >= g.maxQueue {
+		g.rejectedFull++
+		g.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w (%d queued, %d/%d bytes granted)",
+			ErrQueueFull, g.maxQueue, g.granted, g.budget)
+	}
+	w := &waiter{want: want, ch: make(chan int64, 1)}
+	g.waiters = append(g.waiters, w)
+	g.queuedTotal++
+	if len(g.waiters) > g.peakQueue {
+		g.peakQueue = len(g.waiters)
+	}
+	g.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if g.timeout > 0 {
+		t := time.NewTimer(g.timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case n := <-w.ch:
+		return n, g.onceRelease(n), nil
+	case <-ctx.Done():
+		if g.abandon(w) {
+			return 0, nil, ctx.Err()
+		}
+		// A grant raced in while we were abandoning; hand it back.
+		g.release(<-w.ch)
+		return 0, nil, ctx.Err()
+	case <-timeout:
+		if g.abandon(w) {
+			g.mu.Lock()
+			g.timedOut++
+			g.mu.Unlock()
+			return 0, nil, fmt.Errorf("%w after %v", ErrQueueTimeout, g.timeout)
+		}
+		// The grant arrived just as the timer fired: take it.
+		n := <-w.ch
+		return n, g.onceRelease(n), nil
+	}
+}
+
+// abandon removes a waiter from the queue; false means a grant was (or
+// is being) delivered instead.
+func (g *Governor) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, q := range g.waiters {
+		if q == w {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// grantLocked accounts one grant. Caller holds g.mu.
+func (g *Governor) grantLocked(n int64) {
+	g.granted += n
+	g.outstanding++
+	g.admitted++
+	if g.granted > g.peakGranted {
+		g.peakGranted = g.granted
+	}
+}
+
+// onceRelease wraps release so double-releasing (e.g. a deferred release
+// after an explicit one) cannot corrupt the accounting.
+func (g *Governor) onceRelease(n int64) func() {
+	var once sync.Once
+	return func() { once.Do(func() { g.release(n) }) }
+}
+
+func (g *Governor) release(n int64) {
+	g.mu.Lock()
+	g.granted -= n
+	g.outstanding--
+	// Wake queued acquirers front-to-back while their requests fit.
+	for len(g.waiters) > 0 {
+		w := g.waiters[0]
+		if g.granted+w.want > g.budget {
+			break
+		}
+		g.waiters = g.waiters[1:]
+		g.grantLocked(w.want)
+		w.ch <- w.want
+	}
+	g.mu.Unlock()
+}
+
+// AdmissionStats is a point-in-time snapshot of the governor.
+type AdmissionStats struct {
+	// Budget is the configured global budget (0 = ungoverned).
+	Budget int64 `json:"budget_bytes"`
+	// Granted is the current sum of outstanding per-query grants; the
+	// governor guarantees Granted <= Budget at all times, and PeakGranted
+	// records the high-water mark of that sum.
+	Granted     int64 `json:"granted_bytes"`
+	PeakGranted int64 `json:"peak_granted_bytes"`
+	// Running is the number of queries currently holding a grant.
+	Running int `json:"running"`
+	// QueueDepth is the number of queries waiting for admission now;
+	// PeakQueueDepth its high-water mark.
+	QueueDepth     int `json:"queue_depth"`
+	PeakQueueDepth int `json:"peak_queue_depth"`
+	// Admitted counts grants handed out; Queued how many of those waited
+	// in the queue first.
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	// RejectedQueueFull / RejectedBudget / TimedOut count the three
+	// rejection outcomes.
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedBudget    int64 `json:"rejected_budget"`
+	TimedOut          int64 `json:"timed_out"`
+}
+
+// Stats returns a consistent snapshot.
+func (g *Governor) Stats() AdmissionStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return AdmissionStats{
+		Budget:            g.budget,
+		Granted:           g.granted,
+		PeakGranted:       g.peakGranted,
+		Running:           g.outstanding,
+		QueueDepth:        len(g.waiters),
+		PeakQueueDepth:    g.peakQueue,
+		Admitted:          g.admitted,
+		Queued:            g.queuedTotal,
+		RejectedQueueFull: g.rejectedFull,
+		RejectedBudget:    g.rejectedBudget,
+		TimedOut:          g.timedOut,
+	}
+}

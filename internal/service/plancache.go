@@ -1,0 +1,114 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"qpi"
+)
+
+// PlanCache is the prepared-statement cache: an LRU keyed on SQL text,
+// where each entry records the engine catalog version it was prepared
+// against. A lookup whose entry was prepared at an older catalog
+// version (tables created, rows inserted, statistics recomputed since)
+// counts as an invalidation and re-prepares — so DDL/DML never serves a
+// stale plan, without any eager invalidation hooks.
+type PlanCache struct {
+	mu    sync.Mutex
+	cap   int
+	byKey map[string]*list.Element
+	lru   *list.List // front = most recently used; values are *cacheEntry
+
+	hits          int64
+	misses        int64
+	invalidations int64
+	evictions     int64
+}
+
+type cacheEntry struct {
+	sql  string
+	prep *qpi.Prepared
+	hits int64
+}
+
+// NewPlanCache creates a cache holding up to capacity prepared
+// statements (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{cap: capacity, byKey: map[string]*list.Element{}, lru: list.New()}
+}
+
+// Get returns a fresh prepared statement for sqlText, consulting the
+// cache first. The second result reports a cache hit. Parse/plan errors
+// are returned verbatim and never cached.
+func (c *PlanCache) Get(eng *qpi.Engine, sqlText string) (*qpi.Prepared, bool, error) {
+	version := eng.CatalogVersion()
+	c.mu.Lock()
+	if el, ok := c.byKey[sqlText]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.prep.CatalogVersion() == version {
+			c.lru.MoveToFront(el)
+			c.hits++
+			e.hits++
+			prep := e.prep
+			c.mu.Unlock()
+			return prep, true, nil
+		}
+		// Prepared against an older catalog: invalidate and re-prepare.
+		c.lru.Remove(el)
+		delete(c.byKey, sqlText)
+		c.invalidations++
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prep, err := eng.Prepare(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if _, raced := c.byKey[sqlText]; !raced {
+		c.byKey[sqlText] = c.lru.PushFront(&cacheEntry{sql: sqlText, prep: prep})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*cacheEntry).sql)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	return prep, false, nil
+}
+
+// CacheStats is a point-in-time snapshot of the plan cache.
+type CacheStats struct {
+	Size          int   `json:"size"`
+	Capacity      int   `json:"capacity"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
+	Evictions     int64 `json:"evictions"`
+	// HitRate is Hits/(Hits+Misses), 0 before any lookup.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats returns a consistent snapshot.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Size:          c.lru.Len(),
+		Capacity:      c.cap,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Evictions:     c.evictions,
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qpi"
+)
+
+func cacheEngine(t testing.TB) *qpi.Engine {
+	t.Helper()
+	eng := qpi.New()
+	eng.MustCreateSkewedTable("r", 200, 1, qpi.SkewedColumn{Name: "k", Domain: 50, Zipf: 1, PermSeed: 1})
+	return eng
+}
+
+func TestPlanCacheHitMissEvict(t *testing.T) {
+	eng := cacheEngine(t)
+	c := NewPlanCache(2)
+
+	q0 := "SELECT COUNT(*) c FROM r"
+	if _, hit, err := c.Get(eng, q0); err != nil || hit {
+		t.Fatalf("first Get = hit=%v err=%v, want cold miss", hit, err)
+	}
+	if _, hit, err := c.Get(eng, q0); err != nil || !hit {
+		t.Fatalf("second Get = hit=%v err=%v, want hit", hit, err)
+	}
+
+	// Two more distinct statements overflow capacity 2 and evict the
+	// least recently used entry, which is q0.
+	q1 := "SELECT COUNT(*) c FROM r WHERE r.k < 10"
+	q2 := "SELECT COUNT(*) c FROM r WHERE r.k < 20"
+	if _, _, err := c.Get(eng, q1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(eng, q2); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want size 2 with 1 eviction", st)
+	}
+	if _, hit, _ := c.Get(eng, q0); hit {
+		t.Error("LRU-evicted entry still reported as a hit")
+	}
+	if _, hit, _ := c.Get(eng, q2); !hit {
+		t.Error("resident entry missed")
+	}
+}
+
+func TestPlanCacheStaleEntryInvalidated(t *testing.T) {
+	eng := cacheEngine(t)
+	c := NewPlanCache(8)
+	q := "SELECT COUNT(*) c FROM r"
+
+	prep1, _, err := c.Get(eng, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Analyze("r"); err != nil {
+		t.Fatal(err)
+	}
+	if prep1.Stale() != true {
+		t.Error("Prepared.Stale() = false after catalog bump")
+	}
+	prep2, hit, err := c.Get(eng, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("stale entry served as a hit")
+	}
+	if prep2.CatalogVersion() != eng.CatalogVersion() {
+		t.Error("re-prepared entry not at current catalog version")
+	}
+	if st := c.Stats(); st.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
+func TestPlanCacheConcurrentGets(t *testing.T) {
+	eng := cacheEngine(t)
+	c := NewPlanCache(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sqlText := fmt.Sprintf("SELECT COUNT(*) c FROM r WHERE r.k < %d", 10+i%4)
+			for j := 0; j < 20; j++ {
+				prep, _, err := c.Get(eng, sqlText)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				q, err := prep.NewQuery()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := q.Run(nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 4 {
+		t.Errorf("size = %d exceeds capacity 4", st.Size)
+	}
+	if st.Hits == 0 {
+		t.Error("no hits under concurrent reuse")
+	}
+}

@@ -117,7 +117,13 @@ func (t *Table) Insert(vals ...any) error {
 			return fmt.Errorf("qpi: unsupported value type %T", v)
 		}
 	}
-	return t.t.Append(tu)
+	if err := t.t.Append(tu); err != nil {
+		return err
+	}
+	// Row counts (and therefore optimizer estimates and any cached plan
+	// keyed on the catalog version) are stale now.
+	t.eng.cat.Bump()
+	return nil
 }
 
 // Rows returns the number of rows in the table.
@@ -131,8 +137,15 @@ func (e *Engine) Analyze(name string) error {
 		return err
 	}
 	entry.Stats = catalog.Analyze(entry.Table)
+	e.cat.Bump()
 	return nil
 }
+
+// CatalogVersion returns the engine catalog's mutation version: it
+// increases on every CreateTable/Insert/Analyze/load, so a prepared
+// statement captured at version v is stale exactly when
+// CatalogVersion() != v. See Engine.Prepare.
+func (e *Engine) CatalogVersion() int64 { return e.cat.Version() }
 
 // SkewedColumn declares one Zipf-distributed integer column of a
 // synthetic table (the paper's C_{z,n} workloads): values drawn from

@@ -13,9 +13,9 @@ import (
 )
 
 // Tests for the query-lifecycle contract: single-use claiming is race
-// free, RunContext/StartContext honour cancellation and deadlines in
-// every execution mode, the monitor lands in the matching terminal
-// state, and nothing (goroutines, spill descriptors) leaks.
+// free, Run/Start honour cancellation and deadlines in every execution
+// mode, the monitor lands in the matching terminal state, and nothing
+// (goroutines, spill descriptors) leaks.
 
 func bigJoinEngine(t *testing.T) *Engine {
 	t.Helper()
@@ -62,11 +62,11 @@ func TestQueryStartRace(t *testing.T) {
 	}
 }
 
-func TestRunContextExpiredDeadline(t *testing.T) {
+func TestRunExpiredDeadline(t *testing.T) {
 	q := bigJoinEngine(t).MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k")
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	_, err := q.RunContext(ctx, nil, 0)
+	_, err := q.Run(ctx)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v", err)
 	}
@@ -87,11 +87,11 @@ func TestRowsContextCancelled(t *testing.T) {
 	}
 }
 
-// TestStartContextCancelMidFlight cancels via Running.Cancel while the
-// join runs and checks the full contract: Wait returns context.Canceled,
-// the published report has the cancelled terminal state, and the
-// execution goroutine exits.
-func TestStartContextCancelMidFlight(t *testing.T) {
+// TestStartCancelMidFlight cancels via Running.Cancel while the join
+// runs and checks the full contract: Wait returns context.Canceled, the
+// published report has the cancelled terminal state, and the execution
+// goroutine exits.
+func TestStartCancelMidFlight(t *testing.T) {
 	for _, mode := range []struct {
 		name string
 		opts []CompileOption
@@ -105,7 +105,7 @@ func TestStartContextCancelMidFlight(t *testing.T) {
 			before := runtime.NumGoroutine()
 			q := bigJoinEngine(t).MustQuery("SELECT r.k FROM r JOIN s ON r.k = s.k", mode.opts...)
 			parked, resume := parkFirstScan(q, 5000)
-			r, err := q.StartContext(context.Background(), 500)
+			r, err := q.Start(context.Background(), WithInterval(500))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -169,7 +169,7 @@ func TestBatchedProgressPublishes(t *testing.T) {
 			q := bigJoinEngine(t).MustQuery(
 				"SELECT r.k FROM r JOIN s ON r.k = s.k", WithBatchExecution(workers))
 			parked, resume := parkFirstScan(q, 20000)
-			r, err := q.StartContext(context.Background(), 500)
+			r, err := q.Start(context.Background(), WithInterval(500))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -238,7 +238,7 @@ func TestDashboardShowsCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := q.RunContext(ctx, nil, 0); !errors.Is(err, context.Canceled) {
+	if _, err := q.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 	snap := d.Snapshot()

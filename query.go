@@ -13,6 +13,7 @@ import (
 	"qpi/internal/plan"
 	"qpi/internal/progress"
 	"qpi/internal/sql"
+	"qpi/internal/vfs"
 )
 
 // Query parses a SQL SELECT statement, plans it against the engine's
@@ -71,6 +72,7 @@ type compileCfg struct {
 	noEstimators   bool
 	memBudget      int64
 	batchWorkers   int
+	spillFS        vfs.FS
 }
 
 // WithMode selects the estimator mode (default Once).
@@ -101,6 +103,21 @@ func WithoutEstimators() CompileOption {
 // default) keeps everything in memory.
 func WithMemoryBudget(bytes int64) CompileOption {
 	return func(c *compileCfg) { c.memBudget = bytes }
+}
+
+// SpillFS is the filesystem surface spilling operators (grace hash-join
+// partitions, external-sort runs) create their temporary files on. The
+// zero value of the seam is the real filesystem; tests and servers
+// inject instrumented implementations (fault injection, open-descriptor
+// accounting) through WithSpillFS.
+type SpillFS = vfs.FS
+
+// WithSpillFS routes every spilling operator's temporary-file I/O
+// through fs — the internal/vfs seam, exposed so service layers can
+// account for (and tests can fault-inject) spill descriptors across a
+// whole workload. nil keeps the real filesystem.
+func WithSpillFS(fs SpillFS) CompileOption {
+	return func(c *compileCfg) { c.spillFS = fs }
 }
 
 // WithBatchExecution switches the plan to batch-at-a-time execution:
@@ -199,6 +216,16 @@ func (e *Engine) Compile(n *Node, opts ...CompileOption) (*Query, error) {
 			}
 		})
 	}
+	if cfg.spillFS != nil {
+		exec.Walk(n.op, func(op exec.Operator) {
+			switch o := op.(type) {
+			case *exec.HashJoin:
+				o.SetSpillFS(cfg.spillFS)
+			case *exec.Sort:
+				o.SetSpillFS(cfg.spillFS)
+			}
+		})
+	}
 	if cfg.batchWorkers > 0 {
 		// Before Attach, so the estimators see the batched joins and
 		// install sharded batch hooks instead of per-tuple hooks.
@@ -275,12 +302,17 @@ type PipelineStatus struct {
 	Done    bool
 }
 
-func toStatus(r progress.Report) Status {
-	return Status{Progress: r.Progress, C: r.C, T: r.T, State: r.State.String()}
+// statusOf is the single conversion from the progress layer's counters
+// to the public Status. Every consumer-facing snapshot — Report (and so
+// Subscribe and WithProgress), Dashboard's QueryStatus rows and Metrics
+// — goes through this one function, so they all speak the same type
+// with the same state vocabulary.
+func statusOf(progressFrac, c, t float64, state progress.State) Status {
+	return Status{Progress: progressFrac, C: c, T: t, State: state.String()}
 }
 
 func toReport(r progress.Report) Report {
-	out := Report{Status: toStatus(r)}
+	out := Report{Status: statusOf(r.Progress, r.C, r.T, r.State)}
 	for _, p := range r.Pipelines {
 		out.Pipelines = append(out.Pipelines, PipelineStatus{
 			ID: p.ID, Root: p.Root, C: p.C, T: p.T, Started: p.Started, Done: p.Done,
@@ -319,17 +351,6 @@ func (q *Query) Run(ctx context.Context, opts ...RunOption) (int64, error) {
 	n, err := execRun(ctx, q)
 	q.finishRun(&cfg)
 	return n, err
-}
-
-// RunContext is the pre-option-style Run signature.
-//
-// Deprecated: use Run(ctx, WithProgress(onProgress, every)).
-func (q *Query) RunContext(ctx context.Context, onProgress func(Report), every int64) (int64, error) {
-	var opts []RunOption
-	if onProgress != nil {
-		opts = append(opts, WithProgress(onProgress, every))
-	}
-	return q.Run(ctx, opts...)
 }
 
 // installObservability wires the run options and subscribers into the
@@ -387,7 +408,7 @@ func (q *Query) Rows() ([][]any, error) {
 }
 
 // RowsContext is Rows bound to ctx; cancellation and deadline behaviour
-// match RunContext.
+// match Run.
 func (q *Query) RowsContext(ctx context.Context) ([][]any, error) {
 	if err := q.claim(); err != nil {
 		return nil, err

@@ -1,9 +1,11 @@
 package qpi
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -20,8 +22,10 @@ var DefaultDashboard = NewDashboard()
 //	             query's counters and gauges
 //	/dashboard   the registry snapshot plus overall progress, as JSON
 //	/debug/vars  the standard expvar endpoint (includes the "qpi" var)
+//	/healthz     liveness probe: "ok\n" with status 200
 //
-// Close stops the listener; in-flight scrapes finish.
+// Close stops the listener immediately (in-flight scrapes finish);
+// Shutdown drains gracefully.
 type Server struct {
 	d   *Dashboard
 	ln  net.Listener
@@ -32,17 +36,32 @@ type Server struct {
 // (":0" picks a free port; Addr reports it).
 func Serve(addr string) (*Server, error) { return DefaultDashboard.Serve(addr) }
 
+// Mount registers the dashboard's observability endpoints (/metrics,
+// /dashboard, /debug/vars, /healthz) on a caller-provided mux, so the
+// qpi surface can share an *http.ServeMux with an application's own
+// handlers instead of owning a listener.
+func (d *Dashboard) Mount(mux *http.ServeMux) {
+	publishExpvar(d)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/dashboard", d.handleDashboard)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", HandleHealthz)
+}
+
+// HandleHealthz is the liveness probe handler mounted at /healthz.
+func HandleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
 // Serve starts an observability server for this dashboard on addr.
 func (d *Dashboard) Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	publishExpvar(d)
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", d.handleMetrics)
-	mux.HandleFunc("/dashboard", d.handleDashboard)
-	mux.Handle("/debug/vars", expvar.Handler())
+	d.Mount(mux)
 	s := &Server{d: d, ln: ln, srv: &http.Server{Handler: mux}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
@@ -51,8 +70,15 @@ func (d *Dashboard) Serve(addr string) (*Server, error) {
 // Addr returns the server's listen address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server immediately. In-flight scrapes finish; idle
+// connections are closed.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes, in-flight
+// requests run to completion, and the call returns when every
+// connection has drained or ctx expires (returning ctx's error, with
+// remaining connections then closed as in Close).
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // expvarOnce guards the process-global expvar name: the first dashboard
 // served publishes its snapshot under "qpi".
@@ -71,7 +97,14 @@ func publishExpvar(d *Dashboard) {
 
 func (d *Dashboard) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(struct {
+	_ = d.WriteJSON(w)
+}
+
+// WriteJSON writes the registry snapshot plus overall progress as JSON —
+// the /dashboard payload, exposed so service layers can embed it in
+// composite endpoints.
+func (d *Dashboard) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(struct {
 		Queries []QueryStatus `json:"queries"`
 		Overall float64       `json:"overall"`
 	}{d.Snapshot(), d.Overall()})
@@ -106,6 +139,13 @@ var promMetrics = []promMetric{
 
 func (d *Dashboard) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.WriteMetrics(w)
+}
+
+// WriteMetrics writes the Prometheus-style text exposition of every
+// registered query — the /metrics payload, exposed so service layers
+// can append their own metric families to the same scrape.
+func (d *Dashboard) WriteMetrics(w io.Writer) {
 	labels, qs := d.queriesSnapshot()
 	metrics := make([]Metrics, len(qs))
 	for i, q := range qs {

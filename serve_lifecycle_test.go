@@ -1,0 +1,77 @@
+package qpi
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeLifecycle covers the additions to the observability server:
+// Mount on a caller-provided mux, the /healthz probe, and graceful
+// Shutdown alongside Close.
+func TestServeLifecycle(t *testing.T) {
+	e := testEngine(t)
+	d := NewDashboard()
+	q := e.MustQuery("SELECT COUNT(*) c FROM r")
+	if err := d.Register("lifecycle", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mount shares a mux with application routes.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "app")
+	})
+	d.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/app"); code != 200 || body != "app" {
+		t.Errorf("/app = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, `qpi_query_progress{query="lifecycle"} 1`) {
+		t.Errorf("/metrics = %d, missing lifecycle progress", code)
+	}
+	if code, body := get("/dashboard"); code != 200 || !strings.Contains(body, `"lifecycle"`) {
+		t.Errorf("/dashboard = %d %q", code, body)
+	}
+
+	// Shutdown drains a listener-owning Server gracefully.
+	srv, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}

@@ -20,7 +20,7 @@ func TestSubscribeTerminalOnCancellation(t *testing.T) {
 	sub := q.Subscribe()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := q.RunContext(ctx, nil, 0); !errors.Is(err, context.Canceled) {
+	if _, err := q.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 	var last Report
