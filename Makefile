@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check leakcheck serve-check bench-join bench-columnar bench-matrix bench-serve bench-guard lint-deprecated fuzz cover
+.PHONY: build test vet race check leakcheck serve-check reopt-check bench-join bench-columnar bench-matrix bench-serve bench-guard lint-deprecated fuzz cover
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzChooser$$'      -fuzztime $(FUZZTIME) -timeout 120s ./internal/distinct/
 	$(GO) test -fuzz '^FuzzJoinModes$$'    -fuzztime $(FUZZTIME) -timeout 120s ./internal/exec/
 	$(GO) test -fuzz '^FuzzOnceExact$$'    -fuzztime $(FUZZTIME) -timeout 120s ./internal/core/
+	$(GO) test -fuzz '^FuzzSketchMerge$$'  -fuzztime $(FUZZTIME) -timeout 120s ./internal/sketch/
 	$(GO) test -fuzz '^FuzzDifferential$$' -fuzztime $(FUZZTIME) -timeout 180s ./internal/difftest/
 	$(GO) test -fuzz '^FuzzQueryModes$$'   -fuzztime $(FUZZTIME) -timeout 120s .
 
@@ -73,16 +74,28 @@ cover:
 		if [ "$$ok" != "1" ]; then echo "coverage below floor"; exit 1; fi; \
 	}; \
 	check ./internal/core 82; \
-	check ./internal/distinct 84
+	check ./internal/distinct 84; \
+	check ./internal/sketch 75
 
 # BENCH_GUARD=1 adds the join-throughput regression guard to `make
 # check`. It is opt-in because wall-clock benchmarks only mean something
 # on a machine comparable to the one that recorded BENCH_join.json (and
 # are pure noise on loaded CI runners).
+# The mid-query re-optimization gate: the differential suite (whose
+# reopt / reopt-morsel modes force restructurings over all generated
+# plans and dual-oracle-check every one), then the restructure timing
+# and barrier tests — concurrent RequestReopt hammering, monitor
+# refresh during restructure, public-API label stability — twice each
+# under the race detector.
+reopt-check:
+	$(GO) test -timeout 180s -run TestDifferentialSuite ./internal/difftest/
+	$(GO) test -race -count=2 -timeout 300s -run 'Reopt|Robust|MonitorRefresh' \
+		./internal/plan/ ./internal/progress/ .
+
 ifeq ($(BENCH_GUARD),1)
-check: vet lint-deprecated test race cover fuzz bench-guard
+check: vet lint-deprecated test race cover fuzz reopt-check bench-guard
 else
-check: vet lint-deprecated test race cover fuzz
+check: vet lint-deprecated test race cover fuzz reopt-check
 endif
 
 # Measure the join execution modes (tuple / serial batch / columnar /

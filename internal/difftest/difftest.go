@@ -2,7 +2,8 @@
 // runs every qgen-generated plan through all execution modes of the real
 // engine (tuple-at-a-time, batch, batch-parallel, forced-spill,
 // parallel-spill, columnar, columnar-spill, morsel-driven row and
-// columnar scans, and mid-query cancel/re-run)
+// columnar scans, forced mid-query re-optimization in serial and morsel
+// flavors, and mid-query cancel/re-run)
 // and checks each run against the exact oracle
 // and the paper's estimator invariants:
 //
@@ -34,6 +35,7 @@ import (
 	"qpi/internal/distinct"
 	"qpi/internal/exec"
 	"qpi/internal/oracle"
+	"qpi/internal/plan"
 	"qpi/internal/progress"
 	"qpi/internal/qgen"
 )
@@ -77,10 +79,20 @@ const (
 	// ModeColMorsel is ModeMorsel over the columnar partition passes, with
 	// worker-sharded span-at-a-time estimator observation.
 	ModeColMorsel
+	// ModeReopt runs with a Force-mode sketch-backed re-optimizer: every
+	// eligible unstarted join segment is re-ordered (or side-swapped) at
+	// its pipeline boundary, and the run is checked against TWO oracles —
+	// the original spec for the final result multiset, and the permuted
+	// spec (recovered from the executed tree) for per-join cardinalities
+	// and once-exactness of the re-attached chain estimators.
+	ModeReopt
+	// ModeReoptMorsel is ModeReopt over morsel-driven parallel partition
+	// passes: the restructure window races 3 scan workers.
+	ModeReoptMorsel
 )
 
 // AllModes is every execution mode, in suite order.
-var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeColumnar, ModeColumnarSpill, ModeMorsel, ModeColMorsel, ModeCancelRerun}
+var AllModes = []Mode{ModeTuple, ModeBatch, ModeParallel, ModeSpill, ModeParallelSpill, ModeColumnar, ModeColumnarSpill, ModeMorsel, ModeColMorsel, ModeReopt, ModeReoptMorsel, ModeCancelRerun}
 
 func (m Mode) String() string {
 	switch m {
@@ -102,6 +114,10 @@ func (m Mode) String() string {
 		return "morsel"
 	case ModeColMorsel:
 		return "columnar-morsel"
+	case ModeReopt:
+		return "reopt"
+	case ModeReoptMorsel:
+		return "reopt-morsel"
 	default:
 		return "tuple"
 	}
@@ -127,6 +143,8 @@ type SuiteStats struct {
 	CICovered     int
 	Cancelled     int   // runs that observed a real mid-query cancellation
 	SpillFiles    int64 // spill files created across ModeSpill runs
+	PlanChanges   int   // restructurings applied across the re-opt modes
+	ReoptRuns     int   // re-opt runs whose executed plan actually changed
 }
 
 // CheckCase generates the case for (seed, opts), evaluates the oracle and
@@ -182,9 +200,20 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 	case ModeColMorsel:
 		setColumnar(b.Root)
 		setMorsel(b.Root)
+	case ModeReoptMorsel:
+		setMorsel(b.Root)
 	}
 	att := core.Attach(b.Root)
 	mon := progress.NewMonitorWith(b.Root, progress.ModeOnce, att)
+	var ro *plan.Reoptimizer
+	if m == ModeReopt || m == ModeReoptMorsel {
+		rc := plan.DefaultReoptConfig()
+		rc.Force = true
+		ro = plan.NewReoptimizer(rc, att)
+		ro.SetSketches(core.AttachSketches(b.Root))
+		ro.SetOnRestructure(mon.Refresh)
+		ro.Install(b.Root)
+	}
 	st.Runs++
 
 	// gnm invariants, sampled at work-based ticks on the execution path.
@@ -271,6 +300,17 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		return fmt.Errorf("run failed: %w", runErr)
 	}
 
+	// Re-opt runs: verify the barrier witness on every applied change and
+	// swap in the permuted-spec oracle for the per-join checks. The final
+	// result multiset is still checked against the ORIGINAL oracle below —
+	// the Reorder wrapper must have restored the root schema exactly.
+	if ro != nil {
+		var roErr error
+		if want, roErr = reoptWant(c, b, ro, want, st); roErr != nil {
+			return roErr
+		}
+	}
+
 	// (a) Result-set equivalence against the oracle.
 	if err := compareRows(rows, want.Rows); err != nil {
 		return err
@@ -305,6 +345,88 @@ func runMode(c *qgen.Case, want *oracle.Result, m Mode, st *SuiteStats) error {
 		return fmt.Errorf("terminal progress %g, want 1 for a fully draining plan", rep.Progress)
 	}
 	return nil
+}
+
+// reoptWant audits a forced re-optimization run. Every applied change
+// must carry the barrier witness (the restructured subtree was verified
+// unstarted at commit time). If the executed plan changed, the per-join
+// truths shift: the function recovers the executed bottom-up join order
+// from the live tree (by subtree containment, which is agnostic to the
+// Reorder wrapper and to a swapped bottom join), re-evaluates the exact
+// oracle on the correspondingly permuted spec, and returns a Result whose
+// JoinCards are re-indexed back onto b.Joins' original positions — so
+// the standard per-join and once-exact checks run unmodified against the
+// plan that actually executed. The final row multiset deliberately stays
+// the ORIGINAL oracle's: re-optimization must be invisible at the root.
+func reoptWant(c *qgen.Case, b *qgen.Built, ro *plan.Reoptimizer,
+	want *oracle.Result, st *SuiteStats) (*oracle.Result, error) {
+	changes := ro.Changes()
+	for _, ch := range changes {
+		if !ch.AllUnstarted {
+			return nil, fmt.Errorf("re-opt change lacks the barrier witness: %+v", ch)
+		}
+	}
+	if rs := ro.Stats(); rs.Applied != int64(len(changes)) {
+		return nil, fmt.Errorf("re-opt stats disagree with change log: Applied=%d, %d changes",
+			rs.Applied, len(changes))
+	}
+	st.PlanChanges += len(changes)
+	if len(changes) == 0 {
+		return want, nil
+	}
+	st.ReoptRuns++
+
+	order, err := executedJoinOrder(b)
+	if err != nil {
+		return nil, err
+	}
+	origIdx := make(map[exec.Operator]int, len(b.Joins))
+	for i, j := range b.Joins {
+		origIdx[j] = i
+	}
+	permSpec := c.Spec
+	permSpec.Joins = make([]qgen.JoinSpec, len(order))
+	for pos, j := range order {
+		oi, ok := origIdx[j]
+		if !ok {
+			return nil, fmt.Errorf("restructured spine contains an unknown join %s", j.Name())
+		}
+		permSpec.Joins[pos] = c.Spec.Joins[oi]
+	}
+	permWant := oracle.Eval(&qgen.Case{Seed: c.Seed, Opts: c.Opts, Spec: permSpec, Tables: c.Tables})
+	remapped := *want
+	remapped.JoinCards = make([]int64, len(order))
+	for pos, j := range order {
+		remapped.JoinCards[origIdx[j]] = permWant.JoinCards[pos]
+	}
+	return &remapped, nil
+}
+
+// executedJoinOrder recovers the bottom-up join order of the (possibly
+// restructured) live tree. qgen plans are left-deep — every join's build
+// side is a base scan — so each join's subtree contains exactly the
+// joins below it on the probe spine, and counting contained joins ranks
+// them 0..n-1 regardless of Reorder wrappers or a swapped bottom join.
+func executedJoinOrder(b *qgen.Built) ([]exec.Operator, error) {
+	inPlan := make(map[exec.Operator]bool, len(b.Joins))
+	for _, j := range b.Joins {
+		inPlan[j] = true
+	}
+	order := make([]exec.Operator, len(b.Joins))
+	for _, j := range b.Joins {
+		j := j
+		below := 0
+		exec.Walk(j, func(op exec.Operator) {
+			if op != j && inPlan[op] {
+				below++
+			}
+		})
+		if below >= len(order) || order[below] != nil {
+			return nil, fmt.Errorf("executed tree is not a join spine: rank %d duplicated or out of range", below)
+		}
+		order[below] = j
+	}
+	return order, nil
 }
 
 // checkOnceExact verifies the central once-estimator claim: every chain
@@ -398,7 +520,7 @@ func drain(root exec.Operator, m Mode) ([]data.Tuple, error) {
 	var rows []data.Tuple
 	var err error
 	switch m {
-	case ModeBatch, ModeParallel, ModeParallelSpill, ModeMorsel:
+	case ModeBatch, ModeParallel, ModeParallelSpill, ModeMorsel, ModeReoptMorsel:
 		rows, err = exec.DrainBatch(exec.AsBatch(root))
 	case ModeColumnar, ModeColumnarSpill, ModeColMorsel:
 		rows, err = exec.DrainCol(exec.AsColOperator(root))

@@ -64,6 +64,19 @@ func TestDifferentialSuite(t *testing.T) {
 	if st.SpillFiles == 0 {
 		t.Error("forced-spill mode never created a spill file")
 	}
+	// Non-vacuousness of the re-opt modes: the forced re-optimizer must
+	// have actually restructured plans, not skipped every segment. Many
+	// generated cases legitimately decline (single-join chains, merge/NL
+	// or semi/anti segments, push-down chains, already-optimal orders),
+	// so the floor is over the suite, not per case.
+	if st.PlanChanges < suiteCases/20 {
+		t.Errorf("re-opt modes applied %d plan changes, want >= %d — the harness is checking nothing",
+			st.PlanChanges, suiteCases/20)
+	}
+	if st.ReoptRuns < suiteCases/20 {
+		t.Errorf("only %d re-opt runs changed their executed plan, want >= %d",
+			st.ReoptRuns, suiteCases/20)
+	}
 	if st.CISamples >= 50 {
 		// Nominal coverage is 95%, but these are CLT intervals sampled
 		// only 8 tuples into the probe over heavily skewed keys; the

@@ -86,6 +86,14 @@ type HashJoin struct {
 	OnBuildColBatch func(worker int, cb *data.ColBatch)
 	OnProbeColBatch func(worker int, cb *data.ColBatch)
 
+	// OnBeforePartition fires exactly once, at the top of the join's
+	// first pull, before the build partition pass starts and before
+	// PartitionStarted flips — the re-optimizer's only safe window to
+	// restructure this join's probe subtree (none of whose operators
+	// have produced a tuple yet; the build subtree is about to run).
+	// It fires on the executor goroutine with the join quiescent.
+	OnBeforePartition func(j *HashJoin)
+
 	// workers > 0 selects the batch-at-a-time partition passes with that
 	// many scatter workers (see SetParallelism); 0 is the legacy
 	// tuple-at-a-time pass.
@@ -107,6 +115,11 @@ type HashJoin struct {
 	state      hjState
 	buildParts [][]data.Tuple
 	probeParts [][]data.Tuple
+	// partStarted flips just before the build partition pass begins
+	// (after OnBeforePartition has returned). It is the re-optimizer's
+	// started/unstarted barrier witness: once set, the join's inputs are
+	// being consumed and the operator must never be relinked or swapped.
+	partStarted atomic.Bool
 	// buildRows/probeRows and done are read by monitor goroutines
 	// (Report/Metrics via BuildRows/ProbeRows/JoinedProbeFraction) while
 	// the executor advances, so they are atomics; state itself stays an
@@ -583,6 +596,10 @@ func (j *HashJoin) ensurePartitioned() error {
 	if j.state != hjInit {
 		return nil
 	}
+	if j.OnBeforePartition != nil {
+		j.OnBeforePartition(j)
+	}
+	j.partStarted.Store(true)
 	var err error
 	switch {
 	case j.colMode:
@@ -873,6 +890,113 @@ func (j *HashJoin) BuildRows() int64 { return j.buildRows.Load() }
 
 // ProbeRows returns the number of probe tuples read.
 func (j *HashJoin) ProbeRows() int64 { return j.probeRows.Load() }
+
+// PartitionStarted reports whether the join has begun consuming its
+// inputs (the build partition pass has started). Once true, the join —
+// and transitively its children — must never be restructured; the
+// re-optimizer re-verifies this barrier per operator before touching a
+// segment, and the adversarial timing tests read it under -race.
+func (j *HashJoin) PartitionStarted() bool { return j.partStarted.Load() }
+
+// mutable panics unless the join can still be restructured: inputs not
+// yet consumed, no output produced. The re-optimizer checks the same
+// conditions before committing, so a panic here is a barrier bug, not
+// a recoverable condition.
+func (j *HashJoin) mutable(opName string) {
+	if j.partStarted.Load() || j.state != hjInit || j.stats.Emitted.Load() > 0 {
+		panic(fmt.Sprintf("exec: %s on a started HashJoin %s", opName, j.Name()))
+	}
+}
+
+// SwapSides exchanges the build and probe inputs (and their key lists)
+// of a not-yet-started inner join, recomputing the output schema as
+// newBuild ⧺ newProbe — the honest schema of the swapped orientation,
+// deliberately NOT the original column order (the estimator framework
+// resolves key provenance against build-width prefixes, so lying about
+// the schema would corrupt it). Callers restore the original column
+// order with one Reorder wrapper above the restructured segment.
+// Inner joins only: the probe side is the preserved side of the other
+// join types, so swapping them changes semantics.
+func (j *HashJoin) SwapSides() {
+	j.mutable("SwapSides")
+	if j.joinType != InnerJoin {
+		panic(fmt.Sprintf("exec: SwapSides on a %s join %s", j.joinType, j.Name()))
+	}
+	j.build, j.probe = j.probe, j.build
+	j.buildKeys, j.probeKeys = j.probeKeys, j.buildKeys
+	j.schema = j.build.Schema().Concat(j.probe.Schema())
+}
+
+// Relink replaces the probe child (and its key columns) of a
+// not-yet-started join, recomputing the output schema. The
+// re-optimizer uses it to rewire a chain segment's interior joins onto
+// their new downstream inputs; probeKeys must index newProbe's schema.
+func (j *HashJoin) Relink(newProbe Operator, probeKeys []int) {
+	j.mutable("Relink")
+	if len(probeKeys) != len(j.buildKeys) {
+		panic(fmt.Sprintf("exec: Relink key arity %d vs %d on %s",
+			len(probeKeys), len(j.buildKeys), j.Name()))
+	}
+	j.probe = newProbe
+	j.probeKeys = probeKeys
+	switch j.joinType {
+	case SemiJoin, AntiJoin:
+		j.schema = newProbe.Schema()
+	default:
+		j.schema = j.build.Schema().Concat(newProbe.Schema())
+	}
+}
+
+// ReplaceProbe swaps in a schema-identical probe child of a
+// not-yet-started join — the seam for inserting the identity-restoring
+// Reorder wrapper at the top of a restructured segment. Unlike Relink
+// it works for any join type, because the schema cannot change. The
+// check compares the new child against the probe segment of the join's
+// own (fixed) output schema rather than the old child's: by the time
+// the re-optimizer inserts the wrapper, the old child is an interior
+// join it has already relinked, so its live schema no longer reflects
+// what this join was built over.
+func (j *HashJoin) ReplaceProbe(newProbe Operator) {
+	j.mutable("ReplaceProbe")
+	want := j.schema.Cols
+	switch j.joinType {
+	case SemiJoin, AntiJoin:
+		// Output schema is the probe schema alone.
+	default:
+		want = want[len(j.build.Schema().Cols):]
+	}
+	newCols := newProbe.Schema().Cols
+	if len(want) != len(newCols) {
+		panic(fmt.Sprintf("exec: ReplaceProbe schema width %d vs %d", len(newCols), len(want)))
+	}
+	for i := range want {
+		if want[i] != newCols[i] {
+			panic(fmt.Sprintf("exec: ReplaceProbe schema mismatch at column %d (%s vs %s)",
+				i, newCols[i].Qualified(), want[i].Qualified()))
+		}
+	}
+	j.probe = newProbe
+}
+
+// ResetObservers detaches every estimator/monitor hook from the join.
+// Composed hooks cannot be un-composed individually, so when the
+// re-optimizer restructures a chain it discards the whole observer set
+// of the affected joins and reattaches fresh estimators (safe exactly
+// because the joins are unstarted: no observation state exists yet).
+// OnBeforePartition survives — it is the re-optimizer's own seam.
+func (j *HashJoin) ResetObservers() {
+	j.OnBuildTuple = nil
+	j.OnProbeTuple = nil
+	j.OnProbeEnd = nil
+	j.OnOutput = nil
+	j.OnBuildBatch = nil
+	j.OnProbeBatch = nil
+	j.OnBuildEnd = nil
+	j.OnBuildCol = nil
+	j.OnProbeCol = nil
+	j.OnBuildColBatch = nil
+	j.OnProbeColBatch = nil
+}
 
 // JoinedProbeFraction returns the fraction of the probe input consumed by
 // the join (second) pass — the x-axis of the paper's Figure 4 and the

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"qpi/internal/core"
@@ -40,6 +41,14 @@ const (
 	// ModeByte uses Luo et al.'s weighted refinement everywhere (the [18]
 	// baseline).
 	ModeByte
+	// ModeRobust blends the online framework with the dne and byte
+	// refinements per operator (König et al.-style estimator fusion):
+	// exact totals are trusted outright, a live "once" estimate is
+	// weighted 0.6 against 0.2 dne + 0.2 byte, and operators without a
+	// push-down estimator average the two baselines. The blend bounds
+	// the damage when any single estimator is briefly wrong — e.g.
+	// immediately after a mid-query restructure.
+	ModeRobust
 )
 
 func (m Mode) String() string {
@@ -48,6 +57,8 @@ func (m Mode) String() string {
 		return "once"
 	case ModeDNE:
 		return "dne"
+	case ModeRobust:
+		return "robust"
 	default:
 		return "byte"
 	}
@@ -82,6 +93,10 @@ func (s State) String() string {
 
 // Monitor tracks the progress of one executing plan.
 type Monitor struct {
+	// mu guards pipelines, optimizer and the lifecycle-flag slices
+	// against Refresh (the re-optimizer restructures the plan on the
+	// executor goroutine while other goroutines snapshot progress).
+	mu        sync.RWMutex
 	root      exec.Operator
 	pipelines []*plan.Pipeline
 	mode      Mode
@@ -128,7 +143,36 @@ func NewMonitorWith(root exec.Operator, mode Mode, att *core.Attachment) *Monito
 }
 
 // Pipelines returns the plan's pipelines.
-func (m *Monitor) Pipelines() []*plan.Pipeline { return m.pipelines }
+func (m *Monitor) Pipelines() []*plan.Pipeline {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.pipelines
+}
+
+// Refresh re-decomposes the (possibly restructured) plan into pipelines
+// and extends the optimizer-estimate map to operators created since
+// construction (a Reorder wrapper, re-linked joins). The re-optimizer
+// calls it from its post-restructure callback, on the executor
+// goroutine, while snapshot goroutines keep reading — hence the lock.
+// Lifecycle trace flags reset: pipelines are renumbered by the new
+// decomposition, so earlier one-shot marks no longer correspond.
+func (m *Monitor) Refresh(root exec.Operator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if root != nil {
+		m.root = root
+	}
+	m.pipelines = plan.Decompose(m.root)
+	exec.Walk(m.root, func(op exec.Operator) {
+		if _, ok := m.optimizer[op]; !ok {
+			m.optimizer[op] = op.Stats().Estimate()
+		}
+	})
+	if m.tr != nil {
+		m.plStarted = make([]atomic.Bool, len(m.pipelines))
+		m.plDone = make([]atomic.Bool, len(m.pipelines))
+	}
+}
 
 // BindTracer routes pipeline lifecycle events (start, finish) into tr.
 // Call before execution starts; nil disables.
@@ -143,7 +187,7 @@ func (m *Monitor) BindTracer(tr *obs.Tracer) {
 // tracePipelines emits a one-shot Mark event the first time each pipeline
 // is observed started and finished. Invoked from snapshots and Finish, so
 // a pipeline that starts and completes between two ticks still gets both
-// events (in order) at the next observation.
+// events (in order) at the next observation. Callers hold mu.
 func (m *Monitor) tracePipelines() {
 	if m.tr == nil {
 		return
@@ -165,7 +209,11 @@ func (m *Monitor) tracePipelines() {
 
 // OptimizerEstimate returns the optimizer estimate captured for op at
 // monitor construction (0 when unknown).
-func (m *Monitor) OptimizerEstimate(op exec.Operator) float64 { return m.optimizer[op] }
+func (m *Monitor) OptimizerEstimate(op exec.Operator) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.optimizer[op]
+}
 
 // Mode returns the estimation mode.
 func (m *Monitor) Mode() Mode { return m.mode }
@@ -183,7 +231,9 @@ func (m *Monitor) Finish(err error) {
 	default:
 		m.state.Store(int32(StateFailed))
 	}
+	m.mu.RLock()
 	m.tracePipelines()
+	m.mu.RUnlock()
 }
 
 // State returns the query's lifecycle state.
@@ -206,6 +256,19 @@ func (m *Monitor) opTotal(op exec.Operator, pipelineStarted bool) float64 {
 		return floorAt(core.DNEEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
 	case ModeByte:
 		return floorAt(core.ByteEstimate(op, m.optimizer[op]), float64(st.Emitted.Load()))
+	case ModeRobust:
+		em := float64(st.Emitted.Load())
+		dne := floorAt(core.DNEEstimate(op, m.optimizer[op]), em)
+		byt := floorAt(core.ByteEstimate(op, m.optimizer[op]), em)
+		src := st.Source()
+		switch {
+		case src == "once-exact" || src == "exact" || src == "agg-pushdown":
+			return st.Total()
+		case strings.HasPrefix(src, "once") || src == "gee" || src == "mle":
+			return floorAt(0.6*st.Total()+0.2*dne+0.2*byt, em)
+		default:
+			return (dne + byt) / 2
+		}
 	default:
 		if strings.HasPrefix(st.Source(), "once") || st.Source() == "gee" ||
 			st.Source() == "mle" || st.Source() == "agg-pushdown" || st.Source() == "exact" {
@@ -286,7 +349,9 @@ func (m *Monitor) refineFuture(op exec.Operator) float64 {
 // intervals (only meaningful with ModeOnce and an attachment; otherwise
 // it degenerates to the point estimate).
 func (m *Monitor) ProgressInterval(alpha float64) (lo, hi float64) {
-	c, _ := m.Totals()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, _ := m.totals()
 	var tLo, tHi float64
 	for _, p := range m.pipelines {
 		started := p.Started()
@@ -334,6 +399,12 @@ func floorAt(v, lo float64) float64 {
 
 // Totals returns C(Q) and the current estimate of T(Q).
 func (m *Monitor) Totals() (c float64, t float64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.totals()
+}
+
+func (m *Monitor) totals() (c float64, t float64) {
 	for _, p := range m.pipelines {
 		started := p.Started()
 		for _, op := range p.Ops {
@@ -378,6 +449,8 @@ type Report struct {
 
 // Report captures a full snapshot.
 func (m *Monitor) Report() Report {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	m.tracePipelines()
 	r := Report{Mode: m.mode, State: m.State()}
 	for _, p := range m.pipelines {

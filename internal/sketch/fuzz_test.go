@@ -1,0 +1,82 @@
+package sketch_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"qpi/internal/sketch"
+)
+
+// FuzzSketchMerge drives the shard-merge invariants from raw bytes:
+// any item stream, split into any number of shards and merged in a
+// byte-derived order, must reproduce the serial sketch counter for
+// counter, and count-min point estimates must never underestimate.
+func FuzzSketchMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Add([]byte{0xff, 0, 0xff, 0, 0xff, 0, 1, 1}, uint8(1))
+	f.Add(make([]byte, 64), uint8(5))
+	f.Fuzz(func(t *testing.T, raw []byte, nShardsByte uint8) {
+		cfg := sketch.Config{Rows: 3, Buckets: 32, Seed: sketch.DefaultSeed}
+		nShards := 1 + int(nShardsByte%8)
+		var items []uint64
+		for len(raw) >= 2 {
+			items = append(items, uint64(binary.LittleEndian.Uint16(raw))%97)
+			raw = raw[2:]
+		}
+		serial := sketch.NewColumnSketch(cfg)
+		truth := map[uint64]int64{}
+		for _, it := range items {
+			serial.AGMS.Add(it)
+			serial.CM.Add(it)
+			serial.Rows++
+			truth[it]++
+		}
+		shards := make([]*sketch.ColumnSketch, nShards)
+		for i := range shards {
+			shards[i] = sketch.NewColumnSketch(cfg)
+		}
+		for i, it := range items {
+			s := shards[i%nShards]
+			s.AGMS.Add(it)
+			s.CM.Add(it)
+			s.Rows++
+		}
+		// Merge in an input-derived order: rotate by the item count.
+		merged := sketch.NewColumnSketch(cfg)
+		for i := 0; i < nShards; i++ {
+			if err := merged.Merge(shards[(i+len(items))%nShards]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sc, mc := serial.AGMS.Cells(), merged.AGMS.Cells()
+		for i := range sc {
+			if sc[i] != mc[i] {
+				t.Fatalf("AGMS cell %d: serial %d != merged %d", i, sc[i], mc[i])
+			}
+		}
+		sc, mc = serial.CM.Cells(), merged.CM.Cells()
+		for i := range sc {
+			if sc[i] != mc[i] {
+				t.Fatalf("CM cell %d: serial %d != merged %d", i, sc[i], mc[i])
+			}
+		}
+		for it, want := range truth {
+			if got := merged.CM.Estimate(it); got < want {
+				t.Fatalf("CM.Estimate(%d)=%d underestimates %d", it, got, want)
+			}
+		}
+		if len(items) > 0 {
+			se, err := sketch.JoinSizeEstimate(serial.AGMS, serial.AGMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			me, err := sketch.JoinSizeEstimate(merged.AGMS, merged.AGMS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if se != me {
+				t.Fatalf("merged self-join estimate %g != serial %g", me, se)
+			}
+		}
+	})
+}

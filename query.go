@@ -60,6 +60,11 @@ const (
 	DNE
 	// Byte is the Luo et al. byte-count baseline.
 	Byte
+	// Robust blends the online framework with the dne and byte
+	// refinements per operator, bounding the damage when any single
+	// estimator is briefly wrong — the recommended mode alongside
+	// mid-query re-optimization.
+	Robust
 )
 
 // CompileOption customizes Compile.
@@ -145,6 +150,16 @@ type Query struct {
 	cfg     compileCfg
 	started atomic.Bool
 
+	// labels pins each operator's EXPLAIN-style label at compile time.
+	// Join labels are derived from live child schemas, so a mid-query
+	// restructure would silently rename a swapped join; Estimates and
+	// EstimateOf resolve against these stable identities instead.
+	labels map[exec.Operator]string
+
+	// reopt is the mid-query re-optimizer, installed per run by
+	// WithReoptimization (nil otherwise).
+	reopt *plan.Reoptimizer
+
 	// Subscriber channels (Subscribe) receive progress snapshots from the
 	// execution goroutine; final holds the terminal report once subsDone.
 	subMu    sync.Mutex
@@ -170,6 +185,9 @@ func (q *Query) claim() error {
 func execRun(ctx context.Context, q *Query) (int64, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if q.reopt != nil {
+		q.reopt.SetContext(ctx)
 	}
 	exec.Bind(q.root, ctx)
 	var n int64
@@ -236,8 +254,8 @@ func (e *Engine) Compile(n *Node, opts ...CompileOption) (*Query, error) {
 		})
 	}
 	plan.EstimateCardinalities(n.op, e.cat)
-	q := &Query{root: n.op, cfg: cfg}
-	if !cfg.noEstimators && cfg.mode == Once {
+	q := &Query{root: n.op, cfg: cfg, labels: map[exec.Operator]string{}}
+	if !cfg.noEstimators && (cfg.mode == Once || cfg.mode == Robust) {
 		q.att = core.Attach(n.op)
 	}
 	var pmode progress.Mode
@@ -246,11 +264,24 @@ func (e *Engine) Compile(n *Node, opts ...CompileOption) (*Query, error) {
 		pmode = progress.ModeDNE
 	case Byte:
 		pmode = progress.ModeByte
+	case Robust:
+		pmode = progress.ModeRobust
 	default:
 		pmode = progress.ModeOnce
 	}
 	q.monitor = progress.NewMonitorWith(n.op, pmode, q.att)
+	exec.Walk(n.op, func(op exec.Operator) { q.labels[op] = op.Name() })
 	return q, nil
+}
+
+// labelOf returns op's compile-time label, falling back to the live
+// name for operators created after compilation (the re-optimizer's
+// Reorder wrapper).
+func (q *Query) labelOf(op exec.Operator) string {
+	if l, ok := q.labels[op]; ok {
+		return l
+	}
+	return op.Name()
 }
 
 // ProgressInterval returns a two-sided confidence interval (confidence
@@ -364,6 +395,25 @@ func (q *Query) installObservability(cfg *runCfg) {
 			q.att.SetTracer(cfg.tracer)
 		}
 		q.monitor.BindTracer(cfg.tracer)
+	}
+	if cfg.reopt != nil && q.att != nil {
+		rc := plan.DefaultReoptConfig()
+		if cfg.reopt.MinGain > 0 {
+			rc.MinGain = cfg.reopt.MinGain
+		}
+		rc.Force = cfg.reopt.Force
+		switch {
+		case cfg.reopt.ScoutRowLimit > 0:
+			rc.ScoutRowLimit = cfg.reopt.ScoutRowLimit
+		case cfg.reopt.ScoutRowLimit < 0:
+			rc.ScoutRowLimit = 0
+		}
+		r := plan.NewReoptimizer(rc, q.att)
+		r.SetSketches(core.AttachSketches(q.root))
+		r.SetTracer(cfg.tracer)
+		r.SetOnRestructure(q.monitor.Refresh)
+		r.Install(q.root)
+		q.reopt = r
 	}
 	q.subMu.Lock()
 	hasSubs := len(q.subs) > 0
@@ -493,7 +543,7 @@ func (q *Query) Estimates() []OperatorEstimate {
 	rec = func(op exec.Operator, depth int) {
 		st := op.Stats()
 		out = append(out, OperatorEstimate{
-			Operator: op.Name(),
+			Operator: q.labelOf(op),
 			Depth:    depth,
 			Emitted:  st.Emitted.Load(),
 			Estimate: st.Total(),
@@ -550,7 +600,7 @@ func (q *Query) DriftReport(factor float64) []Drift {
 		}
 		if f >= factor {
 			out = append(out, Drift{
-				Operator:  op.Name(),
+				Operator:  q.labelOf(op),
 				Optimizer: opt,
 				Current:   cur,
 				Factor:    f,
@@ -611,4 +661,32 @@ func (q *Query) EstimateOf(operatorLabel string) (OperatorEstimate, bool) {
 		return found, true
 	}
 	return OperatorEstimate{}, false
+}
+
+// PlanChange records one mid-query restructuring applied by the
+// re-optimizer (WithReoptimization).
+type PlanChange = plan.PlanChange
+
+// ReoptStats is a snapshot of the re-optimizer's counters.
+type ReoptStats = plan.ReoptStats
+
+// PlanChanges returns the restructurings the re-optimizer applied
+// during the run — empty without WithReoptimization, or when no
+// evaluation found a sufficiently better unstarted shape. Labels
+// reported by Estimates and EstimateOf are pinned at compile time, so
+// they keep resolving across these changes.
+func (q *Query) PlanChanges() []PlanChange {
+	if q.reopt == nil {
+		return nil
+	}
+	return q.reopt.Changes()
+}
+
+// ReoptStats returns the re-optimizer's counters (zero without
+// WithReoptimization).
+func (q *Query) ReoptStats() ReoptStats {
+	if q.reopt == nil {
+		return ReoptStats{}
+	}
+	return q.reopt.Stats()
 }

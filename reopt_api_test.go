@@ -1,0 +1,163 @@
+package qpi
+
+import (
+	"context"
+	"testing"
+)
+
+// Tests for the public mid-query re-optimization surface: the
+// WithReoptimization run option, the qpi_reopt_* metric counters, and
+// the compile-time pinning of operator labels that keeps EstimateOf
+// resolving across a restructure.
+
+// reoptEngine registers the four-table fixture: a 200-row bottom
+// stream, a 3000-row hot build, a 100-row selective build and a small
+// anchor build.
+func reoptEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	e.MustCreateSkewedTable("a0", 200, 1,
+		SkewedColumn{Name: "k", Domain: 100, Zipf: 0, PermSeed: 1})
+	e.MustCreateSkewedTable("b0", 3000, 2,
+		SkewedColumn{Name: "k", Domain: 10, Zipf: 0, PermSeed: 2})
+	e.MustCreateSkewedTable("b1", 100, 3,
+		SkewedColumn{Name: "k", Domain: 100, Zipf: 0, PermSeed: 3})
+	e.MustCreateSkewedTable("b2", 50, 4,
+		SkewedColumn{Name: "k", Domain: 50, Zipf: 0, PermSeed: 4})
+	return e
+}
+
+// reoptChain builds b2 ⋈ (b1 ⋈ (b0 ⋈ a0)), all keyed on a0.k — the hot
+// b0 join sits at the bottom of the segment, the worst position.
+func reoptChain(t *testing.T, e *Engine, opts ...CompileOption) *Query {
+	t.Helper()
+	scan := func(name string) *Node {
+		n, err := e.Scan(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	j := HashJoin(scan("b0"), scan("a0"), Col("b0", "k"), Col("a0", "k"))
+	j = HashJoin(scan("b1"), j, Col("b1", "k"), Col("a0", "k"))
+	j = HashJoin(scan("b2"), j, Col("b2", "k"), Col("a0", "k"))
+	q, err := e.Compile(j, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestWithReoptimizationRestructures(t *testing.T) {
+	e := reoptEngine(t)
+	baseline, err := reoptChain(t, e).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := reoptChain(t, e, WithMode(Robust))
+	var m Metrics
+	tr := NewTracer()
+	n, err := q.Run(context.Background(),
+		WithReoptimization(ReoptOptions{Force: true}),
+		WithTrace(tr), WithMetrics(&m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != baseline {
+		t.Fatalf("restructured run emitted %d rows, baseline %d", n, baseline)
+	}
+
+	changes := q.PlanChanges()
+	if len(changes) == 0 {
+		t.Fatal("forced re-optimization applied no plan change")
+	}
+	for _, c := range changes {
+		if !c.AllUnstarted {
+			t.Errorf("plan change without barrier witness: %+v", c)
+		}
+	}
+	if m.ReoptApplied != int64(len(changes)) {
+		t.Errorf("ReoptApplied = %d, changes = %d", m.ReoptApplied, len(changes))
+	}
+	if m.ReoptConsidered == 0 || m.ReoptScouts == 0 {
+		t.Errorf("reopt counters empty: %+v", m)
+	}
+	if rep := q.Report(); rep.State != "done" || rep.Progress != 1 {
+		t.Errorf("terminal report = %+v, want done at progress 1", rep.Status)
+	}
+	reoptMarks := 0
+	for _, ev := range tr.Events() {
+		if ev.Kind == TraceMark && ev.Phase == "reopt" {
+			reoptMarks++
+		}
+	}
+	if reoptMarks == 0 {
+		t.Error("no reopt mark in the trace stream")
+	}
+}
+
+func TestWithReoptimizationWithoutEstimatorsIsInert(t *testing.T) {
+	e := reoptEngine(t)
+	q := reoptChain(t, e, WithoutEstimators())
+	if _, err := q.Run(context.Background(),
+		WithReoptimization(ReoptOptions{Force: true})); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.PlanChanges(); got != nil {
+		t.Errorf("re-optimization ran without the estimator framework: %v", got)
+	}
+	if st := q.ReoptStats(); st.Considered != 0 {
+		t.Errorf("ReoptStats = %+v, want zero", st)
+	}
+}
+
+// TestEstimateOfStableAcrossReopt is the regression test for label
+// identity: a build/probe side swap changes a join's live Name()
+// ("HashJoin(b0.k = a0.k)" becomes "HashJoin(a0.k = b0.k)"), so
+// Estimates and EstimateOf must resolve against labels pinned at
+// compile time, not recomputed mid-run.
+func TestEstimateOfStableAcrossReopt(t *testing.T) {
+	e := reoptEngine(t)
+	scan := func(name string) *Node {
+		n, err := e.Scan(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	// Two-join chain: the segment is only the hot b0 join, whose
+	// 3000-row build dwarfs the 200-row bottom stream — the forced
+	// re-optimizer's only legal move is the side swap.
+	j := HashJoin(scan("b0"), scan("a0"), Col("b0", "k"), Col("a0", "k"))
+	j = HashJoin(scan("b2"), j, Col("b2", "k"), Col("a0", "k"))
+	q, err := e.Compile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const label = "HashJoin(b0.k = a0.k)"
+	if _, ok := q.EstimateOf(label); !ok {
+		t.Fatalf("EstimateOf(%q) unresolved before the run", label)
+	}
+	if _, err := q.Run(context.Background(),
+		WithReoptimization(ReoptOptions{Force: true})); err != nil {
+		t.Fatal(err)
+	}
+	changes := q.PlanChanges()
+	if len(changes) != 1 || !changes[0].Swapped {
+		t.Fatalf("PlanChanges = %+v, want one side swap", changes)
+	}
+	est, ok := q.EstimateOf(label)
+	if !ok {
+		t.Fatalf("EstimateOf(%q) lost after the side swap renamed the join", label)
+	}
+	if est.Emitted == 0 || !est.Done {
+		t.Errorf("swapped join estimate = %+v, want done with output", est)
+	}
+	// The flipped live label must NOT have leaked into the snapshot.
+	for _, oe := range q.Estimates() {
+		if oe.Operator == "HashJoin(a0.k = b0.k)" {
+			t.Errorf("live (flipped) label leaked into Estimates: %q", oe.Operator)
+		}
+	}
+}
