@@ -24,6 +24,7 @@ import (
 	"qpi/internal/disk"
 	"qpi/internal/exec"
 	"qpi/internal/experiments"
+	"qpi/internal/expr"
 	"qpi/internal/plan"
 	"qpi/internal/storage"
 	"qpi/internal/tpch"
@@ -151,6 +152,20 @@ type sweepResult struct {
 	AllocsOp         uint64  `json:"allocs_per_op"`
 }
 
+// filterResult is one cell of the string-filter microbench: the same
+// LIKE-prefix AND <= predicate evaluated per-tuple (regexp + Value
+// construction per row) versus through the vectorized sel-in/sel-out
+// string kernels. TPC-H SF 0.01 carries no string columns, so the
+// kernels are measured over a synthetic customer-key table.
+type filterResult struct {
+	Mode       string  `json:"mode"`
+	Rows       int     `json:"rows"`
+	Selected   int64   `json:"selected"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	AllocsOp   uint64  `json:"allocs_per_op"`
+}
+
 // matrixResult is one (scale factor, worker count) cell of the SF-scaled
 // matrix: the scaling story of the morsel-driven scans, measured on
 // workloads big enough that per-claim overheads amortize.
@@ -180,6 +195,7 @@ type joinBenchReport struct {
 	SeedBaseline modeResult     `json:"seed_baseline"`
 	Modes        []modeResult   `json:"modes"`
 	BatchSweep   []sweepResult  `json:"batch_sweep,omitempty"`
+	StringFilter []filterResult `json:"string_filter,omitempty"`
 	SFMatrix     []matrixResult `json:"sf_matrix,omitempty"`
 }
 
@@ -189,6 +205,11 @@ type benchMode struct {
 	workers  int
 	columnar bool
 	morsel   bool
+	// rowdrain drains a columnar join through the row-at-a-time Next
+	// (the colpart mode): partitions stay lane-native, output rows are
+	// materialized one at a time — the difftest crossing, measured so
+	// its cost is pinned.
+	rowdrain bool
 }
 
 // benchModes is the measured sweep: the tuple, serial-batch and columnar
@@ -202,6 +223,7 @@ func benchModes() []benchMode {
 		{name: "tuple"},
 		{name: "batch", workers: 1},
 		{name: "columnar", columnar: true},
+		{name: "colpart", columnar: true, rowdrain: true},
 	}
 	seen := map[int]bool{}
 	for _, w := range []int{2, 4, runtime.NumCPU()} {
@@ -257,6 +279,9 @@ func writeJoinBench(path, sweep, modes string, matrix bool) error {
 	if report.BatchSweep, err = runBatchSweep(sweep, runs); err != nil {
 		return err
 	}
+	if report.StringFilter, err = runStringFilterBench(runs); err != nil {
+		return err
+	}
 	if matrix {
 		if report.SFMatrix, err = runSFMatrix(); err != nil {
 			return err
@@ -299,6 +324,107 @@ func runBatchSweep(sweep string, runs int) ([]sweepResult, error) {
 			fmt.Printf("sweep bs=%-5d %-9s %11d ns/op %11.0f join-tuples/sec %7d allocs/op\n",
 				size, m.name, best.NsPerOp, best.JoinTuplesPerSec, best.AllocsOp)
 		}
+	}
+	return out, nil
+}
+
+// stringFilterRows sizes the synthetic string-filter workload.
+const stringFilterRows = 200000
+
+// stringFilterTable builds the microbench input: one string key column
+// (values shuffled over the domain so branch prediction cannot learn
+// the selection) plus an int id.
+func stringFilterTable() *storage.Table {
+	s := data.NewSchema(
+		data.Column{Table: "s", Name: "name", Kind: data.KindString},
+		data.Column{Table: "s", Name: "id", Kind: data.KindInt},
+	)
+	t := storage.NewTable("s", s)
+	for i := 0; i < stringFilterRows; i++ {
+		key := (i * 7919) % stringFilterRows
+		t.MustAppend(data.Tuple{data.Str(fmt.Sprintf("cust-%06d", key)), data.Int(int64(i))})
+	}
+	return t
+}
+
+// stringFilterPred is the measured predicate: a LIKE-prefix kernel
+// narrowing to half the rows AND a <= string compare narrowing that to
+// a quarter. The per-tuple path runs the compiled regexp and data.Compare
+// per row; the vectorized path runs both as lane kernels.
+func stringFilterPred() (expr.Expr, error) {
+	like, err := expr.NewLike(expr.Col{Index: 0}, "cust-0%", false)
+	if err != nil {
+		return nil, err
+	}
+	return expr.AndOf(like,
+		expr.Compare(expr.LE, expr.Col{Index: 0}, expr.Lit(data.Str("cust-049999")))), nil
+}
+
+// runStringFilterOnce measures one drain of the filter, per-tuple
+// (vec=false) or through the columnar kernels (vec=true).
+func runStringFilterOnce(tab *storage.Table, vec bool) (filterResult, error) {
+	pred, err := stringFilterPred()
+	if err != nil {
+		return filterResult{}, err
+	}
+	f := exec.NewFilter(exec.NewScan(tab, ""), pred)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var n int64
+	if vec {
+		n, err = exec.RunCol(f)
+	} else {
+		n, err = exec.Run(f)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return filterResult{}, err
+	}
+	mode := "string-filter-row"
+	if vec {
+		mode = "string-filter-vec"
+	}
+	return filterResult{
+		Mode:       mode,
+		Rows:       stringFilterRows,
+		Selected:   n,
+		NsPerOp:    elapsed.Nanoseconds(),
+		RowsPerSec: round2(float64(stringFilterRows) / elapsed.Seconds()),
+		AllocsOp:   after.Mallocs - before.Mallocs,
+	}, nil
+}
+
+// bestStringFilterRun keeps the fastest of n runs of one mode.
+func bestStringFilterRun(tab *storage.Table, vec bool, n int) (filterResult, error) {
+	var best filterResult
+	for r := 0; r < n; r++ {
+		res, err := runStringFilterOnce(tab, vec)
+		if err != nil {
+			return filterResult{}, err
+		}
+		if best.NsPerOp == 0 || res.NsPerOp < best.NsPerOp {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// runStringFilterBench measures both string-filter modes best-of-runs
+// over one shared table.
+func runStringFilterBench(runs int) ([]filterResult, error) {
+	tab := stringFilterTable()
+	var out []filterResult
+	for _, vec := range []bool{false, true} {
+		best, err := bestStringFilterRun(tab, vec, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, best)
+		fmt.Printf("%-17s %11d ns/op %11.0f rows/sec (%d of %d selected) %7d allocs/op\n",
+			best.Mode, best.NsPerOp, best.RowsPerSec, best.Selected, best.Rows, best.AllocsOp)
 	}
 	return out, nil
 }
@@ -376,6 +502,16 @@ func guardJoinBench(path string, tol float64, matrix bool) error {
 			return err
 		}
 		check(b.Mode, got.NsPerOp, b.NsPerOp, got.AllocsOp, b.AllocsOp)
+	}
+	if len(base.StringFilter) > 0 {
+		tab := stringFilterTable()
+		for _, b := range base.StringFilter {
+			got, err := bestStringFilterRun(tab, strings.HasSuffix(b.Mode, "-vec"), runs)
+			if err != nil {
+				return err
+			}
+			check(b.Mode, got.NsPerOp, b.NsPerOp, got.AllocsOp, b.AllocsOp)
+		}
 	}
 	if matrix {
 		for _, b := range base.SFMatrix {
@@ -479,6 +615,8 @@ func runJoinOn(orders, lineitem *storage.Table, cat *catalog.Catalog, m benchMod
 	start := time.Now()
 	var n int64
 	switch {
+	case m.columnar && m.rowdrain:
+		n, err = exec.Run(j)
 	case m.columnar:
 		n, err = exec.RunCol(j)
 	case workers > 0:

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
+	"qpi/internal/data"
 	"qpi/internal/exec"
+	"qpi/internal/storage"
 )
 
 // Tests for the sharded columnar estimator attachment backing the
@@ -105,6 +108,7 @@ func TestColShardBitIdenticalToSerialColumnar(t *testing.T) {
 		func() *exec.HashJoin { return fig5Plan(51) },
 		func() *exec.HashJoin { return fig6Plan(52, false) },
 		func() *exec.HashJoin { return fig6Plan(53, true) },
+		func() *exec.HashJoin { return strKeyPlan(54) },
 	}
 	for si, mk := range shapes {
 		run := func(morsel bool, workers int) (est, lo, hi []float64, probes, rows int64) {
@@ -147,6 +151,28 @@ func TestColShardBitIdenticalToSerialColumnar(t *testing.T) {
 			}
 		}
 	}
+}
+
+// strKeyTable builds a single string-key-column table over an integer
+// domain (same equality classes as randCol, rendered as strings).
+func strKeyTable(name string, keys []int64) *storage.Table {
+	s := data.NewSchema(data.Column{Table: name, Name: "k", Kind: data.KindString})
+	t := storage.NewTable(name, s)
+	for _, k := range keys {
+		t.MustAppend(data.Tuple{data.Str(fmt.Sprintf("k%03d", k))})
+	}
+	return t
+}
+
+// strKeyPlan is the fig3 binary shape with string join keys: the
+// lane-native morsel scatter must take its generic (non-int-lane) path
+// and the merged shards must still land bit-identical to the serial
+// columnar run.
+func strKeyPlan(seed int64) *exec.HashJoin {
+	rng := rand.New(rand.NewSource(seed))
+	a := strKeyTable("a", randCol(rng, 300, 20))
+	b := strKeyTable("b", randCol(rng, 400, 20))
+	return exec.NewHashJoinOn(exec.NewScan(a, ""), exec.NewScan(b, ""), "a", "k", "b", "k")
 }
 
 // TestColShardMixedChainFallsBackToSerialColHooks: morselizing only part

@@ -565,6 +565,216 @@ func (cb *ColBatch) AppendRow2(a, b Tuple) {
 	cb.NRows++
 }
 
+// appendFrom appends src's row i as row index row of v — the lane-to-lane
+// copy primitive behind the columnar partition scatter and gather. The
+// fast path is a matching-kind typed push straight from src's lane, no
+// Value construction; NULLs, kind adoption and mixed sources fall back to
+// the appendVal cold tail, which reproduces row-major appends exactly.
+func (v *ColVec) appendFrom(src *ColVec, i, row int) {
+	if v.Tags != nil || src.Tags != nil {
+		v.appendVal(row, src.ValueAt(i))
+		return
+	}
+	if src.Nulls.Get(i) {
+		v.Nulls.Set(row)
+		v.padTo(row + 1)
+		return
+	}
+	if src.Kind != v.Kind {
+		v.appendVal(row, src.ValueAt(i))
+		return
+	}
+	switch v.Kind {
+	case KindInt:
+		if len(v.Ints) == row {
+			v.Ints = appendGrow(v.Ints, src.Ints[i])
+			return
+		}
+	case KindFloat:
+		if len(v.Floats) == row {
+			v.Floats = appendGrow(v.Floats, src.Floats[i])
+			return
+		}
+	case KindString:
+		if len(v.Strs) == row {
+			v.Strs = appendGrow(v.Strs, src.Strs[i])
+			return
+		}
+	case KindNull:
+		// Both sides all-NULL so far and src row i is non-NULL only when
+		// src has a lane; src.Kind == KindNull means the row is NULL.
+		v.Nulls.Set(row)
+		v.padTo(row + 1)
+		return
+	}
+	// Sparse lane (a NULL run left it short): pad, then push.
+	v.padTo(row)
+	v.push(src.ValueAt(i))
+}
+
+// AppendFrom appends src's row i (an unselected row index) as the next
+// row of cb, copying lane-to-lane. cb must be in build form (BeginBuild)
+// with the same width as src.
+func (cb *ColBatch) AppendFrom(src *ColBatch, i int) {
+	row := cb.NRows
+	for c := range cb.Cols {
+		cb.Cols[c].appendFrom(src.Col(c), i, row)
+	}
+	cb.NRows++
+}
+
+// AppendBatchFrom appends every live row of src to cb in selection
+// order — the pass-barrier merge of worker-local lane buffers. Equivalent
+// to AppendFrom row by row.
+func (cb *ColBatch) AppendBatchFrom(src *ColBatch) {
+	if cb.Cols == nil && src.Width() > 0 {
+		cb.ensureWidth(src.Width())
+		for c := range cb.Cols {
+			cb.Cols[c].reset()
+		}
+	}
+	if src.Sel == nil {
+		for i := 0; i < src.NRows; i++ {
+			cb.AppendFrom(src, i)
+		}
+		return
+	}
+	for _, i := range src.Sel {
+		cb.AppendFrom(src, int(i))
+	}
+}
+
+// GatherFrom appends src's rows idx[0..n) as rows base+k of v — the
+// join's lane-to-lane output gather. A negative index (or a nil src)
+// appends NULL, which is how the outer join NULL-pads its build columns.
+// The fast paths copy typed lanes with one dispatch per column per call;
+// mixed or kind-conflicting columns fall back to appendVal, reproducing
+// the row-major gather exactly.
+func (v *ColVec) GatherFrom(src *ColVec, idx []int32, base int) {
+	n := len(idx)
+	if src == nil || (src.Tags == nil && src.Kind == KindNull) {
+		for k := 0; k < n; k++ {
+			v.appendVal(base+k, Null())
+		}
+		return
+	}
+	if src.Tags != nil || v.Tags != nil || (v.Kind != src.Kind && v.Kind != KindNull) {
+		for k, i := range idx {
+			if i < 0 {
+				v.appendVal(base+k, Null())
+			} else {
+				v.appendVal(base+k, src.ValueAt(int(i)))
+			}
+		}
+		return
+	}
+	if v.Kind == KindNull {
+		v.Kind = src.Kind // adoption: every prior row of v is NULL
+	}
+	v.padTo(base)
+	clean := !src.Nulls.Any()
+	if clean {
+		for _, i := range idx {
+			if i < 0 {
+				clean = false
+				break
+			}
+		}
+	}
+	switch v.Kind {
+	case KindInt:
+		lane := reserveLane(v.Ints, base+n)
+		if clean {
+			for _, i := range idx {
+				lane = append(lane, src.Ints[i])
+			}
+		} else {
+			for k, i := range idx {
+				if i < 0 || src.Nulls.Get(int(i)) {
+					v.Nulls.Set(base + k)
+					lane = append(lane, 0)
+				} else {
+					lane = append(lane, src.Ints[i])
+				}
+			}
+		}
+		v.Ints = lane
+	case KindFloat:
+		lane := reserveLane(v.Floats, base+n)
+		if clean {
+			for _, i := range idx {
+				lane = append(lane, src.Floats[i])
+			}
+		} else {
+			for k, i := range idx {
+				if i < 0 || src.Nulls.Get(int(i)) {
+					v.Nulls.Set(base + k)
+					lane = append(lane, 0)
+				} else {
+					lane = append(lane, src.Floats[i])
+				}
+			}
+		}
+		v.Floats = lane
+	case KindString:
+		lane := reserveLane(v.Strs, base+n)
+		if clean {
+			for _, i := range idx {
+				lane = append(lane, src.Strs[i])
+			}
+		} else {
+			for k, i := range idx {
+				if i < 0 || src.Nulls.Get(int(i)) {
+					v.Nulls.Set(base + k)
+					lane = append(lane, "")
+				} else {
+					lane = append(lane, src.Strs[i])
+				}
+			}
+		}
+		v.Strs = lane
+	}
+}
+
+// reserveLane grows s's capacity to at least n without changing its
+// length, with appendGrow's reservation policy.
+func reserveLane[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	if bs := BatchSize(); c < bs {
+		c = bs
+	}
+	ns := make([]T, len(s), c)
+	copy(ns, s)
+	return ns
+}
+
+// RowBytes returns the Tuple.Size of row i as if materialized — the
+// spill accounting mirror of the row-major partition path.
+func (cb *ColBatch) RowBytes(i int) int {
+	if cb.Rows != nil {
+		return cb.Rows[i].Size()
+	}
+	n := 24 + 40*len(cb.Cols) // slice header + one Value struct per column
+	for c := range cb.Cols {
+		v := cb.Col(c)
+		switch {
+		case v.Tags != nil:
+			if v.Tags[i] == KindString {
+				n += len(v.Strs[i])
+			}
+		case v.Kind == KindString && !v.Nulls.Get(i) && i < len(v.Strs):
+			n += len(v.Strs[i])
+		}
+	}
+	return n
+}
+
 // Release clears the batch for reuse or pooling: row references are
 // dropped and string lane entries zeroed across their full capacity, so
 // a released batch never pins tuple or string backing arrays. The lane

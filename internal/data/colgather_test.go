@@ -1,0 +1,87 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property test of the lane-to-lane output gather: GatherFrom must be
+// byte-identical to the row-major gather (per-row ValueAt + AppendVal)
+// on every batch shape the join emits — selection-vector'd sources,
+// NULL-heavy lanes, mixed-kind columns, kind-conflicting destinations
+// and the negative indexes the probe-outer join uses to NULL-pad its
+// build columns.
+
+// rowMajorGather is the reference implementation: one Value per row.
+func rowMajorGather(dst *ColVec, src *ColVec, idx []int32, base int) {
+	for k, i := range idx {
+		if src == nil || i < 0 {
+			dst.appendVal(base+k, Null())
+			continue
+		}
+		dst.appendVal(base+k, src.ValueAt(int(i)))
+	}
+}
+
+func TestGatherFromMatchesRowMajor(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(BatchSize()+1)
+		w := 1 + rng.Intn(4)
+		rows := randColRows(rng, n, w)
+		var src ColBatch
+		src.FromTuples(rows, w)
+
+		// Half the trials gather through a selection vector (the idx
+		// entries are physical rows drawn from the live set, as the join
+		// produces them); a sprinkle of -1 entries NULL-pads.
+		live := make([]int32, 0, n)
+		if rng.Intn(2) == 0 {
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) > 0 {
+					live = append(live, int32(i))
+				}
+			}
+			src.Sel = live
+		} else {
+			for i := 0; i < n; i++ {
+				live = append(live, int32(i))
+			}
+		}
+		nIdx := rng.Intn(2 * n)
+		idx := make([]int32, nIdx)
+		for k := range idx {
+			if rng.Intn(8) == 0 || len(live) == 0 {
+				idx[k] = -1
+			} else {
+				idx[k] = live[rng.Intn(len(live))]
+			}
+		}
+
+		// A random prefix below base exercises appends into non-empty
+		// destinations, including kind conflicts with the gathered lane.
+		base := rng.Intn(4)
+		prefix := randColRows(rng, base, w)
+
+		for c := 0; c < w; c++ {
+			sv := src.Col(c)
+			if rng.Intn(12) == 0 {
+				sv = nil // outer-join build side of an empty partition
+			}
+			var got, want ColVec
+			for r := 0; r < base; r++ {
+				got.appendVal(r, prefix[r][c])
+				want.appendVal(r, prefix[r][c])
+			}
+			got.GatherFrom(sv, idx, base)
+			rowMajorGather(&want, sv, idx, base)
+			for r := 0; r < base+nIdx; r++ {
+				g, x := got.ValueAt(r), want.ValueAt(r)
+				if g != x {
+					t.Fatalf("trial %d col %d row %d: GatherFrom=%v rowMajor=%v (src kind %v, base %d)",
+						trial, c, r, g, x, src.Col(c).Kind, base)
+				}
+			}
+		}
+	}
+}

@@ -556,8 +556,11 @@ func setMorsel(root exec.Operator) {
 
 func setColumnar(root exec.Operator) {
 	exec.Walk(root, func(op exec.Operator) {
-		if j, ok := op.(*exec.HashJoin); ok {
-			j.SetColumnar(true)
+		switch o := op.(type) {
+		case *exec.HashJoin:
+			o.SetColumnar(true)
+		case *exec.Sort:
+			o.SetColumnar(true)
 		}
 	})
 }

@@ -3,9 +3,11 @@ package exec
 import (
 	"hash/maphash"
 	"math"
+	"math/rand"
 	"testing"
 
 	"qpi/internal/data"
+	"qpi/internal/storage"
 )
 
 // hashValueSerialized is the seed implementation of hashValue, kept here
@@ -166,6 +168,114 @@ func TestJoinTableBuild(t *testing.T) {
 	}
 	if got := jt.lookup(data.Str("x")); len(got) != 0 {
 		t.Fatalf("stale fallback key survived rebuild: %v", got)
+	}
+}
+
+// TestColJoinTableBuild pins the lane-native build table to the same
+// semantics as joinTable: per-key row-index groups in input order,
+// missing and NULL keys empty, non-integer keys on the fallback map,
+// rebuilds forget the previous partition, and the homogeneous int lane
+// takes the no-Value fast path with identical results.
+func TestColJoinTableBuild(t *testing.T) {
+	rows := []data.Tuple{
+		{data.Int(1), data.Int(0)}, {data.Int(2), data.Int(1)}, {data.Int(1), data.Int(2)},
+		{data.Str("x"), data.Int(3)}, {data.Null(), data.Int(4)}, {data.Int(1), data.Int(5)},
+	}
+	var cb data.ColBatch
+	cb.FromTuples(rows, 2)
+	var jt colJoinTable
+	var scratch data.Tuple
+	jt.build(&cb, []int{0}, &scratch)
+	wantRows := func(label string, got []int32, want ...int32) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s = %v, want %v", label, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s = %v, want %v", label, got, want)
+			}
+		}
+	}
+	wantRows("lookupInt(1)", jt.lookupInt(1), 0, 2, 5)
+	wantRows("lookupInt(2)", jt.lookupInt(2), 1)
+	wantRows(`lookup("x")`, jt.lookup(data.Str("x")), 3)
+	wantRows("lookupInt(99)", jt.lookupInt(99))
+	wantRows("lookup(NULL)", jt.lookup(data.Null()))
+
+	// Rebuild over a homogeneous int lane (fast path: no Value per row).
+	intRows := []data.Tuple{
+		{data.Int(7), data.Int(0)}, {data.Int(8), data.Int(1)}, {data.Int(7), data.Int(2)},
+	}
+	var icb data.ColBatch
+	icb.FromTuples(intRows, 2)
+	if v := icb.Col(0); !v.Homogeneous() || v.Kind != data.KindInt {
+		t.Fatal("int key lane should be homogeneous")
+	}
+	jt.build(&icb, []int{0}, &scratch)
+	wantRows("lookupInt(7)", jt.lookupInt(7), 0, 2)
+	wantRows("lookupInt(8)", jt.lookupInt(8), 1)
+	wantRows("stale lookupInt(1)", jt.lookupInt(1))
+	wantRows(`stale lookup("x")`, jt.lookup(data.Str("x")))
+}
+
+// benchJoinTables builds the kvTable pair reused by the columnar join
+// benchmark and the alloc bound below: skewed int keys, a few NULLs.
+func benchJoinTables() (*storage.Table, *storage.Table) {
+	rng := rand.New(rand.NewSource(99))
+	build := randKeys(rng, 4096, 512, 0.05)
+	probe := randKeys(rng, 8192, 512, 0.05)
+	return kvTable("b", build), kvTable("p", probe)
+}
+
+func runColumnarJoinOnce(bt, pt *storage.Table) (int64, error) {
+	j := NewHashJoin(NewScan(bt, ""), NewScan(pt, ""), 0, 0)
+	j.SetColumnar(true)
+	return RunCol(j)
+}
+
+// BenchmarkColumnarJoin measures the lane-native columnar grace join
+// end-to-end (partition scatter + build + probe + gather) with
+// allocation reporting: the pooled partition buffers are what keeps
+// allocs/op flat as row counts grow.
+func BenchmarkColumnarJoin(b *testing.B) {
+	bt, pt := benchJoinTables()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runColumnarJoinOnce(bt, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestColumnarJoinAllocsPooled asserts the pooling contract of the
+// lane-native partition path: once the ColBatch pool is warm, a full
+// columnar join run allocates O(partitions + output batches), not
+// O(rows). Without GetColBatch/PutColBatch on the scatter and gather
+// buffers this blows past the bound by an order of magnitude.
+func TestColumnarJoinAllocsPooled(t *testing.T) {
+	bt, pt := benchJoinTables()
+	// Warm the pools (and pin the expected cardinality).
+	want, err := runColumnarJoinOnce(bt, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		n, err := runColumnarJoinOnce(bt, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Fatalf("join returned %d rows, want %d", n, want)
+		}
+	})
+	// The bench workload (135k scanned rows) holds at ~460 allocs/op;
+	// this 12k-row shape sits far below that. The bound is loose enough
+	// for allocator noise, tight enough that a per-row or per-partition
+	// regression (≥ thousands of allocs) fails loudly.
+	if avg > 800 {
+		t.Errorf("columnar join allocations = %.0f per run, want ≤ 800 (pooling regression)", avg)
 	}
 }
 

@@ -147,6 +147,36 @@ type HashJoin struct {
 	matches  []data.Tuple
 	matchPos int
 	probeTup data.Tuple
+
+	// Lane-native columnar partition state (colMode): per-partition pooled
+	// ColBatch lane buffers replace the row-major buffers end-to-end — the
+	// passes scatter lane-to-lane, the join table indexes rows of the
+	// partition's lanes, and the join phase gathers output lane-to-lane.
+	// See hashjoin_col.go.
+	buildColParts []*data.ColBatch
+	probeColParts []*data.ColBatch
+	colTab        colJoinTable
+	colBuild      *data.ColBatch // current partition's build lanes (gather source)
+	colProbe      *data.ColBatch // current probe chunk (partition lanes or a decoded spill frame)
+	colProbePart  *data.ColBatch // the in-memory probe partition batch being served (owned)
+	colProbeRow   int            // next probe row index within colProbe
+	colProbeCur   int32          // probe row whose matches are streaming
+	colProbeKey   *data.ColVec   // cached int key lane of the current probe chunk (nil = generic keys)
+	colMatches    []int32
+	colMatchPos   int
+	colDecA       *data.ColBatch // double-buffered spilled-probe frames: the
+	colDecB       *data.ColBatch // previous frame stays gatherable while the next decodes
+	colRetire     []*data.ColBatch
+	colGen        uint64 // bumps whenever colBuild/colProbe switch sources
+	colPairB      []int32
+	colPairP      []int32
+	colGatherB    *data.ColBatch // gather sources snapshotted when the first
+	colGatherP    *data.ColBatch // pair of a fill appends (stable across a source switch)
+	colPendB      int32 // pair produced after a source switch, served first next fill
+	colPendP      int32
+	colPendSet    bool
+	colKeyScratch data.Tuple
+	colRowArena   []data.Value
 	// joinedProbes counts probe tuples consumed in the join (second)
 	// pass. Atomic: the parallel join phase folds in per-partition counts
 	// from the drain side while monitor goroutines read it through
@@ -163,11 +193,8 @@ type HashJoin struct {
 	outBuf data.Batch
 	arena  []data.Value
 
-	// Columnar output state: colOut is the reused output ColBatch;
-	// gatherFn caches the bound gatherConcat method value so advance is
-	// not handed a fresh closure per batch.
-	colOut   data.ColBatch
-	gatherFn func(a, b data.Tuple) data.Tuple
+	// Columnar output state: colOut is the reused output ColBatch.
+	colOut data.ColBatch
 
 	joinType  JoinType
 	nullBuild data.Tuple // all-NULL build-side padding for ProbeOuterJoin
@@ -259,6 +286,137 @@ func (jt *joinTable) lookup(k data.Value) []data.Tuple {
 func (jt *joinTable) clear() {
 	jt.ints.Reset()
 	jt.flat, jt.other = nil, nil
+}
+
+// colJoinTable is the lane-native per-partition build table: the same
+// two-pass count/fill layout as joinTable, but the spans index rows of
+// the partition's ColBatch lanes (int32 row numbers) instead of holding
+// tuple references — building reads the flat key lane, probing returns
+// row indexes for the lane-to-lane gather, and no build tuple is ever
+// materialized.
+type colJoinTable struct {
+	ints hashtab.I64Map[tupleSpan]
+	flat []int32
+	// other holds non-integer-keyed row indexes (strings, floats).
+	other map[data.Value][]int32
+}
+
+// build (re)constructs the table over cb's rows. NULL keys never reach a
+// build partition (the scatter drops them), but the generic path guards
+// anyway, matching joinTable.
+func (jt *colJoinTable) build(cb *data.ColBatch, keys []int, scratch *data.Tuple) {
+	jt.ints.Reset()
+	jt.other = nil
+	if cb == nil || cb.NRows == 0 {
+		jt.flat = jt.flat[:0]
+		return
+	}
+	n := cb.NRows
+	nInt := 0
+	var kv *data.ColVec
+	if len(keys) == 1 {
+		if v := cb.Col(keys[0]); v.Homogeneous() && v.Kind == data.KindInt && !v.Nulls.Any() {
+			kv = v
+		}
+	}
+	if kv != nil {
+		for _, k := range kv.Ints[:n] {
+			jt.ints.Ref(k).n++
+		}
+		nInt = n
+	} else {
+		for i := 0; i < n; i++ {
+			k := colJoinKeyAt(cb, keys, i, scratch)
+			switch {
+			case k.Kind == data.KindInt:
+				jt.ints.Ref(k.I).n++
+				nInt++
+			case k.IsNull():
+				// dropped
+			default:
+				if jt.other == nil {
+					jt.other = make(map[data.Value][]int32)
+				}
+				jt.other[k] = append(jt.other[k], int32(i))
+			}
+		}
+	}
+	if cap(jt.flat) < nInt {
+		jt.flat = make([]int32, nInt)
+	} else {
+		jt.flat = jt.flat[:nInt]
+	}
+	var off int32
+	jt.ints.EachRef(func(_ int64, sp *tupleSpan) bool {
+		sp.off = off
+		off += sp.n
+		sp.n = 0
+		return true
+	})
+	if kv != nil {
+		for i, k := range kv.Ints[:n] {
+			sp := jt.ints.Ref(k)
+			jt.flat[sp.off+sp.n] = int32(i)
+			sp.n++
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		k := colJoinKeyAt(cb, keys, i, scratch)
+		if k.Kind == data.KindInt {
+			sp := jt.ints.Ref(k.I)
+			jt.flat[sp.off+sp.n] = int32(i)
+			sp.n++
+		}
+	}
+}
+
+// lookupInt returns the build row indexes matching an int key — the hot
+// probe path, fed straight from the probe partition's key lane.
+func (jt *colJoinTable) lookupInt(k int64) []int32 {
+	sp, ok := jt.ints.Get(k)
+	if !ok {
+		return nil
+	}
+	return jt.flat[sp.off : sp.off+sp.n]
+}
+
+func (jt *colJoinTable) lookup(k data.Value) []int32 {
+	if k.Kind == data.KindInt {
+		return jt.lookupInt(k.I)
+	}
+	if jt.other == nil {
+		return nil
+	}
+	return jt.other[k]
+}
+
+func (jt *colJoinTable) clear() {
+	jt.ints.Reset()
+	jt.flat, jt.other = nil, nil
+}
+
+// colJoinKeyAt is JoinKeyOf evaluated off column lanes: the single key
+// column's value, or the composite GroupKey for multi-column keys (any
+// NULL component yields NULL). scratch is a reusable tuple the key
+// columns are staged into for GroupKey.
+func colJoinKeyAt(cb *data.ColBatch, keys []int, i int, scratch *data.Tuple) data.Value {
+	if len(keys) == 1 {
+		return cb.Col(keys[0]).ValueAt(i)
+	}
+	w := cb.Width()
+	if cap(*scratch) < w {
+		*scratch = make(data.Tuple, w)
+	}
+	t := (*scratch)[:w]
+	for _, c := range keys {
+		v := cb.Col(c).ValueAt(i)
+		if v.IsNull() {
+			return data.Null()
+		}
+		t[c] = v
+	}
+	return GroupKey(t, keys)
 }
 
 type hjState uint8
@@ -473,9 +631,6 @@ func (j *HashJoin) partitionAppend(parts [][]data.Tuple, spill []*spillFile,
 	if err != nil {
 		return err
 	}
-	if j.colMode {
-		f.setColumnar()
-	}
 	for _, buf := range parts[p] {
 		if err := f.append(buf); err != nil {
 			f.close()
@@ -544,9 +699,12 @@ func (j *HashJoin) Next() (data.Tuple, error) {
 	}
 	var t data.Tuple
 	var err error
-	if j.joinPar != nil {
+	switch {
+	case j.joinPar != nil:
 		t, err = j.nextParallel()
-	} else {
+	case j.colMode:
+		t, err = j.advanceColRow()
+	default:
 		t, err = j.advance(data.Tuple.Concat)
 	}
 	if err != nil {
@@ -574,7 +732,13 @@ func (j *HashJoin) NextBatch() (data.Batch, error) {
 	}
 	out := j.outBuf[:0]
 	for len(out) < cap(out) {
-		t, err := j.advance(j.arenaConcat)
+		var t data.Tuple
+		var err error
+		if j.colMode {
+			t, err = j.advanceColRow()
+		} else {
+			t, err = j.advance(j.arenaConcat)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -624,6 +788,9 @@ func (j *HashJoin) beginJoinPhase() error {
 	if j.JoinWorkers() > 1 {
 		j.startParallelJoin()
 		return nil
+	}
+	if j.colMode {
+		return j.loadColPartition(0)
 	}
 	return j.loadPartition(0)
 }
@@ -716,9 +883,16 @@ func (j *HashJoin) advance(concat func(a, b data.Tuple) data.Tuple) (data.Tuple,
 }
 
 // initPartitions allocates the per-partition buffers for both sides.
+// colMode uses pooled lane buffers (fetched lazily on first append)
+// instead of the row-major slices.
 func (j *HashJoin) initPartitions() {
-	j.buildParts = make([][]data.Tuple, j.parts)
-	j.probeParts = make([][]data.Tuple, j.parts)
+	if j.colMode {
+		j.buildColParts = make([]*data.ColBatch, j.parts)
+		j.probeColParts = make([]*data.ColBatch, j.parts)
+	} else {
+		j.buildParts = make([][]data.Tuple, j.parts)
+		j.probeParts = make([][]data.Tuple, j.parts)
+	}
 	j.buildSpill = make([]*spillFile, j.parts)
 	j.probeSpill = make([]*spillFile, j.parts)
 	j.buildBytes = make([]int64, j.parts)
@@ -867,6 +1041,7 @@ func (j *HashJoin) Close() error {
 	}
 	j.buildParts, j.probeParts, j.matches = nil, nil, nil
 	j.ht.clear()
+	j.releaseColParts()
 	var errs []error
 	for _, f := range j.buildSpill {
 		if f != nil {

@@ -1,22 +1,28 @@
 package exec
 
 import (
+	"fmt"
+	"io"
 	"sync/atomic"
 
 	"qpi/internal/data"
 )
 
-// This file implements the columnar grace partition passes and the
-// columnar join output. The partition passes consume ColBatches and, for
-// the dominant single-integer-key case, hash partition assignments
-// straight off the flat int64 key lane without materializing a key Value
-// per row. Partition assignment hashes the identical data.Value either
-// way, so the partition layout — and therefore the join's
-// partition-clustered output order — is byte-identical to the row
-// passes. The join (second) pass gathers output values directly into
-// reused column lanes: no per-row tuple concatenation, no Value copies
-// into an arena (the dominant allocation cost of the batch output path
-// on wide outputs).
+// This file implements the lane-native columnar grace hash join: the
+// partition passes scatter input rows lane-to-lane into per-partition
+// ColBatch buffers (no row-major partition buffers, no per-row tuple
+// references), the join table indexes rows of the build partition's
+// lanes straight off its key lane, and the join (second) phase gathers
+// output lane-to-lane through (build row, probe row) pair buffers.
+// Spilled partitions write columnar frames directly from the lanes and
+// stream back as lane chunks — no FromTuples/ToTuples pivot anywhere on
+// the columnar path.
+//
+// Partition assignment hashes the identical data.Value either way, so
+// the partition layout — and therefore the join's partition-clustered
+// output order — is byte-identical to the row passes. Estimator hooks
+// (per-tuple, span, worker-indexed) fire on the input batches before the
+// scatter, exactly as before, so estimates are bit-identical too.
 
 // SetColumnar selects the columnar partition passes, columnar spill
 // frames, and the columnar join output (NextColBatch). The passes are
@@ -32,7 +38,7 @@ func (j *HashJoin) SetColumnar(on bool) *HashJoin {
 func (j *HashJoin) Columnar() bool { return j.colMode }
 
 // colPassConfig describes one columnar partition pass (build or probe
-// side); the mirror of passConfig for the columnar scatter.
+// side); the mirror of passConfig for the lane-native scatter.
 type colPassConfig struct {
 	child     Operator
 	keys      []int
@@ -43,7 +49,7 @@ type colPassConfig struct {
 	// under a morselized pass, by the single pass goroutine as worker 0
 	// otherwise.
 	colBatchHook func(worker int, cb *data.ColBatch)
-	parts        [][]data.Tuple
+	colParts     []*data.ColBatch
 	spill        []*spillFile
 	bytes        []int64
 	width        int
@@ -62,7 +68,7 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 		tupleHook:    j.OnBuildTuple,
 		colHook:      j.OnBuildCol,
 		colBatchHook: j.OnBuildColBatch,
-		parts:        j.buildParts,
+		colParts:     j.buildColParts,
 		spill:        j.buildSpill,
 		bytes:        j.buildBytes,
 		width:        j.build.Schema().Len(),
@@ -82,7 +88,7 @@ func (j *HashJoin) partitionPhasesColumnar() error {
 		tupleHook:    j.OnProbeTuple,
 		colHook:      j.OnProbeCol,
 		colBatchHook: j.OnProbeColBatch,
-		parts:        j.probeParts,
+		colParts:     j.probeColParts,
 		spill:        j.probeSpill,
 		bytes:        j.probeBytes,
 		width:        j.probe.Schema().Len(),
@@ -121,9 +127,8 @@ func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
 			return nil
 		}
 		cfg.rows.Add(int64(cb.Live()))
-		var rows []data.Tuple
 		if cfg.tupleHook != nil {
-			rows = cb.MaterializeRows()
+			rows := cb.MaterializeRows()
 			if cb.Sel == nil {
 				for i := 0; i < cb.NRows; i++ {
 					cfg.tupleHook(rows[i])
@@ -140,27 +145,24 @@ func (j *HashJoin) partitionPassColumnar(cfg *colPassConfig) error {
 		if cfg.colBatchHook != nil {
 			cfg.colBatchHook(0, cb)
 		}
-		if err := j.scatterColBatch(cfg, cb, rows); err != nil {
+		if err := j.scatterColBatch(cfg, cb); err != nil {
 			return err
 		}
 	}
 }
 
-// scatterColBatch partitions one batch's live rows. Single homogeneous
-// integer keys partition straight off the flat Ints lane; everything
-// else goes through JoinKeyOf per row.
-func (j *HashJoin) scatterColBatch(cfg *colPassConfig, cb *data.ColBatch, rows []data.Tuple) error {
-	if rows == nil {
-		rows = cb.MaterializeRows()
-	}
+// scatterColBatch partitions one batch's live rows lane-to-lane. Single
+// homogeneous integer keys partition straight off the flat Ints lane;
+// everything else extracts the key off the lanes per row.
+func (j *HashJoin) scatterColBatch(cfg *colPassConfig, cb *data.ColBatch) error {
 	if len(cfg.keys) == 1 {
 		kv := cb.Col(cfg.keys[0])
 		if kv.Homogeneous() && kv.Kind == data.KindInt {
-			return j.scatterIntKey(cfg, cb, kv, rows)
+			return j.scatterIntKey(cfg, cb, kv)
 		}
 	}
 	scatter := func(i int) error {
-		k := JoinKeyOf(rows[i], cfg.keys)
+		k := colJoinKeyAt(cb, cfg.keys, i, &j.colKeyScratch)
 		p := 0
 		if k.IsNull() {
 			if !cfg.keepNull {
@@ -169,7 +171,7 @@ func (j *HashJoin) scatterColBatch(cfg *colPassConfig, cb *data.ColBatch, rows [
 		} else {
 			p = int(hashValue(k) % uint64(j.parts))
 		}
-		return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, p, rows[i], cfg.width)
+		return j.colPartitionAppend(cfg, p, cb, i)
 	}
 	if cb.Sel == nil {
 		for i := 0; i < cb.NRows; i++ {
@@ -191,17 +193,17 @@ func (j *HashJoin) scatterColBatch(cfg *colPassConfig, cb *data.ColBatch, rows [
 // integer key column: partition assignment reads the flat int64 lane and
 // hashes data.Int(v) — the exact Value JoinKeyOf would produce — so the
 // layout matches the row passes bit for bit.
-func (j *HashJoin) scatterIntKey(cfg *colPassConfig, cb *data.ColBatch, kv *data.ColVec, rows []data.Tuple) error {
+func (j *HashJoin) scatterIntKey(cfg *colPassConfig, cb *data.ColBatch, kv *data.ColVec) error {
 	nparts := uint64(j.parts)
 	scatter := func(i int) error {
 		if kv.Nulls.Get(i) {
 			if !cfg.keepNull {
 				return nil
 			}
-			return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, 0, rows[i], cfg.width)
+			return j.colPartitionAppend(cfg, 0, cb, i)
 		}
 		p := int(hashValue(data.Int(kv.Ints[i])) % nparts)
-		return j.partitionAppend(cfg.parts, cfg.spill, cfg.bytes, p, rows[i], cfg.width)
+		return j.colPartitionAppend(cfg, p, cb, i)
 	}
 	if cb.Sel == nil {
 		for i := 0; i < cb.NRows; i++ {
@@ -219,29 +221,451 @@ func (j *HashJoin) scatterIntKey(cfg *colPassConfig, cb *data.ColBatch, kv *data
 	return nil
 }
 
-// hjColSentinel marks a join row already gathered into the columnar
-// output lanes by gatherConcat; advance returns it in place of a
-// materialized concatenation. Distinguishable from real rows because
-// every join output schema has at least one column.
-var hjColSentinel = make(data.Tuple, 0)
+// colPartitionAppend appends src's row i to partition p lane-to-lane,
+// spilling the partition's lanes when they exceed their budget share —
+// the columnar mirror of partitionAppend. Partition buffers come from
+// the ColBatch pool and keep their lane capacity across reuse.
+func (j *HashJoin) colPartitionAppend(cfg *colPassConfig, p int, src *data.ColBatch, i int) error {
+	if cfg.spill[p] != nil {
+		j.stats.SpillBytes.Add(int64(src.RowBytes(i)))
+		return cfg.spill[p].appendColRow(src, i)
+	}
+	dst := cfg.colParts[p]
+	if dst == nil {
+		dst = data.GetColBatch()
+		dst.BeginBuild(cfg.width)
+		cfg.colParts[p] = dst
+	}
+	dst.AppendFrom(src, i)
+	if j.memBudget <= 0 {
+		return nil
+	}
+	cfg.bytes[p] += int64(src.RowBytes(i))
+	if cfg.bytes[p] <= j.memBudget/int64(2*j.parts) {
+		return nil
+	}
+	// Overflow: dump this partition's lanes frame-at-a-time and switch it
+	// to disk.
+	f, err := newSpillFile(j.spillFS, cfg.width)
+	if err != nil {
+		return err
+	}
+	f.setColumnar()
+	if err := f.appendColAll(dst); err != nil {
+		f.close()
+		return err
+	}
+	j.stats.SpillFiles.Add(1)
+	j.stats.SpillBytes.Add(cfg.bytes[p])
+	j.traceMark("spill", int64(dst.NRows), cfg.bytes[p])
+	data.PutColBatch(dst)
+	cfg.colParts[p] = nil
+	cfg.spill[p] = f
+	j.spilled++
+	return nil
+}
 
-// gatherConcat appends the concatenated output row straight into the
-// columnar output lanes and returns the sentinel — no per-row Value copy
-// into an arena, no output tuple headers. (A column-at-a-time transpose
-// of buffered pairs was tried and measured no faster: it trades the
-// lane-cycling dispatch for a pointer chase into 2×BatchSize scattered
-// tuples per lane, and the source-side misses dominate.)
-func (j *HashJoin) gatherConcat(a, b data.Tuple) data.Tuple {
-	j.colOut.AppendRow2(a, b)
-	return hjColSentinel
+// Pair markers for the build side of a (build row, probe row) pair.
+const (
+	colPairProbeOnly int32 = -2 // semi/anti: the output row is the probe row alone
+	colPairNullBuild int32 = -1 // outer miss: NULL-padded build columns
+)
+
+// loadColPartition builds the lane-native hash table for one partition
+// (reading spilled build frames back into lanes) and positions the probe
+// cursor on the partition's lanes or its spill frame stream.
+func (j *HashJoin) loadColPartition(p int) error {
+	if err := j.ctxErr(); err != nil {
+		return err
+	}
+	if j.tracing() {
+		j.traceBegin(fmt.Sprintf("join[%d]", p))
+		j.partProbes = j.joinedProbes.Load()
+	}
+	cp := j.buildColParts[p]
+	j.buildColParts[p] = nil
+	if f := j.buildSpill[p]; f != nil {
+		cp = data.GetColBatch()
+		err := f.readAllCol(cp)
+		j.buildSpill[p] = nil
+		cerr := f.close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			data.PutColBatch(cp)
+			return err
+		}
+	}
+	j.colTab.build(cp, j.buildKeys, &j.colKeyScratch)
+	j.colBuild = cp
+	j.probeFile = nil
+	j.colProbePart = nil
+	j.colProbe = nil
+	j.colProbeRow = 0
+	j.colProbeKey = nil
+	j.colMatches = nil
+	j.colMatchPos = 0
+	j.colGen++
+	if f := j.probeSpill[p]; f != nil {
+		if err := f.startRead(); err != nil {
+			return err
+		}
+		j.probeFile = f
+		return nil
+	}
+	if pp := j.probeColParts[p]; pp != nil {
+		j.probeColParts[p] = nil
+		j.colProbePart = pp
+		j.setColProbeChunk(pp)
+	}
+	return nil
+}
+
+// setColProbeChunk points the probe cursor at a new chunk (partition
+// lanes or a decoded spill frame) and caches its int key lane when the
+// single-integer-key fast path applies.
+func (j *HashJoin) setColProbeChunk(cb *data.ColBatch) {
+	j.colProbe = cb
+	j.colProbeRow = 0
+	j.colProbeKey = nil
+	j.colGen++
+	if cb != nil && len(j.probeKeys) == 1 {
+		if kv := cb.Col(j.probeKeys[0]); kv.Homogeneous() && kv.Kind == data.KindInt {
+			j.colProbeKey = kv
+		}
+	}
+}
+
+// nextProbeFrame decodes the next spilled probe frame into the decode
+// buffer not currently being gathered from (double-buffered, so pending
+// pairs against the previous frame stay valid), returning nil at end of
+// partition.
+func (j *HashJoin) nextProbeFrame() (*data.ColBatch, error) {
+	if j.colDecA == nil {
+		j.colDecA = data.GetColBatch()
+		j.colDecB = data.GetColBatch()
+	}
+	// Pick the decode buffer no live reference pins. Pending (ungathered)
+	// pairs pin their snapshot source — which survives partition
+	// boundaries, where colProbe has already been reset — otherwise the
+	// current chunk is the only hot buffer. At most one buffer is ever
+	// pinned: a chunk that produced pairs forces a fill break before the
+	// next decode, so the other buffer is free by construction.
+	dst := j.colDecA
+	if len(j.colPairB) > 0 {
+		if j.colGatherP == j.colDecA {
+			dst = j.colDecB
+		}
+	} else if j.colProbe == j.colDecA {
+		dst = j.colDecB
+	}
+	err := j.probeFile.nextColFrame(dst)
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// endColPartition closes out the current partition: the finished
+// partition's lanes move to the retire queue (they stay gatherable until
+// the caller's next pair fill) and the next partition loads.
+func (j *HashJoin) endColPartition() error {
+	if j.probeFile != nil {
+		err := j.probeFile.close()
+		j.probeSpill[j.curPart] = nil
+		j.probeFile = nil
+		if err != nil {
+			return err
+		}
+	}
+	if j.tracing() {
+		j.traceEnd(fmt.Sprintf("join[%d]", j.curPart), j.joinedProbes.Load()-j.partProbes, 0, 0)
+	}
+	if j.colBuild != nil {
+		j.colRetire = append(j.colRetire, j.colBuild)
+		j.colBuild = nil
+	}
+	if j.colProbePart != nil {
+		j.colRetire = append(j.colRetire, j.colProbePart)
+		j.colProbePart = nil
+	}
+	j.colProbe = nil
+	j.colProbeKey = nil
+	j.colGen++
+	j.curPart++
+	if j.curPart >= j.parts {
+		j.state = hjDone
+		j.done.Store(true)
+		return nil
+	}
+	return j.loadColPartition(j.curPart)
+}
+
+// nextColPair advances the columnar join state machine by one output
+// row, returning its (build row, probe row) pair: a matched build row
+// index, colPairNullBuild for an outer miss, or colPairProbeOnly for
+// semi/anti output. ok is false when the join is exhausted. The row
+// indexes address j.colBuild / j.colProbe as of return; those sources
+// switch only when colGen bumps.
+func (j *HashJoin) nextColPair() (br, pr int32, ok bool, err error) {
+	for j.state == hjJoin {
+		if err := j.pollCtx(); err != nil {
+			return 0, 0, false, err
+		}
+		// Emit pending matches for the current probe row.
+		if j.colMatchPos < len(j.colMatches) {
+			m := j.colMatches[j.colMatchPos]
+			j.colMatchPos++
+			return m, j.colProbeCur, true, nil
+		}
+		// Advance to the next probe row in the current chunk.
+		if j.colProbe != nil && j.colProbeRow < j.colProbe.NRows {
+			i := j.colProbeRow
+			j.colProbeRow++
+			j.joinedProbes.Add(1)
+			j.colProbeCur = int32(i)
+			var matches []int32
+			if kv := j.colProbeKey; kv != nil {
+				if !kv.Nulls.Get(i) {
+					matches = j.colTab.lookupInt(kv.Ints[i])
+				}
+			} else {
+				k := colJoinKeyAt(j.colProbe, j.probeKeys, i, &j.colKeyScratch)
+				if !k.IsNull() {
+					matches = j.colTab.lookup(k)
+				}
+			}
+			switch j.joinType {
+			case SemiJoin:
+				if len(matches) > 0 {
+					return colPairProbeOnly, int32(i), true, nil
+				}
+				continue
+			case AntiJoin:
+				if len(matches) == 0 {
+					return colPairProbeOnly, int32(i), true, nil
+				}
+				continue
+			case ProbeOuterJoin:
+				if len(matches) == 0 {
+					return colPairNullBuild, int32(i), true, nil
+				}
+			}
+			j.colMatches = matches
+			j.colMatchPos = 0
+			continue
+		}
+		// Chunk exhausted: next spill frame, else next partition.
+		if j.probeFile != nil {
+			next, err := j.nextProbeFrame()
+			if err != nil {
+				return 0, 0, false, err
+			}
+			if next != nil {
+				j.setColProbeChunk(next)
+				continue
+			}
+		}
+		if err := j.endColPartition(); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	return 0, 0, false, nil
+}
+
+// drainColRetire returns retired partition lanes to the pool. Called at
+// the top of each fill/advance, when the previous call's output no
+// longer references them.
+func (j *HashJoin) drainColRetire() {
+	for i, cb := range j.colRetire {
+		data.PutColBatch(cb)
+		j.colRetire[i] = nil
+	}
+	j.colRetire = j.colRetire[:0]
+}
+
+// fillColPairs fills the pair buffers with up to max output rows, all
+// addressing one (colGatherB, colGatherP) source pair. A pair produced
+// just after a source switch is stashed and served first on the next
+// fill. Returns 0 only when the join is exhausted.
+func (j *HashJoin) fillColPairs(max int) (int, error) {
+	j.drainColRetire()
+	j.colPairB = j.colPairB[:0]
+	j.colPairP = j.colPairP[:0]
+	appendPair := func(b, p int32) {
+		if len(j.colPairB) == 0 {
+			j.colGatherB, j.colGatherP = j.colBuild, j.colProbe
+		}
+		j.colPairB = append(j.colPairB, b)
+		j.colPairP = append(j.colPairP, p)
+	}
+	if j.colPendSet {
+		j.colPendSet = false
+		appendPair(j.colPendB, j.colPendP)
+	}
+	gen := j.colGen
+	for len(j.colPairB) < max {
+		br, pr, ok, err := j.nextColPair()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		if j.colGen != gen {
+			if len(j.colPairB) > 0 {
+				// Sources switched under this pair: gather what we have and
+				// serve it on the next fill.
+				j.colPendB, j.colPendP, j.colPendSet = br, pr, true
+				break
+			}
+			gen = j.colGen
+		}
+		appendPair(br, pr)
+	}
+	return len(j.colPairB), nil
+}
+
+// gatherPairs appends the buffered pairs' output rows to out, one typed
+// lane copy per column — no intermediate tuple materialization.
+func (j *HashJoin) gatherPairs(out *data.ColBatch) {
+	n := len(j.colPairB)
+	if n == 0 {
+		return
+	}
+	base := out.NRows
+	off := 0
+	if j.joinType == InnerJoin || j.joinType == ProbeOuterJoin {
+		bw := j.build.Schema().Len()
+		for c := 0; c < bw; c++ {
+			var src *data.ColVec
+			if j.colGatherB != nil {
+				src = j.colGatherB.Col(c)
+			}
+			out.OwnCol(c).GatherFrom(src, j.colPairB, base)
+		}
+		off = bw
+	}
+	pw := j.probe.Schema().Len()
+	for c := 0; c < pw; c++ {
+		out.OwnCol(off+c).GatherFrom(j.colGatherP.Col(c), j.colPairP, base)
+	}
+	out.NRows = base + n
+	j.colPairB = j.colPairB[:0]
+	j.colPairP = j.colPairP[:0]
+}
+
+// advanceColRow is the row-output driver over the columnar join phase:
+// it produces one pair per call and materializes the output tuple from
+// the partition lanes into the row arena (Next/NextBatch in colMode, and
+// the NextColBatch hook fallback).
+func (j *HashJoin) advanceColRow() (data.Tuple, error) {
+	j.drainColRetire()
+	var br, pr int32
+	if j.colPendSet {
+		br, pr = j.colPendB, j.colPendP
+		j.colPendSet = false
+	} else {
+		var ok bool
+		var err error
+		br, pr, ok, err = j.nextColPair()
+		if err != nil || !ok {
+			return nil, err
+		}
+	}
+	return j.materializeColRow(br, pr), nil
+}
+
+// materializeColRow builds the output tuple for one pair out of the
+// current partition lanes, bump-allocated from the row arena.
+func (j *HashJoin) materializeColRow(br, pr int32) data.Tuple {
+	pw := j.probe.Schema().Len()
+	probe := j.colProbe
+	if j.joinType == SemiJoin || j.joinType == AntiJoin {
+		out := j.colRowAlloc(pw)
+		for c := 0; c < pw; c++ {
+			out[c] = probe.Value(c, int(pr))
+		}
+		return out
+	}
+	bw := j.build.Schema().Len()
+	out := j.colRowAlloc(bw + pw)
+	if br < 0 {
+		for c := range out[:bw] {
+			out[c] = data.Value{} // NULL-padded build side, as nullBuild
+		}
+	} else {
+		b := j.colBuild
+		for c := 0; c < bw; c++ {
+			out[c] = b.Value(c, int(br))
+		}
+	}
+	for c := 0; c < pw; c++ {
+		out[bw+c] = probe.Value(c, int(pr))
+	}
+	return out
+}
+
+// colRowAlloc carves one output tuple from the columnar row arena.
+func (j *HashJoin) colRowAlloc(n int) data.Tuple {
+	if len(j.colRowArena) < n {
+		j.colRowArena = make([]data.Value, n*data.BatchSize())
+	}
+	out := j.colRowArena[:n:n]
+	j.colRowArena = j.colRowArena[n:]
+	return data.Tuple(out)
+}
+
+// releaseColParts returns every columnar partition buffer and decode
+// buffer to the pool (Close path; also safe mid-join).
+func (j *HashJoin) releaseColParts() {
+	for i, cb := range j.buildColParts {
+		if cb != nil {
+			data.PutColBatch(cb)
+			j.buildColParts[i] = nil
+		}
+	}
+	for i, cb := range j.probeColParts {
+		if cb != nil {
+			data.PutColBatch(cb)
+			j.probeColParts[i] = nil
+		}
+	}
+	j.buildColParts, j.probeColParts = nil, nil
+	if j.colBuild != nil {
+		data.PutColBatch(j.colBuild)
+		j.colBuild = nil
+	}
+	if j.colProbePart != nil {
+		data.PutColBatch(j.colProbePart)
+		j.colProbePart = nil
+	}
+	if j.colDecA != nil {
+		data.PutColBatch(j.colDecA)
+		j.colDecA = nil
+	}
+	if j.colDecB != nil {
+		data.PutColBatch(j.colDecB)
+		j.colDecB = nil
+	}
+	j.drainColRetire()
+	j.colProbe, j.colProbeKey = nil, nil
+	j.colGatherB, j.colGatherP = nil, nil
+	j.colTab.clear()
+	j.colMatches = nil
 }
 
 // NextColBatch implements ColOperator: the join (second) pass gathers
-// output values directly into reused column lanes. When a per-tuple
-// output hook is attached (progress monitors) or the parallel join phase
-// is active, output falls back to the row batch path — hooks see
-// materialized tuples, parallel drains stay row-oriented — and the rows
-// are re-exposed columnar without copying.
+// output values directly into reused column lanes, one typed copy per
+// column per pair buffer. When a per-tuple output hook is attached
+// (progress monitors) or the parallel join phase is active, output falls
+// back to the row batch path — hooks see materialized tuples, parallel
+// drains stay row-oriented — and the rows are re-exposed columnar
+// without copying.
 func (j *HashJoin) NextColBatch() (*data.ColBatch, error) {
 	if err := j.ensurePartitioned(); err != nil {
 		return nil, err
@@ -257,26 +681,18 @@ func (j *HashJoin) NextColBatch() (*data.ColBatch, error) {
 		j.colOut.SetRows(b, j.schema.Len())
 		return &j.colOut, nil
 	}
-	if j.gatherFn == nil {
-		j.gatherFn = j.gatherConcat
-	}
 	out := &j.colOut
 	out.BeginBuild(j.schema.Len())
 	limit := data.BatchSize()
 	for out.NRows < limit {
-		t, err := j.advance(j.gatherFn)
+		n, err := j.fillColPairs(limit - out.NRows)
 		if err != nil {
 			return nil, err
 		}
-		if t == nil {
+		if n == 0 {
 			break
 		}
-		if len(t) != 0 {
-			// Semi/anti joins return the probe tuple itself rather than a
-			// concatenation; gathered concatenations (inner and outer
-			// output) already landed in the lanes via the sentinel.
-			out.AppendRow(t)
-		}
+		j.gatherPairs(out)
 	}
 	return j.emitColBatch(out)
 }

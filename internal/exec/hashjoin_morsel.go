@@ -186,19 +186,67 @@ func (j *HashJoin) partitionPassMorsel(cfg *passConfig, sc *Scan) error {
 	return j.finishMorselPass(st, sc, cfg.rows, cfg.parts)
 }
 
+// colMorselPassState carries the per-worker lane accumulators of one
+// columnar morsel pass: each worker scatters into private per-partition
+// ColBatch lane buffers, merged lane-to-lane at the barrier.
+type colMorselPassState struct {
+	locals [][]*data.ColBatch
+	rows   []int64
+	errs   []error
+	hookMu sync.Mutex
+	wg     sync.WaitGroup
+}
+
+func newColMorselPassState(workers, parts int) *colMorselPassState {
+	st := &colMorselPassState{
+		locals: make([][]*data.ColBatch, workers),
+		rows:   make([]int64, workers),
+		errs:   make([]error, workers),
+	}
+	for w := range st.locals {
+		st.locals[w] = make([]*data.ColBatch, parts)
+	}
+	return st
+}
+
+// mergeColLocals folds the worker-private partition lanes into the
+// shared partition buffers, in fixed worker order so the merged row
+// order is deterministic. The first buffer seen for a partition is
+// adopted wholesale — no copy — and later workers' rows append
+// lane-to-lane before their buffers return to the pool.
+func (j *HashJoin) mergeColLocals(parts []*data.ColBatch, locals [][]*data.ColBatch) {
+	for p := 0; p < j.parts; p++ {
+		for w := range locals {
+			l := locals[w][p]
+			if l == nil {
+				continue
+			}
+			locals[w][p] = nil
+			if parts[p] == nil {
+				parts[p] = l
+				continue
+			}
+			parts[p].AppendBatchFrom(l)
+			data.PutColBatch(l)
+		}
+	}
+}
+
 // partitionPassColMorsel is the columnar morsel pass: each worker pivots
 // its batches into a worker-private ColBatch, fires the worker-indexed
-// columnar hook lock-free, and scatters off the flat key lane.
+// columnar hook lock-free, and scatters lane-to-lane off the flat key
+// lane into worker-private partition lanes.
 func (j *HashJoin) partitionPassColMorsel(cfg *colPassConfig, sc *Scan) error {
 	workers := j.Workers()
 	src := sc.beginMorselPass(j.morselBlocks)
-	st := newMorselPassState(workers, j.parts)
+	st := newColMorselPassState(workers, j.parts)
 	for w := 0; w < workers; w++ {
 		st.wg.Add(1)
 		go func(w int) {
 			defer st.wg.Done()
 			local := st.locals[w]
 			var cb data.ColBatch
+			var scratch data.Tuple // per-worker multi-key extraction scratch
 			st.errs[w] = sc.drainMorsels(src, func(b data.Batch) error {
 				st.rows[w] += int64(len(b))
 				if sc.OnTuple != nil || cfg.tupleHook != nil {
@@ -226,34 +274,66 @@ func (j *HashJoin) partitionPassColMorsel(cfg *colPassConfig, sc *Scan) error {
 				if cfg.colBatchHook != nil {
 					cfg.colBatchHook(w, &cb)
 				}
-				j.scatterColLocal(local, &cb, b, cfg.keys, cfg.keepNull)
+				j.scatterColLocal(local, &cb, cfg.keys, cfg.keepNull, cfg.width, &scratch)
 				return nil
 			})
 		}(w)
 	}
-	return j.finishMorselPass(st, sc, cfg.rows, cfg.parts)
+	st.wg.Wait()
+	for _, err := range st.errs {
+		if err != nil {
+			return err
+		}
+	}
+	sc.finishMorselPass()
+	for _, n := range st.rows {
+		cfg.rows.Add(n)
+	}
+	j.mergeColLocals(cfg.colParts, st.locals)
+	return nil
 }
 
-// scatterColLocal is scatterBatchLocal with the columnar fast path: a
-// single homogeneous integer key column partitions straight off the flat
-// Ints lane, hashing the exact Value JoinKeyOf would produce, so the
-// partition layout matches the row scatter bit for bit.
-func (j *HashJoin) scatterColLocal(local [][]data.Tuple, cb *data.ColBatch, rows data.Batch, keys []int, keepNull bool) {
+// scatterColLocal scatters one batch's rows lane-to-lane into the
+// worker-private partition lanes. A single homogeneous integer key
+// column partitions straight off the flat Ints lane, hashing the exact
+// Value JoinKeyOf would produce, so the partition layout matches the row
+// scatter bit for bit; other key shapes extract the key off the lanes
+// per row via the worker's scratch tuple.
+func (j *HashJoin) scatterColLocal(local []*data.ColBatch, cb *data.ColBatch, keys []int, keepNull bool, width int, scratch *data.Tuple) {
+	appendTo := func(p, i int) {
+		dst := local[p]
+		if dst == nil {
+			dst = data.GetColBatch()
+			dst.BeginBuild(width)
+			local[p] = dst
+		}
+		dst.AppendFrom(cb, i)
+	}
 	if len(keys) == 1 {
 		if kv := cb.Col(keys[0]); kv.Homogeneous() && kv.Kind == data.KindInt {
 			nparts := uint64(j.parts)
-			for i, t := range rows {
+			for i := 0; i < cb.NRows; i++ {
 				if kv.Nulls.Get(i) {
 					if keepNull {
-						local[0] = append(local[0], t)
+						appendTo(0, i)
 					}
 					continue
 				}
-				p := int(hashValue(data.Int(kv.Ints[i])) % nparts)
-				local[p] = append(local[p], t)
+				appendTo(int(hashValue(data.Int(kv.Ints[i]))%nparts), i)
 			}
 			return
 		}
 	}
-	j.scatterBatchLocal(local, rows, keys, keepNull)
+	for i := 0; i < cb.NRows; i++ {
+		k := colJoinKeyAt(cb, keys, i, scratch)
+		p := 0
+		if k.IsNull() {
+			if !keepNull {
+				continue
+			}
+		} else {
+			p = int(hashValue(k) % uint64(j.parts))
+		}
+		appendTo(p, i)
+	}
 }

@@ -170,7 +170,20 @@ func (j *HashJoin) startParallelJoin() {
 // reports probe consumption via out.probes.
 func (j *HashJoin) joinOnePartition(p int, jt *joinTable, arena *[]data.Value,
 	out *partStream, stop <-chan struct{}) error {
-	buildTuples := j.buildParts[p]
+	var buildTuples []data.Tuple
+	if j.colMode {
+		// Lane-native partitions: materialize the partition's lanes into
+		// row tuples for the row-oriented parallel drain (a difftest-only
+		// crossing — the perf-gated columnar path runs the serial join
+		// phase's lane-to-lane gather).
+		if cp := j.buildColParts[p]; cp != nil {
+			j.buildColParts[p] = nil
+			buildTuples = cp.ToTuples(nil)
+			data.PutColBatch(cp)
+		}
+	} else {
+		buildTuples = j.buildParts[p]
+	}
 	if f := j.buildSpill[p]; f != nil {
 		var err error
 		buildTuples, err = f.readAll()
@@ -184,9 +197,17 @@ func (j *HashJoin) joinOnePartition(p int, jt *joinTable, arena *[]data.Value,
 		}
 	}
 	jt.build(buildTuples, j.buildKeys)
-	j.buildParts[p] = nil
-
-	memProbe := j.probeParts[p]
+	var memProbe []data.Tuple
+	if j.colMode {
+		if pp := j.probeColParts[p]; pp != nil {
+			j.probeColParts[p] = nil
+			memProbe = pp.ToTuples(nil)
+			data.PutColBatch(pp)
+		}
+	} else {
+		j.buildParts[p] = nil
+		memProbe = j.probeParts[p]
+	}
 	var pf *spillFile
 	if f := j.probeSpill[p]; f != nil {
 		if err := f.startRead(); err != nil {
@@ -302,7 +323,9 @@ func (j *HashJoin) joinOnePartition(p int, jt *joinTable, arena *[]data.Value,
 	if err := closeProbe(); err != nil {
 		return err
 	}
-	j.probeParts[p] = nil
+	if !j.colMode {
+		j.probeParts[p] = nil
+	}
 	if len(batch) > 0 {
 		select {
 		case out.ch <- batch:

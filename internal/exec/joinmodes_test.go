@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
 
 	"qpi/internal/data"
+	"qpi/internal/expr"
 	"qpi/internal/storage"
 )
 
@@ -15,20 +17,39 @@ import (
 // written from first principles. Unlike internal/difftest this layer has
 // no plan generator and no estimators — it isolates operator semantics.
 
+// keyVal maps the test key encoding to a join key value: key < 0 means
+// NULL; str renders the key as a string (same equality classes, but the
+// join is forced off the int-lane fast paths onto the generic scatter,
+// fallback table and string-lane kernels).
+func keyVal(k int64, str bool) data.Value {
+	if k < 0 {
+		return data.Null()
+	}
+	if str {
+		return data.Str(fmt.Sprintf("key-%03d", k))
+	}
+	return data.Int(k)
+}
+
 // kvTable builds a two-column table (k, id): key < 0 means NULL key, and
 // id is the row position so every row is distinguishable.
 func kvTable(name string, keys []int64) *storage.Table {
+	return kvTableKeyed(name, keys, false)
+}
+
+// kvTableKeyed is kvTable with a selectable key kind.
+func kvTableKeyed(name string, keys []int64, str bool) *storage.Table {
+	kind := data.KindInt
+	if str {
+		kind = data.KindString
+	}
 	s := data.NewSchema(
-		data.Column{Table: name, Name: "k", Kind: data.KindInt},
+		data.Column{Table: name, Name: "k", Kind: kind},
 		data.Column{Table: name, Name: "id", Kind: data.KindInt},
 	)
 	t := storage.NewTable(name, s)
 	for i, k := range keys {
-		kv := data.Int(k)
-		if k < 0 {
-			kv = data.Null()
-		}
-		t.MustAppend(data.Tuple{kv, data.Int(int64(i))})
+		t.MustAppend(data.Tuple{keyVal(k, str), data.Int(int64(i))})
 	}
 	return t
 }
@@ -37,6 +58,13 @@ func kvTable(name string, keys []int64) *storage.Table {
 // the probe tuple alone (anti keeps NULL-key probe rows); probe-outer
 // NULL-pads the build side; inner emits build ++ probe per match.
 func refJoin(build, probe []int64, jt JoinType) []string {
+	return refJoinKeyed(build, probe, jt, false)
+}
+
+// refJoinKeyed is refJoin with a selectable key kind. The int encoding
+// is injective into the string rendering, so match structure is
+// identical either way.
+func refJoinKeyed(build, probe []int64, jt JoinType, str bool) []string {
 	index := map[int64][]int{}
 	for i, k := range build {
 		if k >= 0 {
@@ -49,10 +77,7 @@ func refJoin(build, probe []int64, jt JoinType) []string {
 		if pk >= 0 {
 			matches = index[pk]
 		}
-		p := data.Tuple{data.Int(pk), data.Int(int64(pi))}
-		if pk < 0 {
-			p[0] = data.Null()
-		}
+		p := data.Tuple{keyVal(pk, str), data.Int(int64(pi))}
 		switch jt {
 		case SemiJoin:
 			if len(matches) > 0 {
@@ -71,7 +96,7 @@ func refJoin(build, probe []int64, jt JoinType) []string {
 			fallthrough
 		default:
 			for _, bi := range matches {
-				row := append(data.Tuple{data.Int(build[bi]), data.Int(int64(bi))}, p...)
+				row := append(data.Tuple{keyVal(build[bi], str), data.Int(int64(bi))}, p...)
 				out = append(out, row.String())
 			}
 		}
@@ -145,7 +170,19 @@ func randKeys(rng *rand.Rand, n, dom int, nullFrac float64) []int64 {
 // and compares each against the reference.
 func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 	t.Helper()
-	want := refJoin(build, probe, jt)
+	checkHashJoinModesKeyed(t, build, probe, jt, false)
+}
+
+// checkHashJoinModesKeyed is checkHashJoinModes with a selectable key
+// kind. String keys route the scatter, build table and probe off the
+// int-lane fast paths; the build input is additionally run through a
+// vectorized string filter (LIKE-prefix AND >= kernels, both
+// tautologies over the key encoding) so the columnar modes exercise the
+// sel-in/sel-out string kernels inline. The filter drops NULL build
+// keys, which the join drops anyway for every type checked here.
+func checkHashJoinModesKeyed(t *testing.T, build, probe []int64, jt JoinType, str bool) {
+	t.Helper()
+	want := refJoinKeyed(build, probe, jt, str)
 	modes := []struct {
 		name     string
 		batched  bool
@@ -164,9 +201,20 @@ func checkHashJoinModes(t *testing.T, build, probe []int64, jt JoinType) {
 		{name: "columnar-morsel", columnar: true, morsel: true, workers: 3},
 	}
 	for _, m := range modes {
+		var bsrc Operator = NewScan(kvTableKeyed("b", build, str), "")
+		if str {
+			like, err := expr.NewLike(expr.Col{Index: 0}, "key-%", false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bsrc = NewFilter(bsrc, expr.AndOf(
+				like,
+				expr.Compare(expr.GE, expr.Col{Index: 0}, expr.Lit(data.Str("key-"))),
+			))
+		}
 		j := NewHashJoinMulti(
-			NewScan(kvTable("b", build), ""),
-			NewScan(kvTable("p", probe), ""),
+			bsrc,
+			NewScan(kvTableKeyed("p", probe, str), ""),
 			[]int{0}, []int{0}, jt,
 		)
 		if m.workers > 0 {
@@ -196,17 +244,25 @@ func TestHashJoinModesAgainstReference(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		build := randKeys(rng, 20+rng.Intn(60), 1+rng.Intn(12), 0.2)
 		probe := randKeys(rng, 20+rng.Intn(60), 1+rng.Intn(12), 0.2)
-		checkHashJoinModes(t, build, probe, types[trial%len(types)])
+		// Odd trials rerun the same key structure as strings, covering
+		// the generic (non-int-lane) scatter and fallback build table.
+		checkHashJoinModesKeyed(t, build, probe, types[trial%len(types)], trial%2 == 1)
 	}
 }
 
 // FuzzJoinModes lets the fuzzer pick the key distributions; every input
-// is checked across all four join types and all four execution modes.
+// is checked across all four join types and every execution mode. Bit 0
+// of flags switches the join keys to strings, driving the generic
+// lane-native scatter, the fallback build table and the vectorized
+// string-comparison kernels.
 func FuzzJoinModes(f *testing.F) {
-	f.Add(int64(1), 20, 30, 5, uint8(0))
-	f.Add(int64(9), 50, 8, 2, uint8(1))
-	f.Add(int64(3), 8, 80, 16, uint8(3))
-	f.Fuzz(func(t *testing.T, seed int64, nb, np, dom int, jti uint8) {
+	f.Add(int64(1), 20, 30, 5, uint8(0), uint8(0))
+	f.Add(int64(9), 50, 8, 2, uint8(1), uint8(0))
+	f.Add(int64(3), 8, 80, 16, uint8(3), uint8(0))
+	f.Add(int64(5), 25, 40, 6, uint8(0), uint8(1))
+	f.Add(int64(13), 60, 12, 3, uint8(2), uint8(1))
+	f.Add(int64(21), 10, 90, 20, uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nb, np, dom int, jti, flags uint8) {
 		if nb < 1 || nb > 120 || np < 1 || np > 120 || dom < 1 || dom > 64 {
 			t.Skip("out of bounds")
 		}
@@ -214,7 +270,7 @@ func FuzzJoinModes(f *testing.F) {
 		build := randKeys(rng, nb, dom, 0.15)
 		probe := randKeys(rng, np, dom, 0.15)
 		jt := []JoinType{InnerJoin, SemiJoin, AntiJoin, ProbeOuterJoin}[int(jti)%4]
-		checkHashJoinModes(t, build, probe, jt)
+		checkHashJoinModesKeyed(t, build, probe, jt, flags&1 == 1)
 	})
 }
 

@@ -31,6 +31,15 @@ type Sort struct {
 	inputRows int64 // total input tuples read (survives spill resets)
 	spanEnded bool
 
+	// Columnar input (SetColumnar): the input pass consumes the child's
+	// ColBatches, extracts the key columns into contiguous lanes, and
+	// sorts an index vector with typed lane comparators instead of
+	// per-tuple data.Compare chains. keyVecs holds the extracted lanes,
+	// keyIdx the index scratch.
+	colMode bool
+	keyVecs []data.ColVec
+	keyIdx  []int32
+
 	// External sorting (see extsort.go).
 	memBudget int64
 	bufBytes  int64
@@ -57,6 +66,19 @@ func NewSortDirs(child Operator, keys []int, desc []bool) *Sort {
 	return s
 }
 
+// SetColumnar selects the columnar input pass: when the child serves
+// column vectors natively and no memory budget is set (the external
+// path's run spilling stays row-oriented), the sort extracts its key
+// columns into lanes and sorts an index vector over them. Output order,
+// OnInput firing order, and trace spans are identical to the row path.
+func (s *Sort) SetColumnar(on bool) *Sort {
+	s.colMode = on
+	return s
+}
+
+// Columnar reports whether the columnar input pass is selected.
+func (s *Sort) Columnar() bool { return s.colMode }
+
 // Name implements Operator.
 func (s *Sort) Name() string { return fmt.Sprintf("Sort(%v)", s.keys) }
 
@@ -73,27 +95,37 @@ func (s *Sort) Next() (data.Tuple, error) {
 	}
 	if !s.sorted {
 		s.traceBegin("input")
-		for {
-			if err := s.pollCtx(); err != nil {
+		var colIn ColOperator
+		if s.colMode && s.memBudget <= 0 {
+			colIn, _ = s.child.(ColOperator)
+		}
+		if colIn != nil {
+			if err := s.readInputColumnar(colIn); err != nil {
 				return nil, err
 			}
-			t, err := s.child.Next()
-			if err != nil {
-				return nil, err
-			}
-			if t == nil {
-				break
-			}
-			if s.OnInput != nil {
-				s.OnInput(t)
-			}
-			s.inputRows++
-			s.rows = append(s.rows, t)
-			if s.memBudget > 0 {
-				s.bufBytes += int64(t.Size())
-				if s.bufBytes > s.memBudget {
-					if err := s.spillRun(); err != nil {
-						return nil, err
+		} else {
+			for {
+				if err := s.pollCtx(); err != nil {
+					return nil, err
+				}
+				t, err := s.child.Next()
+				if err != nil {
+					return nil, err
+				}
+				if t == nil {
+					break
+				}
+				if s.OnInput != nil {
+					s.OnInput(t)
+				}
+				s.inputRows++
+				s.rows = append(s.rows, t)
+				if s.memBudget > 0 {
+					s.bufBytes += int64(t.Size())
+					if s.bufBytes > s.memBudget {
+						if err := s.spillRun(); err != nil {
+							return nil, err
+						}
 					}
 				}
 			}
@@ -102,7 +134,8 @@ func (s *Sort) Next() (data.Tuple, error) {
 		if s.OnInputEnd != nil {
 			s.OnInputEnd()
 		}
-		if len(s.runs) > 0 {
+		switch {
+		case len(s.runs) > 0:
 			// External path: flush the tail as the final run and merge.
 			if err := s.spillRun(); err != nil {
 				return nil, err
@@ -111,7 +144,10 @@ func (s *Sort) Next() (data.Tuple, error) {
 			if err := s.startMerge(); err != nil {
 				return nil, err
 			}
-		} else {
+		case colIn != nil:
+			s.sortColumnar()
+			s.traceMark("sort", int64(len(s.rows)), 0)
+		default:
 			sort.SliceStable(s.rows, func(i, j int) bool { return s.less(s.rows[i], s.rows[j]) })
 			s.traceMark("sort", int64(len(s.rows)), 0)
 		}
@@ -137,6 +173,132 @@ func (s *Sort) Next() (data.Tuple, error) {
 	t := s.rows[s.pos]
 	s.pos++
 	return s.emit(t)
+}
+
+// readInputColumnar drains the child batch-at-a-time: rows materialize
+// once per batch (OnInput fires per tuple in row order, as the row pass
+// would), and the key columns are extracted lane-to-lane into contiguous
+// key lanes indexed alongside s.rows.
+func (s *Sort) readInputColumnar(in ColOperator) error {
+	if s.keyVecs == nil {
+		s.keyVecs = make([]data.ColVec, len(s.keys))
+	}
+	for k := range s.keyVecs {
+		s.keyVecs[k].Reset()
+	}
+	var idx []int32
+	for {
+		if err := s.pollCtx(); err != nil {
+			return err
+		}
+		cb, err := in.NextColBatch()
+		if err != nil {
+			return err
+		}
+		if cb == nil {
+			return nil
+		}
+		base := len(s.rows)
+		s.rows = cb.ToTuples(s.rows)
+		added := len(s.rows) - base
+		if s.OnInput != nil {
+			for _, t := range s.rows[base:] {
+				s.OnInput(t)
+			}
+		}
+		s.inputRows += int64(added)
+		idx = idx[:0]
+		if cb.Sel == nil {
+			for i := 0; i < cb.NRows; i++ {
+				idx = append(idx, int32(i))
+			}
+		} else {
+			idx = append(idx, cb.Sel...)
+		}
+		for k, key := range s.keys {
+			s.keyVecs[k].GatherFrom(cb.Col(key), idx, base)
+		}
+	}
+}
+
+// colVecCompare mirrors data.Compare over one extracted key lane: NULLs
+// first, typed same-kind comparisons off the lane, mixed lanes through
+// ValueAt + data.Compare.
+func colVecCompare(v *data.ColVec, a, b int) int {
+	if !v.Homogeneous() {
+		return data.Compare(v.ValueAt(a), v.ValueAt(b))
+	}
+	na, nb := v.Nulls.Get(a), v.Nulls.Get(b)
+	if na || nb {
+		switch {
+		case na && nb:
+			return 0
+		case na:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.Kind {
+	case data.KindInt:
+		x, y := v.Ints[a], v.Ints[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case data.KindFloat:
+		x, y := v.Floats[a], v.Floats[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	case data.KindString:
+		x, y := v.Strs[a], v.Strs[b]
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+	}
+	return 0
+}
+
+// sortColumnar stable-sorts an index vector over the extracted key lanes
+// and permutes the row buffer into that order — the same ordering the
+// row path's tuple comparator produces, with the key loads hitting
+// contiguous lanes instead of scattered tuple headers.
+func (s *Sort) sortColumnar() {
+	n := len(s.rows)
+	idx := s.keyIdx[:0]
+	for i := 0; i < n; i++ {
+		idx = append(idx, int32(i))
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := int(idx[i]), int(idx[j])
+		for ki := range s.keyVecs {
+			if c := colVecCompare(&s.keyVecs[ki], a, b); c != 0 {
+				if s.desc != nil && s.desc[ki] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	sorted := make([]data.Tuple, n)
+	for out, i := range idx {
+		sorted[out] = s.rows[i]
+	}
+	s.rows = sorted
+	s.keyIdx = idx
+	for k := range s.keyVecs {
+		s.keyVecs[k].Reset()
+	}
 }
 
 // Close implements Operator. The child is always closed and every run

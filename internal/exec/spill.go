@@ -47,6 +47,13 @@ type spillFile struct {
 	dec     *data.ColBatch
 	decRows data.Batch
 	decPos  int
+
+	// Lane-native appends (appendColRow/appendColAll) buffer rows in pcol
+	// — a pooled lane batch filled by typed lane-to-lane copies, no tuple
+	// materialization — and flush it as columnar frames. selWin is the
+	// selection-window scratch for chunking a whole partition dump.
+	pcol   *data.ColBatch
+	selWin []int32
 }
 
 // colFrameRows is the number of tuples per columnar spill frame: large
@@ -105,6 +112,85 @@ func (s *spillFile) flushFrame() error {
 	return err
 }
 
+// appendColRow writes one row of src lane-to-lane toward the next frame
+// flush (columnar mode only).
+func (s *spillFile) appendColRow(src *data.ColBatch, i int) error {
+	s.rows++
+	if s.pcol == nil {
+		s.pcol = data.GetColBatch()
+		s.pcol.BeginBuild(s.ncols)
+	}
+	s.pcol.AppendFrom(src, i)
+	if s.pcol.NRows >= colFrameRows {
+		return s.flushColLanes()
+	}
+	return nil
+}
+
+// flushColLanes writes the buffered lane rows as one columnar frame.
+func (s *spillFile) flushColLanes() error {
+	if s.pcol == nil || s.pcol.NRows == 0 {
+		return nil
+	}
+	err := data.EncodeColFrame(s.w, s.pcol)
+	s.pcol.BeginBuild(s.ncols)
+	return err
+}
+
+// appendColAll dumps an entire partition lane batch as columnar frames,
+// windowed through the selection vector so decode buffers stay bounded
+// at colFrameRows. Partition lane batches are dense (built row-append by
+// the scatter), so installing a temporary Sel window is safe; it is
+// cleared before returning.
+func (s *spillFile) appendColAll(cb *data.ColBatch) error {
+	for start := 0; start < cb.NRows; start += colFrameRows {
+		end := start + colFrameRows
+		if end > cb.NRows {
+			end = cb.NRows
+		}
+		s.selWin = s.selWin[:0]
+		for i := start; i < end; i++ {
+			s.selWin = append(s.selWin, int32(i))
+		}
+		cb.Sel = s.selWin
+		err := data.EncodeColFrame(s.w, cb)
+		if err != nil {
+			cb.Sel = nil
+			return err
+		}
+	}
+	cb.Sel = nil
+	s.rows += int64(cb.NRows)
+	return nil
+}
+
+// nextColFrame decodes the next columnar frame into dst, reusing its
+// lanes; io.EOF at end of file.
+func (s *spillFile) nextColFrame(dst *data.ColBatch) error {
+	return data.DecodeColFrame(s.r, s.ncols, dst)
+}
+
+// readAllCol reads every remaining frame back into dst's lanes.
+func (s *spillFile) readAllCol(dst *data.ColBatch) error {
+	if err := s.startRead(); err != nil {
+		return err
+	}
+	dst.BeginBuild(s.ncols)
+	if s.dec == nil {
+		s.dec = data.GetColBatch()
+	}
+	for {
+		err := data.DecodeColFrame(s.r, s.ncols, s.dec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		dst.AppendBatchFrom(s.dec)
+	}
+}
+
 // releaseBuffers returns the bufio pair to the pools, detached from the
 // file so pooled buffers hold no descriptor (and a stale reader can never
 // serve bytes from a previous file).
@@ -128,6 +214,9 @@ func (s *spillFile) startRead() error {
 			return err
 		}
 		s.pending = nil
+		if err := s.flushColLanes(); err != nil {
+			return err
+		}
 	}
 	if s.w != nil {
 		err := s.w.Flush()
@@ -209,6 +298,10 @@ func (s *spillFile) close() error {
 	if s.dec != nil {
 		data.PutColBatch(s.dec)
 		s.dec = nil
+	}
+	if s.pcol != nil {
+		data.PutColBatch(s.pcol)
+		s.pcol = nil
 	}
 	s.pending, s.decRows = nil, nil
 	s.releaseBuffers()

@@ -198,6 +198,36 @@ type Like struct {
 	Pattern string
 	Negate  bool
 	re      *regexp.Regexp
+	// litMode classifies patterns the vectorized evaluator can run
+	// without the regexp engine: likeExact (no wildcards → string
+	// equality) and likePrefix (literal prefix + single trailing '%' →
+	// strings.HasPrefix). The regexp stays compiled either way — the
+	// scalar Eval path and generic patterns use it.
+	litMode byte
+	litStr  string
+}
+
+const (
+	likeRegexp byte = iota
+	likeExact
+	likePrefix
+)
+
+// classifyLike detects the literal pattern shapes: no wildcard at all,
+// or a literal prefix followed by exactly one trailing '%'.
+func classifyLike(pattern string) (byte, string) {
+	for i, r := range pattern {
+		switch r {
+		case '_':
+			return likeRegexp, ""
+		case '%':
+			if i == len(pattern)-1 {
+				return likePrefix, pattern[:i]
+			}
+			return likeRegexp, ""
+		}
+	}
+	return likeExact, pattern
 }
 
 // NewLike compiles a LIKE predicate.
@@ -219,7 +249,8 @@ func NewLike(e Expr, pattern string, negate bool) (Like, error) {
 	if err != nil {
 		return Like{}, fmt.Errorf("expr: bad LIKE pattern %q: %w", pattern, err)
 	}
-	return Like{E: e, Pattern: pattern, Negate: negate, re: re}, nil
+	mode, lit := classifyLike(pattern)
+	return Like{E: e, Pattern: pattern, Negate: negate, re: re, litMode: mode, litStr: lit}, nil
 }
 
 // Eval returns whether the operand matches (NULL operands are false).

@@ -1,6 +1,10 @@
 package expr
 
-import "qpi/internal/data"
+import (
+	"strings"
+
+	"qpi/internal/data"
+)
 
 // This file is the columnar evaluation path. EvalSel filters a whole
 // column span into a selection vector in one call; EvalVec computes one
@@ -19,6 +23,10 @@ func EvalSel(e Expr, cb *data.ColBatch, sel []int32, out []int32) []int32 {
 	switch x := e.(type) {
 	case Cmp:
 		if res, ok := evalSelCmp(x, cb, sel, out); ok {
+			return res
+		}
+	case Like:
+		if res, ok := evalSelLike(x, cb, sel, out); ok {
 			return res
 		}
 	case And:
@@ -101,9 +109,58 @@ func evalSelCmp(c Cmp, cb *data.ColBatch, sel []int32, out []int32) ([]int32, bo
 			})
 			return out, true
 		}
+		if lv.Kind == data.KindString && rv.Kind == data.KindString {
+			out = out[:0]
+			forEachRow(cb, sel, func(i int) {
+				if lv.Nulls.Get(i) || rv.Nulls.Get(i) {
+					return
+				}
+				if cmpHolds(c.Op, compareStr(lv.Strs[i], rv.Strs[i])) {
+					out = append(out, int32(i))
+				}
+			})
+			return out, true
+		}
 		return nil, false
 	}
 	return nil, false
+}
+
+// evalSelLike handles LIKE over a homogeneous string lane. Literal
+// patterns (exact and prefix%) run as string compares, everything else
+// through the compiled regexp — still one lane pass with no per-row
+// Value construction. NULL rows are false (never selected) regardless of
+// Negate, matching Like.Eval.
+func evalSelLike(l Like, cb *data.ColBatch, sel []int32, out []int32) ([]int32, bool) {
+	col, ok := l.E.(Col)
+	if !ok {
+		return nil, false
+	}
+	v := cb.Col(col.Index)
+	if !v.Homogeneous() || v.Kind != data.KindString {
+		return nil, false
+	}
+	var match func(s string) bool
+	switch l.litMode {
+	case likeExact:
+		lit := l.litStr
+		match = func(s string) bool { return s == lit }
+	case likePrefix:
+		lit := l.litStr
+		match = func(s string) bool { return strings.HasPrefix(s, lit) }
+	default:
+		match = l.re.MatchString
+	}
+	out = out[:0]
+	forEachRow(cb, sel, func(i int) {
+		if v.Nulls.Get(i) {
+			return
+		}
+		if match(v.Strs[i]) != l.Negate {
+			out = append(out, int32(i))
+		}
+	})
+	return out, true
 }
 
 // evalSelColConst filters column col against a constant.
